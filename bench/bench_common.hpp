@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apar/common/config.hpp"
+#include "apar/common/stats.hpp"
+#include "apar/common/table.hpp"
+#include "apar/sieve/versions.hpp"
+
+namespace apar::bench {
+
+/// Shared knobs for the figure-reproduction binaries. Every value can be
+/// overridden on the command line (--max 2000000) or via the environment
+/// (APAR_MAX=2000000), so the full paper-scale workload is one env var
+/// away while the default keeps `for b in build/bench/*; do $b; done`
+/// tractable.
+struct FigureConfig {
+  long long max = 500'000;       ///< paper: 10,000,000
+  std::size_t pack_size = 5'000; ///< paper: 100,000 (always 50 packs)
+  int reps = 5;                  ///< paper: median of five executions
+  double seq_seconds = 1.0;      ///< calibrated sequential compute target
+  std::vector<std::size_t> filters{1, 4, 7, 10, 13, 16};  ///< paper x-axis
+  std::size_t nodes = 7;
+  std::size_t node_executors = 4;
+  std::size_t local_cpu_slots = 4;
+};
+
+inline FigureConfig parse_figure_config(int argc, char** argv) {
+  const common::Config cli(argc, argv);
+  FigureConfig cfg;
+  cfg.max = cli.get_int("max", cfg.max);
+  cfg.pack_size =
+      static_cast<std::size_t>(cli.get_int("pack", static_cast<long long>(cfg.pack_size)));
+  cfg.reps = static_cast<int>(cli.get_int("reps", cfg.reps));
+  cfg.seq_seconds = cli.get_double("seq-seconds", cfg.seq_seconds);
+  cfg.nodes = static_cast<std::size_t>(cli.get_int("nodes", static_cast<long long>(cfg.nodes)));
+  if (cli.has("filters")) {
+    cfg.filters.clear();
+    std::string spec = cli.get("filters");
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      const std::size_t comma = spec.find(',', pos);
+      const std::string tok = spec.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      if (!tok.empty()) cfg.filters.push_back(std::stoul(tok));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  return cfg;
+}
+
+inline sieve::SieveConfig to_sieve_config(const FigureConfig& cfg,
+                                          std::size_t filters,
+                                          double ns_per_op) {
+  sieve::SieveConfig sc;
+  sc.max = cfg.max;
+  sc.filters = filters;
+  sc.pack_size = cfg.pack_size;
+  sc.ns_per_op = ns_per_op;
+  sc.nodes = cfg.nodes;
+  sc.node_executors = cfg.node_executors;
+  sc.local_cpu_slots = cfg.local_cpu_slots;
+  return sc;
+}
+
+/// Median-of-reps runner with correctness verification on every rep.
+template <class RunFn>
+double median_seconds(int reps, long long expected_primes, RunFn&& run) {
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const sieve::SieveResult result = run();
+    if (result.primes != expected_primes) {
+      std::fprintf(stderr,
+                   "FATAL: benchmark run produced %lld primes, expected "
+                   "%lld — refusing to report timings for wrong results\n",
+                   result.primes, expected_primes);
+      std::exit(1);
+    }
+    times.push_back(result.seconds);
+  }
+  return common::median(times);
+}
+
+inline void print_header(const char* title, const FigureConfig& cfg,
+                         double ns_per_op) {
+  std::printf("=== %s ===\n", title);
+  std::printf(
+      "workload: max=%s, 50x%zu-number packs (odd candidates), "
+      "median of %d runs\n",
+      common::fmt_count(cfg.max).c_str(), cfg.pack_size, cfg.reps);
+  std::printf(
+      "simulated platform: %zu nodes x %zu executors, work model %.1f "
+      "ns/division (sequential compute ~%.2fs)\n\n",
+      cfg.nodes, cfg.node_executors, ns_per_op, cfg.seq_seconds);
+}
+
+}  // namespace apar::bench

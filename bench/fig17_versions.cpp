@@ -1,0 +1,110 @@
+// Reproduces Table 1 (tested module combinations) and Figure 17
+// ("Performance of AspectJ versions"): execution time of the five woven
+// module combinations across filter counts.
+//
+// Expected shapes (paper §6):
+//   - FarmThreads is best while filters <= one machine's hardware contexts
+//     (4) and cannot improve beyond them;
+//   - the farm strategy beats the pipeline in all cases;
+//   - MPP beats RMI (lower communication overhead);
+//   - the dynamic farm is only marginally different from the static farm
+//     because the sieve workload is balanced.
+#include <cstdio>
+#include <map>
+
+#include "apar/sieve/workload.hpp"
+#include "bench_common.hpp"
+
+namespace ab = apar::bench;
+namespace ac = apar::common;
+namespace sv = apar::sieve;
+
+int main(int argc, char** argv) {
+  auto cfg = ab::parse_figure_config(argc, argv);
+  const double ns_per_op = sv::calibrate_ns_per_op(cfg.max, cfg.seq_seconds);
+  const long long expected = sv::count_primes_up_to(cfg.max);
+
+  // ---- Table 1 ----------------------------------------------------------
+  std::printf("=== Table 1: tested module combinations ===\n");
+  ac::Table t1({"Version", "Partition", "Concurrency", "Distribution"});
+  t1.add_row({"FarmThreads", "Farm", "yes", "no"});
+  t1.add_row({"PipeRMI", "Pipeline", "yes", "RMI"});
+  t1.add_row({"FarmRMI", "Farm", "yes", "RMI"});
+  t1.add_row({"FarmDRMI", "Dynamic Farm", "", "RMI"});
+  t1.add_row({"FarmMPP", "Farm", "yes", "MPP"});
+  std::printf("%s\n", t1.str().c_str());
+
+  // Evidence: the aspects actually plugged by each harness.
+  ac::Table plugged({"Version", "Plugged aspects"});
+  for (const auto version : sv::table1_versions()) {
+    sv::SieveHarness probe(version, ab::to_sieve_config(cfg, 2, 0.0));
+    std::string names;
+    for (const auto& n : probe.plugged_aspects()) {
+      if (!names.empty()) names += ", ";
+      names += n;
+    }
+    plugged.add_row({std::string(sv::version_name(version)), names});
+  }
+  std::printf("%s\n", plugged.str().c_str());
+
+  // ---- Figure 17 --------------------------------------------------------
+  ab::print_header("Figure 17: execution time of the AspectJ versions", cfg,
+                   ns_per_op);
+  std::vector<std::string> header{"Filters"};
+  for (const auto version : sv::table1_versions())
+    header.emplace_back(sv::version_name(version));
+  ac::Table fig(header);
+
+  std::map<sv::Version, std::vector<double>> series;
+  for (const std::size_t filters : cfg.filters) {
+    std::vector<std::string> row{std::to_string(filters)};
+    for (const auto version : sv::table1_versions()) {
+      sv::SieveHarness harness(version,
+                               ab::to_sieve_config(cfg, filters, ns_per_op));
+      const double median = ab::median_seconds(cfg.reps, expected,
+                                               [&] { return harness.run(); });
+      series[version].push_back(median);
+      row.push_back(ac::fmt_seconds(median));
+      std::fflush(stdout);
+    }
+    fig.add_row(std::move(row));
+  }
+  std::printf("%s\n", fig.str().c_str());
+  std::printf("series (csv):\n%s\n", fig.csv().c_str());
+
+  // ---- extension beyond Table 1: the §5.3 hybrid middleware --------------
+  ac::Table hybrid({"Filters", "FarmHybrid (RMI control + MPP data)"});
+  for (const std::size_t filters : cfg.filters) {
+    sv::SieveHarness harness(sv::Version::kFarmHybrid,
+                             ab::to_sieve_config(cfg, filters, ns_per_op));
+    const double median = ab::median_seconds(cfg.reps, expected,
+                                             [&] { return harness.run(); });
+    hybrid.add_row({std::to_string(filters), ac::fmt_seconds(median)});
+  }
+  std::printf(
+      "extension (paper §5.3 hybrid — not part of the original Table 1):\n"
+      "%s\n",
+      hybrid.str().c_str());
+
+  // ---- shape checks (informational) -------------------------------------
+  auto last = [&](sv::Version v) { return series[v].back(); };
+  auto first = [&](sv::Version v) { return series[v].front(); };
+  std::printf("shape checks at %zu filters:\n", cfg.filters.back());
+  std::printf("  farm beats pipeline:        FarmRMI %.3fs %s PipeRMI %.3fs\n",
+              last(sv::Version::kFarmRmi),
+              last(sv::Version::kFarmRmi) < last(sv::Version::kPipeRmi)
+                  ? "<"
+                  : ">=",
+              last(sv::Version::kPipeRmi));
+  std::printf("  MPP beats RMI:              FarmMPP %.3fs %s FarmRMI %.3fs\n",
+              last(sv::Version::kFarmMpp),
+              last(sv::Version::kFarmMpp) < last(sv::Version::kFarmRmi)
+                  ? "<"
+                  : ">=",
+              last(sv::Version::kFarmRmi));
+  std::printf(
+      "  FarmThreads plateaus:       %.3fs at %zu filters vs %.3fs at %zu\n",
+      last(sv::Version::kFarmThreads), cfg.filters.back(),
+      first(sv::Version::kFarmThreads), cfg.filters.front());
+  return 0;
+}

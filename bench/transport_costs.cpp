@@ -1,0 +1,139 @@
+// Supports the paper's §6 claim "the MPP middleware leads to lower
+// execution times since it introduces lower communication overhead, when
+// compared to Java RMI": measures per-call cost and wire size of the two
+// simulated middlewares across payload sizes, plus the serialization
+// format gap that drives the byte difference.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "apar/cluster/middleware.hpp"
+#include "apar/common/table.hpp"
+#include "apar/serial/archive.hpp"
+
+namespace ac = apar::cluster;
+namespace as = apar::serial;
+
+namespace {
+
+class Echo {
+ public:
+  Echo() = default;
+  void swallow(std::vector<long long>& pack) { last_size_ = pack.size(); }
+  [[nodiscard]] long long size() const {
+    return static_cast<long long>(last_size_);
+  }
+
+ private:
+  std::size_t last_size_ = 0;
+};
+
+struct Fixture {
+  explicit Fixture(bool mpp) {
+    cluster = std::make_unique<ac::Cluster>(ac::Cluster::Options{2, 2});
+    cluster->registry().bind<Echo>("Echo").ctor<>().method<&Echo::swallow>(
+        "swallow");
+    if (mpp)
+      middleware = std::make_unique<ac::MppMiddleware>(*cluster);
+    else
+      middleware = std::make_unique<ac::RmiMiddleware>(*cluster);
+    handle = middleware->create(1, "Echo",
+                                as::encode(middleware->wire_format()));
+  }
+  std::unique_ptr<ac::Cluster> cluster;
+  std::unique_ptr<ac::Middleware> middleware;
+  ac::RemoteHandle handle;
+};
+
+void run_sync_call(benchmark::State& state, bool mpp) {
+  Fixture fx(mpp);
+  std::vector<long long> pack(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    auto payload = as::encode(fx.middleware->wire_format(), pack);
+    benchmark::DoNotOptimize(
+        fx.middleware->invoke(fx.handle, "swallow", std::move(payload)));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(pack.size() * 8));
+}
+
+void BM_RmiSyncCall(benchmark::State& state) { run_sync_call(state, false); }
+BENCHMARK(BM_RmiSyncCall)->Arg(16)->Arg(1024)->Arg(20000);
+
+void BM_MppSyncCall(benchmark::State& state) { run_sync_call(state, true); }
+BENCHMARK(BM_MppSyncCall)->Arg(16)->Arg(1024)->Arg(20000);
+
+void BM_MppOneWayCall(benchmark::State& state) {
+  Fixture fx(true);
+  std::vector<long long> pack(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    auto payload = as::encode(fx.middleware->wire_format(), pack);
+    fx.middleware->invoke_one_way(fx.handle, "swallow", std::move(payload));
+  }
+  fx.cluster->drain();
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(pack.size() * 8));
+}
+BENCHMARK(BM_MppOneWayCall)->Arg(16)->Arg(1024)->Arg(20000);
+
+void BM_SerializeCompact(benchmark::State& state) {
+  std::vector<long long> pack(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(as::encode(as::Format::kCompact, pack));
+  }
+}
+BENCHMARK(BM_SerializeCompact)->Arg(1024)->Arg(20000);
+
+void BM_SerializeVerbose(benchmark::State& state) {
+  std::vector<long long> pack(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(as::encode(as::Format::kVerbose, pack));
+  }
+}
+BENCHMARK(BM_SerializeVerbose)->Arg(1024)->Arg(20000);
+
+void print_wire_size_table() {
+  apar::common::Table table(
+      {"Payload", "compact (MPP) bytes", "verbose (RMI) bytes", "overhead"});
+  for (const std::size_t n : {std::size_t{1}, std::size_t{16},
+                              std::size_t{1024}, std::size_t{20000}}) {
+    std::vector<long long> pack(n, 7);
+    const auto compact = as::encode(as::Format::kCompact, pack).size();
+    const auto verbose = as::encode(as::Format::kVerbose, pack).size();
+    table.add_row({std::to_string(n) + " int64",
+                   std::to_string(compact), std::to_string(verbose),
+                   apar::common::fmt_ratio(static_cast<double>(verbose) /
+                                           static_cast<double>(compact))});
+  }
+  std::printf("=== wire-format sizes (RMI verbose vs MPP compact) ===\n%s\n",
+              table.str().c_str());
+
+  apar::common::Table costs({"Model", "handshake us", "latency us",
+                             "per-KiB us", "registry lookup us"});
+  const auto rmi = ac::CostModel::rmi();
+  const auto mpp = ac::CostModel::mpp();
+  auto fmt = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return std::string(buf);
+  };
+  costs.add_row({"RMI", fmt(rmi.handshake_us), fmt(rmi.latency_us),
+                 fmt(rmi.per_kb_us), fmt(rmi.lookup_us)});
+  costs.add_row({"MPP", fmt(mpp.handshake_us), fmt(mpp.latency_us),
+                 fmt(mpp.per_kb_us), fmt(mpp.lookup_us)});
+  std::printf("=== calibrated middleware cost models ===\n%s\n",
+              costs.str().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_wire_size_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

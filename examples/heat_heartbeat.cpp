@@ -1,0 +1,97 @@
+// Heartbeat strategy on a 2-D Jacobi heat solver: the third strategy
+// category the paper reports (§7). The core class (HeatBand) is a complete
+// sequential solver; plugging the HeartbeatAspect turns the same `run`
+// call into band-parallel compute/exchange rounds.
+//
+//   ./examples/heat_heartbeat --rows 96 --cols 64 --iters 60 --bands 4
+#include <cstdio>
+#include <memory>
+#include <tuple>
+
+#include "apar/apps/heat_band.hpp"
+#include "apar/common/config.hpp"
+#include "apar/common/stopwatch.hpp"
+#include "apar/strategies/heartbeat_aspect.hpp"
+
+namespace ac = apar::common;
+namespace aop = apar::aop;
+namespace st = apar::strategies;
+using apar::apps::HeatBand;
+
+using Heart = st::HeartbeatAspect<HeatBand, long long, long long, long long,
+                                  long long, double>;
+
+int main(int argc, char** argv) {
+  const ac::Config cli(argc, argv);
+  const long long rows = cli.get_int("rows", 96);
+  const long long cols = cli.get_int("cols", 64);
+  const int iters = static_cast<int>(cli.get_int("iters", 60));
+  const auto bands = static_cast<std::size_t>(cli.get_int("bands", 4));
+  const double ns_per_cell = cli.get_double("ns-per-cell", 1500.0);
+
+  std::printf("heat diffusion on a %lldx%lld grid, hot top edge, %d Jacobi "
+              "iterations\n\n",
+              rows, cols, iters);
+
+  // --- sequential core ----------------------------------------------------
+  ac::Stopwatch seq_watch;
+  HeatBand sequential(rows, cols, 0, rows, ns_per_cell);
+  sequential.run(iters);
+  const double seq_seconds = seq_watch.seconds();
+  std::printf("sequential core:     %.3f s   residual %.3e\n", seq_seconds,
+              sequential.residual());
+
+  // --- the same program with the heartbeat aspect plugged -----------------
+  aop::Context ctx;
+  Heart::Options opts;
+  opts.bands = bands;
+  opts.ctor_args =
+      [](std::size_t i, std::size_t k,
+         const std::tuple<long long, long long, long long, long long,
+                          double>& original) {
+        const auto [r, c, offset, total, ns] = original;
+        (void)offset;
+        const long long share = r / static_cast<long long>(k);
+        const long long extra = r % static_cast<long long>(k);
+        const long long my_rows =
+            share + (static_cast<long long>(i) < extra ? 1 : 0);
+        long long my_offset = 0;
+        for (std::size_t j = 0; j < i; ++j)
+          my_offset += share + (static_cast<long long>(j) < extra ? 1 : 0);
+        return std::make_tuple(my_rows, c, my_offset, total, ns);
+      };
+  auto heart = std::make_shared<Heart>(opts);
+  ctx.attach(heart);
+
+  ac::Stopwatch par_watch;
+  // Identical core lines — the aspect re-expresses them as k bands with
+  // halo exchanges between iterations.
+  auto band = ctx.create<HeatBand>(rows, cols, 0LL, rows, ns_per_cell);
+  ctx.call<&HeatBand::run>(band, iters);
+  ctx.quiesce();
+  const double par_seconds = par_watch.seconds();
+
+  std::printf("heartbeat, %zu bands: %.3f s   residual %.3e   speedup %.2fx\n",
+              bands, par_seconds, heart->residual(ctx),
+              seq_seconds / par_seconds);
+
+  // --- verify bit-exact agreement -----------------------------------------
+  std::vector<double> stitched;
+  for (auto& b : heart->bands()) {
+    const auto part = b.local()->snapshot();
+    stitched.insert(stitched.end(), part.begin(), part.end());
+  }
+  const bool exact = stitched == sequential.snapshot();
+  std::printf("bit-exact vs sequential core: %s\n", exact ? "yes" : "NO");
+
+  // A tiny visualisation of the temperature field (top-to-bottom decay).
+  std::printf("\ntemperature profile (middle column):\n");
+  for (long long r = 0; r < rows; r += rows / 8) {
+    const double v =
+        stitched[static_cast<std::size_t>(r * cols + cols / 2)];
+    const int width = static_cast<int>(v * 60);
+    std::printf("  row %3lld %6.3f |%.*s\n", r, v, width,
+                "############################################################");
+  }
+  return exact ? 0 : 1;
+}

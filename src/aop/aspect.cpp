@@ -1,0 +1,48 @@
+#include "apar/aop/aspect.hpp"
+
+#include <algorithm>
+
+namespace apar::aop {
+
+namespace detail {
+
+AspectStack& tls_aspect_stack() {
+  thread_local AspectStack stack;
+  return stack;
+}
+
+Frame::Frame(const Aspect* aspect) { tls_aspect_stack().push_back(aspect); }
+
+Frame::~Frame() { tls_aspect_stack().pop_back(); }
+
+StackRestore::StackRestore(AspectStack snapshot) {
+  saved_ = std::exchange(tls_aspect_stack(), std::move(snapshot));
+}
+
+StackRestore::~StackRestore() { tls_aspect_stack() = std::move(saved_); }
+
+bool advice_admitted(const AdviceBase& adv, const AspectStack& snapshot) {
+  return adv.owner()->enabled() && adv.scope().admits(snapshot);
+}
+
+}  // namespace detail
+
+bool Scope::admits(const std::vector<const Aspect*>& stack) const {
+  switch (mode_) {
+    case Mode::kAny:
+      return true;
+    case Mode::kCoreOnly:
+      return stack.empty();
+    case Mode::kWithin:
+      return std::any_of(stack.begin(), stack.end(), [&](const Aspect* a) {
+        return a->name() == name_;
+      });
+    case Mode::kNotWithin:
+      return std::none_of(stack.begin(), stack.end(), [&](const Aspect* a) {
+        return a->name() == name_;
+      });
+  }
+  return true;
+}
+
+}  // namespace apar::aop

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apar/aop/signature.hpp"
+
+namespace apar::aop {
+
+class Aspect;
+
+/// Canonical advice ordering used by the shipped parallelisation aspects.
+///
+/// This reproduces the weaving order implied by the paper's Figures 7 and
+/// 11: a core call is first *split* by the partition aspect, each resulting
+/// call is made *asynchronous* by the concurrency aspect, the thread then
+/// runs the partition's *forward/route* advice, the per-object *monitor* is
+/// taken, optimisations apply, and finally the *distribution* aspect either
+/// dispatches locally or redirects to the middleware. Lower values run
+/// further out (earlier).
+namespace order {
+inline constexpr int kPartitionSplit = 100;
+inline constexpr int kConcurrencyAsync = 200;
+inline constexpr int kPartitionForward = 300;  ///< forward / route / retarget
+inline constexpr int kConcurrencySync = 400;
+inline constexpr int kOptimisation = 450;
+inline constexpr int kDistribution = 500;
+inline constexpr int kDefault = 350;
+}  // namespace order
+
+/// Lexical-scope restriction on a pointcut — the AspectJ `within()` /
+/// `!within()` analogue the paper relies on: the partition's *split* advice
+/// only applies to calls made from core functionality (block 2), while its
+/// *forward* advice applies recursively to aspect-made calls too (block 3).
+class Scope {
+ public:
+  /// Applies to every call regardless of where it was initiated.
+  static Scope any() { return Scope(Mode::kAny, {}); }
+  /// Applies only to calls initiated outside any advice ("core code").
+  static Scope core_only() { return Scope(Mode::kCoreOnly, {}); }
+  /// Applies only when the named aspect is on the initiation stack.
+  static Scope within(std::string aspect_name) {
+    return Scope(Mode::kWithin, std::move(aspect_name));
+  }
+  /// Applies only when the named aspect is NOT on the initiation stack.
+  static Scope not_within(std::string aspect_name) {
+    return Scope(Mode::kNotWithin, std::move(aspect_name));
+  }
+
+  /// Evaluate against the aspect-frame stack active when the call started.
+  [[nodiscard]] bool admits(const std::vector<const Aspect*>& stack) const;
+
+ private:
+  enum class Mode { kAny, kCoreOnly, kWithin, kNotWithin };
+  Scope(Mode mode, std::string name) : mode_(mode), name_(std::move(name)) {}
+
+  Mode mode_;
+  std::string name_;
+};
+
+/// Type-erased advice record. Typed subclasses carry the actual functor;
+/// matching at a call site filters by (a) dynamic type of the invocation,
+/// (b) signature pattern, and — per invocation — (c) scope.
+class AdviceBase {
+ public:
+  AdviceBase(Aspect* owner, JoinPointKind kind, Pattern pattern, int order,
+             Scope scope)
+      : owner_(owner),
+        kind_(kind),
+        pattern_(std::move(pattern)),
+        order_(order),
+        scope_(std::move(scope)) {}
+  virtual ~AdviceBase() = default;
+
+  AdviceBase(const AdviceBase&) = delete;
+  AdviceBase& operator=(const AdviceBase&) = delete;
+
+  [[nodiscard]] Aspect* owner() const { return owner_; }
+  [[nodiscard]] JoinPointKind kind() const { return kind_; }
+  [[nodiscard]] const Pattern& pattern() const { return pattern_; }
+  [[nodiscard]] int order() const { return order_; }
+  [[nodiscard]] const Scope& scope() const { return scope_; }
+
+  [[nodiscard]] bool matches(const Signature& sig) const {
+    return kind_ == sig.kind && pattern_.matches(sig);
+  }
+
+ private:
+  Aspect* owner_;
+  JoinPointKind kind_;
+  Pattern pattern_;
+  int order_;
+  Scope scope_;
+};
+
+}  // namespace apar::aop

@@ -1,0 +1,22 @@
+#pragma once
+
+/// Umbrella header for the AspectPar AOP engine.
+///
+/// Core model (paper §3-§4):
+///  - a join point is an object creation (`Context::create<T>`) or a method
+///    call (`Context::call<&T::m>`);
+///  - a pointcut is a wildcard Pattern over "Class.method" signatures plus a
+///    lexical Scope (within / not-within / core-only);
+///  - advice is before/after/around code registered by an Aspect, with
+///    `proceed` available to around advice (multi-proceed = call split,
+///    retarget = call routing, continuation = asynchronous proceed);
+///  - weaving is performed by the Context, at run time, so aspects can be
+///    plugged and unplugged on the fly; a compile-time weaver
+///    (static_weave.hpp) covers the zero-overhead case.
+#include "apar/aop/advice.hpp"
+#include "apar/aop/aspect.hpp"
+#include "apar/aop/context.hpp"
+#include "apar/aop/invocation.hpp"
+#include "apar/aop/ref.hpp"
+#include "apar/aop/signature.hpp"
+#include "apar/aop/static_weave.hpp"

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apar/aop/invocation.hpp"
+
+namespace apar::aop {
+
+class Context;
+
+/// A modular crosscutting concern (paper §3): a named bundle of advice that
+/// can be attached to ("plugged"), detached from ("unplugged"), or disabled
+/// within a weaving Context — at any time, including while the application
+/// runs.
+///
+/// Concrete parallelisation aspects (partition, concurrency, distribution,
+/// optimisation — §4) subclass Aspect and register advice in their
+/// constructor; reusable abstract aspects (the paper's PipelineProtocol,
+/// Figure 9) are class templates over the core class they manage.
+class Aspect {
+ public:
+  explicit Aspect(std::string name) : name_(std::move(name)) {}
+  virtual ~Aspect() = default;
+
+  Aspect(const Aspect&) = delete;
+  Aspect& operator=(const Aspect&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Disabled aspects stay attached but their advice is skipped — a
+  /// lighter-weight unplug for debugging (paper §4.2).
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Lifecycle hooks.
+  virtual void on_attach(Context&) {}
+  virtual void on_detach(Context&) {}
+  /// Called by Context::quiesce() after the task group drained; aspects
+  /// with private work (queues, worker loops, pending sends) flush here.
+  virtual void on_quiesce(Context&) {}
+
+  /// All advice registered by this aspect, in registration order.
+  [[nodiscard]] const std::vector<std::unique_ptr<AdviceBase>>& advice()
+      const {
+    return advice_;
+  }
+
+  // --- registration API -----------------------------------------------
+
+  /// Around advice on method calls of shape R (T::*)(A...).
+  template <class T, class R, class... A>
+  void around_call(Pattern pattern, int order, Scope scope,
+                   typename CallAdvice<T, R, A...>::Fn fn) {
+    advice_.push_back(std::make_unique<CallAdvice<T, R, A...>>(
+        this, std::move(pattern), order, std::move(scope), std::move(fn)));
+  }
+
+  /// Around advice on a specific registered method; the pattern defaults to
+  /// the method's exact "Class.method" signature.
+  template <auto M, class Fn>
+  void around_method(int order, Scope scope, Fn fn) {
+    using Traits = detail::MemberFnTraits<decltype(M)>;
+    using T = typename Traits::Class;
+    register_for_tuple<T, typename Traits::Ret>(
+        std::type_identity<typename Traits::ArgsTuple>{},
+        Pattern(std::string(class_name_of<T>()),
+                std::string(method_name_of<M>())),
+        order, std::move(scope), std::move(fn));
+  }
+
+  /// Around advice on constructor calls T(A...) (decayed argument types).
+  template <class T, class... A>
+  void around_new(int order, Scope scope,
+                  typename CtorAdvice<T, A...>::Fn fn) {
+    advice_.push_back(std::make_unique<CtorAdvice<T, A...>>(
+        this, Pattern(std::string(class_name_of<T>()), "new"), order,
+        std::move(scope), std::move(fn)));
+  }
+
+  /// Before advice sugar: `fn(inv)` runs, then the call proceeds.
+  template <auto M, class Fn>
+  void before_method(int order, Scope scope, Fn fn) {
+    using Traits = detail::MemberFnTraits<decltype(M)>;
+    using R = typename Traits::Ret;
+    around_method<M>(order, std::move(scope), [fn](auto& inv) -> R {
+      fn(inv);
+      return inv.proceed();
+    });
+  }
+
+  /// After advice sugar: the call proceeds, then `fn(inv)` runs (only on
+  /// normal return — AspectJ's `after returning`).
+  template <auto M, class Fn>
+  void after_method(int order, Scope scope, Fn fn) {
+    using Traits = detail::MemberFnTraits<decltype(M)>;
+    using R = typename Traits::Ret;
+    around_method<M>(order, std::move(scope), [fn](auto& inv) -> R {
+      if constexpr (std::is_void_v<R>) {
+        inv.proceed();
+        fn(inv);
+      } else {
+        R result = inv.proceed();
+        fn(inv);
+        return result;
+      }
+    });
+  }
+
+ private:
+  template <class T, class R, class... A, class Fn>
+  void register_for_tuple(std::type_identity<std::tuple<A...>>,
+                          Pattern pattern, int order, Scope scope, Fn fn) {
+    around_call<T, R, A...>(std::move(pattern), order, std::move(scope),
+                            std::move(fn));
+  }
+
+  std::string name_;
+  std::atomic<bool> enabled_{true};
+  std::vector<std::unique_ptr<AdviceBase>> advice_;
+};
+
+/// RAII helper for aspect-owned threads (e.g. a dynamic farm's worker
+/// loops): marks the current thread as executing inside `aspect`, so that
+/// `within`/`core_only` scoping treats calls it makes as aspect-made, not
+/// core-made.
+class AspectFrame {
+ public:
+  explicit AspectFrame(const Aspect& aspect) : frame_(&aspect) {}
+
+ private:
+  detail::Frame frame_;
+};
+
+}  // namespace apar::aop

@@ -1,0 +1,296 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "apar/aop/advice.hpp"
+#include "apar/aop/ref.hpp"
+#include "apar/aop/signature.hpp"
+
+namespace apar::aop {
+
+class Context;
+class Aspect;
+
+namespace detail {
+
+/// Thread-local stack of aspect frames; the runtime realisation of the
+/// paper's `within()` pointcut scoping. Advice bodies run inside a Frame
+/// for their owning aspect; calls they make see that frame on the stack.
+using AspectStack = std::vector<const Aspect*>;
+using SnapshotPtr = std::shared_ptr<const AspectStack>;
+AspectStack& tls_aspect_stack();
+
+class Frame {
+ public:
+  explicit Frame(const Aspect* aspect);
+  ~Frame();
+  Frame(const Frame&) = delete;
+  Frame& operator=(const Frame&) = delete;
+};
+
+/// Replaces the current thread's stack with a snapshot (for detached
+/// continuations running on worker threads); restores on destruction.
+class StackRestore {
+ public:
+  explicit StackRestore(AspectStack snapshot);
+  ~StackRestore();
+  StackRestore(const StackRestore&) = delete;
+  StackRestore& operator=(const StackRestore&) = delete;
+
+ private:
+  AspectStack saved_;
+};
+
+/// Traits over a member-function pointer: R (C::*)(A...) [const].
+template <class M>
+struct MemberFnTraits;
+
+template <class C, class R, class... A>
+struct MemberFnTraits<R (C::*)(A...)> {
+  using Class = C;
+  using Ret = R;
+  using ArgsTuple = std::tuple<A...>;
+};
+
+template <class C, class R, class... A>
+struct MemberFnTraits<R (C::*)(A...) const> {
+  using Class = C;
+  using Ret = R;
+  using ArgsTuple = std::tuple<A...>;
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Method-call join points
+// ---------------------------------------------------------------------------
+
+template <class T, class R, class... A>
+class CallInvocation;
+
+/// Typed around-advice on method calls with shape R (T::*)(A...).
+template <class T, class R, class... A>
+class CallAdvice final : public AdviceBase {
+ public:
+  using Fn = std::function<R(CallInvocation<T, R, A...>&)>;
+
+  CallAdvice(Aspect* owner, Pattern pattern, int order, Scope scope, Fn fn)
+      : AdviceBase(owner, JoinPointKind::kMethodCall, std::move(pattern),
+                   order, std::move(scope)),
+        fn(std::move(fn)) {}
+
+  Fn fn;
+};
+
+namespace detail {
+/// Advice chain snapshot taken at call initiation. Holding the owning
+/// aspects keeps advice alive even if an aspect is detached mid-call.
+template <class AdvT>
+struct Chain {
+  std::vector<AdvT*> advice;  // sorted by ascending order value
+  std::vector<std::shared_ptr<Aspect>> keepalive;
+};
+
+bool advice_admitted(const AdviceBase& adv, const AspectStack& snapshot);
+}  // namespace detail
+
+/// The reified join point handed to method-call around advice.
+///
+/// Advice may:
+///   - `proceed()` — run the rest of the chain with the current target/args;
+///   - `proceed(newArgs...)` — run the rest of the chain with other
+///     arguments. Calling proceed more than once performs the paper's
+///     *method call split* (§4.1, Figure 5);
+///   - `retarget(ref)` — make subsequent proceeds hit a different object
+///     (the farm's worker-selection, §5.2);
+///   - `continuation()` — capture the rest of the chain as a heap closure
+///     with arguments copied by value, so the concurrency aspect can run it
+///     on another thread (the paper's `new Thread() { proceed(); }`);
+///   - return without proceeding — the call is replaced (distribution).
+template <class T, class R, class... A>
+class CallInvocation {
+ public:
+  using AdviceT = CallAdvice<T, R, A...>;
+  using ChainT = detail::Chain<AdviceT>;
+  using Terminal = std::function<R(Context&, Ref<T>&, A...)>;
+  using Snapshot = detail::SnapshotPtr;
+
+  CallInvocation(Context& ctx, Signature sig,
+                 std::shared_ptr<const ChainT> chain, std::size_t index,
+                 Ref<T> target, std::tuple<A...>& args,
+                 const Terminal& terminal, Snapshot snapshot)
+      : ctx_(ctx),
+        sig_(sig),
+        chain_(std::move(chain)),
+        index_(index),
+        target_(std::move(target)),
+        args_(&args),
+        terminal_(&terminal),
+        snapshot_(std::move(snapshot)) {}
+
+  [[nodiscard]] Context& context() const { return ctx_; }
+  [[nodiscard]] const Signature& signature() const { return sig_; }
+  [[nodiscard]] Ref<T>& target() { return target_; }
+  [[nodiscard]] std::tuple<A...>& args() { return *args_; }
+
+  /// Continue the chain with the current target and arguments.
+  R proceed() { return run(ctx_, sig_, chain_, index_ + 1, target_, *args_,
+                           *terminal_, snapshot_); }
+
+  /// Continue the chain with replacement arguments (may be called multiple
+  /// times — each call runs an independent downstream chain).
+  R proceed_with(A... new_args) {
+    std::tuple<A...> t(std::forward<A>(new_args)...);
+    return run(ctx_, sig_, chain_, index_ + 1, target_, t, *terminal_,
+               snapshot_);
+  }
+
+  /// Subsequent proceeds (and continuations) dispatch to `target` instead.
+  void retarget(Ref<T> target) { target_ = std::move(target); }
+
+  /// Capture the remainder of the chain as a runnable closure. Arguments
+  /// are copied by value (CP.31: pass small amounts of data between threads
+  /// by value); reference parameters bind to the copies.
+  [[nodiscard]] std::function<void()> continuation() {
+    static_assert(std::is_void_v<R>,
+                  "continuation() requires a void method; value-returning "
+                  "asynchronous calls go through Context::call_future");
+    auto args_copy =
+        std::make_shared<std::tuple<std::decay_t<A>...>>(*args_);
+    return [ctx = &ctx_, sig = sig_, chain = chain_, index = index_ + 1,
+            target = target_, terminal = *terminal_,
+            snapshot = snapshot_, args_copy]() mutable {
+      detail::StackRestore restore(*snapshot);
+      std::apply(
+          [&](auto&... vs) {
+            std::tuple<A...> view(vs...);
+            run(*ctx, sig, chain, index, target, view, terminal, snapshot);
+          },
+          *args_copy);
+    };
+  }
+
+  /// Entry point used by Context: walk the chain from `from`, skipping
+  /// disabled or out-of-scope advice, and fall through to the terminal.
+  static R run(Context& ctx, Signature sig,
+               const std::shared_ptr<const ChainT>& chain, std::size_t from,
+               Ref<T> target, std::tuple<A...>& args, const Terminal& terminal,
+               const Snapshot& snapshot) {
+    for (std::size_t i = from; i < chain->advice.size(); ++i) {
+      AdviceT* adv = chain->advice[i];
+      if (!detail::advice_admitted(*adv, *snapshot)) continue;
+      CallInvocation inv(ctx, sig, chain, i, std::move(target), args, terminal,
+                         snapshot);
+      detail::Frame frame(adv->owner());
+      return adv->fn(inv);
+    }
+    return std::apply(
+        [&](A... as) -> R {
+          return terminal(ctx, target, std::forward<A>(as)...);
+        },
+        args);
+  }
+
+ private:
+  Context& ctx_;
+  Signature sig_;
+  std::shared_ptr<const ChainT> chain_;
+  std::size_t index_;
+  Ref<T> target_;
+  std::tuple<A...>* args_;
+  const Terminal* terminal_;
+  Snapshot snapshot_;
+};
+
+// ---------------------------------------------------------------------------
+// Constructor-call join points
+// ---------------------------------------------------------------------------
+
+template <class T, class... A>
+class CtorInvocation;
+
+/// Typed around-advice on constructor calls `T(A...)` (argument types are
+/// the decayed types of the creation expression).
+template <class T, class... A>
+class CtorAdvice final : public AdviceBase {
+ public:
+  using Fn = std::function<Ref<T>(CtorInvocation<T, A...>&)>;
+
+  CtorAdvice(Aspect* owner, Pattern pattern, int order, Scope scope, Fn fn)
+      : AdviceBase(owner, JoinPointKind::kConstructorCall, std::move(pattern),
+                   order, std::move(scope)),
+        fn(std::move(fn)) {}
+
+  Fn fn;
+};
+
+/// The reified join point handed to constructor-call around advice.
+///
+/// `proceed()`/`proceed_with()` run the rest of the chain and yield a Ref.
+/// Calling proceed several times performs the paper's *object duplication*
+/// (§4.1, Figure 4): one creation in core functionality becomes a set of
+/// aspect-managed objects, each of which still flows through downstream
+/// aspects (notably distribution, which may place it on a remote node).
+template <class T, class... A>
+class CtorInvocation {
+ public:
+  using AdviceT = CtorAdvice<T, A...>;
+  using ChainT = detail::Chain<AdviceT>;
+  using Terminal = std::function<Ref<T>(Context&, A&...)>;
+  using Snapshot = detail::SnapshotPtr;
+
+  CtorInvocation(Context& ctx, Signature sig,
+                 std::shared_ptr<const ChainT> chain, std::size_t index,
+                 std::tuple<A...>& args, const Terminal& terminal,
+                 Snapshot snapshot)
+      : ctx_(ctx),
+        sig_(sig),
+        chain_(std::move(chain)),
+        index_(index),
+        args_(&args),
+        terminal_(&terminal),
+        snapshot_(std::move(snapshot)) {}
+
+  [[nodiscard]] Context& context() const { return ctx_; }
+  [[nodiscard]] const Signature& signature() const { return sig_; }
+  [[nodiscard]] std::tuple<A...>& args() { return *args_; }
+
+  Ref<T> proceed() {
+    return run(ctx_, sig_, chain_, index_ + 1, *args_, *terminal_, snapshot_);
+  }
+
+  Ref<T> proceed_with(A... new_args) {
+    std::tuple<A...> t(std::move(new_args)...);
+    return run(ctx_, sig_, chain_, index_ + 1, t, *terminal_, snapshot_);
+  }
+
+  static Ref<T> run(Context& ctx, Signature sig,
+                    const std::shared_ptr<const ChainT>& chain,
+                    std::size_t from, std::tuple<A...>& args,
+                    const Terminal& terminal, const Snapshot& snapshot) {
+    for (std::size_t i = from; i < chain->advice.size(); ++i) {
+      AdviceT* adv = chain->advice[i];
+      if (!detail::advice_admitted(*adv, *snapshot)) continue;
+      CtorInvocation inv(ctx, sig, chain, i, args, terminal, snapshot);
+      detail::Frame frame(adv->owner());
+      return adv->fn(inv);
+    }
+    return std::apply([&](A&... as) { return terminal(ctx, as...); }, args);
+  }
+
+ private:
+  Context& ctx_;
+  Signature sig_;
+  std::shared_ptr<const ChainT> chain_;
+  std::size_t index_;
+  std::tuple<A...>* args_;
+  const Terminal* terminal_;
+  Snapshot snapshot_;
+};
+
+}  // namespace apar::aop

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace apar::aop {
+
+/// Raised when a call reaches local dispatch on a remote reference — i.e.
+/// a distribution-managed object is used without the distribution aspect
+/// plugged in (or with it ordered after dispatch).
+class NotLocalError : public std::logic_error {
+ public:
+  explicit NotLocalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Opaque handle to a remotely-placed object. The aop layer never looks
+/// inside; the distribution aspect (strategies) and the cluster substrate
+/// agree on the concrete type via dynamic_cast.
+class RemoteBinding {
+ public:
+  virtual ~RemoteBinding() = default;
+  /// Human-readable placement, e.g. "node 3 / object 17".
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+namespace detail {
+template <class T>
+struct ObjectCell {
+  std::unique_ptr<T> local;
+  std::shared_ptr<RemoteBinding> remote;
+};
+}  // namespace detail
+
+/// Reference to an aspect-managed object (paper §4.1).
+///
+/// A Ref is what `Context::create<T>()` hands back to the client: it may
+/// denote a locally owned instance or — once the distribution aspect is
+/// plugged — an object living on a (simulated) remote node. Copying a Ref
+/// shares the underlying cell; the cell address doubles as the stable
+/// identity the concurrency aspect keys its per-object monitors on, so
+/// client-side synchronisation works uniformly for local and remote objects.
+template <class T>
+class Ref {
+ public:
+  Ref() = default;
+
+  static Ref make_local(std::unique_ptr<T> obj) {
+    Ref r;
+    r.cell_ = std::make_shared<detail::ObjectCell<T>>();
+    r.cell_->local = std::move(obj);
+    return r;
+  }
+
+  static Ref make_remote(std::shared_ptr<RemoteBinding> binding) {
+    Ref r;
+    r.cell_ = std::make_shared<detail::ObjectCell<T>>();
+    r.cell_->remote = std::move(binding);
+    return r;
+  }
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(cell_); }
+  explicit operator bool() const { return valid(); }
+
+  [[nodiscard]] bool is_local() const { return cell_ && cell_->local != nullptr; }
+  [[nodiscard]] bool is_remote() const {
+    return cell_ && cell_->remote != nullptr;
+  }
+
+  /// The locally owned instance, or nullptr for remote/invalid refs.
+  [[nodiscard]] T* local() const { return cell_ ? cell_->local.get() : nullptr; }
+
+  /// The locally owned instance; throws NotLocalError otherwise.
+  [[nodiscard]] T& local_or_throw() const {
+    if (T* p = local()) return *p;
+    throw NotLocalError("reference to " + describe() +
+                        " is not local (is the distribution aspect plugged "
+                        "and ordered before dispatch?)");
+  }
+
+  [[nodiscard]] std::shared_ptr<RemoteBinding> remote_binding() const {
+    return cell_ ? cell_->remote : nullptr;
+  }
+
+  /// Stable identity of the referenced object (shared by all copies of
+  /// this Ref); used as the monitor key by the concurrency aspect.
+  [[nodiscard]] const void* identity() const { return cell_.get(); }
+
+  friend bool operator==(const Ref& a, const Ref& b) {
+    return a.cell_ == b.cell_;
+  }
+
+  [[nodiscard]] std::string describe() const {
+    if (!cell_) return "<null ref>";
+    if (cell_->local) return "<local object>";
+    if (cell_->remote) return cell_->remote->describe();
+    return "<empty cell>";
+  }
+
+ private:
+  std::shared_ptr<detail::ObjectCell<T>> cell_;
+};
+
+}  // namespace apar::aop

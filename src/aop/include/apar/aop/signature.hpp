@@ -1,0 +1,95 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace apar::aop {
+
+/// Kind of join point (paper §3: object creations and method calls are the
+/// interceptable events).
+enum class JoinPointKind { kConstructorCall, kMethodCall };
+
+/// Identity of a join point: "Class.method" plus the kind. Constructor call
+/// join points use the method name "new", mirroring AspectJ's
+/// `Class.new(..)` pointcut syntax used throughout the paper.
+struct Signature {
+  std::string_view class_name;
+  std::string_view method_name;
+  JoinPointKind kind = JoinPointKind::kMethodCall;
+
+  [[nodiscard]] std::string str() const {
+    return std::string(class_name) + "." + std::string(method_name);
+  }
+
+  friend bool operator==(const Signature&, const Signature&) = default;
+};
+
+/// Wildcard pattern over signatures, e.g. "PrimeFilter.filter",
+/// "Point.move*", "*.filter", "*.*". The '*' wildcard matches any run of
+/// characters within one segment; segments are separated by the first '.'.
+class Pattern {
+ public:
+  /// Match-anything pattern.
+  Pattern() : class_pat_("*"), method_pat_("*") {}
+
+  /// Parse "ClassPat.MethodPat"; a pattern without '.' applies the whole
+  /// string to the class segment and matches any method.
+  explicit Pattern(std::string_view text);
+
+  Pattern(std::string class_pat, std::string method_pat)
+      : class_pat_(std::move(class_pat)), method_pat_(std::move(method_pat)) {}
+
+  [[nodiscard]] bool matches(const Signature& sig) const;
+
+  [[nodiscard]] const std::string& class_pattern() const { return class_pat_; }
+  [[nodiscard]] const std::string& method_pattern() const { return method_pat_; }
+  [[nodiscard]] std::string str() const { return class_pat_ + "." + method_pat_; }
+
+  /// Glob match with '*' only (exposed for testing).
+  static bool glob_match(std::string_view pattern, std::string_view text);
+
+ private:
+  std::string class_pat_;
+  std::string method_pat_;
+};
+
+/// Compile-time class-name trait. Core classes opt into weaving by
+/// specialising this (usually via APAR_CLASS_NAME), which is the C++
+/// analogue of the paper's design rule that core functionality must expose
+/// its join points deliberately.
+template <class T>
+struct ClassName {
+  static constexpr std::string_view value = "<unregistered>";
+};
+
+/// Compile-time method-name trait for a member-function pointer constant.
+template <auto M>
+struct MethodName {
+  static constexpr std::string_view value = "<unregistered>";
+};
+
+template <class T>
+constexpr std::string_view class_name_of() {
+  return ClassName<std::remove_cv_t<std::remove_reference_t<T>>>::value;
+}
+
+template <auto M>
+constexpr std::string_view method_name_of() {
+  return MethodName<M>::value;
+}
+
+}  // namespace apar::aop
+
+/// Register the weaving name of a class. Must appear at global scope.
+#define APAR_CLASS_NAME(TYPE, NAME)                  \
+  template <>                                        \
+  struct apar::aop::ClassName<TYPE> {                \
+    static constexpr std::string_view value = NAME;  \
+  }
+
+/// Register the weaving name of a method. Must appear at global scope.
+#define APAR_METHOD_NAME(METHOD, NAME)               \
+  template <>                                        \
+  struct apar::aop::MethodName<METHOD> {             \
+    static constexpr std::string_view value = NAME;  \
+  }

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace apar::aop::ct {
+
+/// Compile-time weaving — the AspectC++-style counterpart to the runtime
+/// Context. Used by the weaving-overhead ablation (bench/weaving_micro) to
+/// separate "cost of the aspect abstraction" from "cost of dynamic
+/// pluggability": a statically woven call chain inlines completely.
+///
+/// A *static aspect* is a type exposing:
+///
+///   struct Timing {
+///     template <class Next, class T, class... A>
+///     static auto around(Next&& next, T& obj, A&&... args) {
+///       ...;                                   // before
+///       auto r = next(std::forward<A>(args)...);  // proceed
+///       ...;                                   // after
+///       return r;
+///     }
+///   };
+///
+/// Aspects listed first are outermost, matching the runtime weaver's
+/// ascending-order convention.
+namespace detail {
+
+template <auto M, class T, class... Aspects>
+struct ChainRunner;
+
+template <auto M, class T>
+struct ChainRunner<M, T> {
+  template <class... A>
+  static decltype(auto) run(T& obj, A&&... args) {
+    return (obj.*M)(std::forward<A>(args)...);
+  }
+};
+
+template <auto M, class T, class First, class... Rest>
+struct ChainRunner<M, T, First, Rest...> {
+  template <class... A>
+  static decltype(auto) run(T& obj, A&&... args) {
+    auto next = [&obj](auto&&... as) -> decltype(auto) {
+      return ChainRunner<M, T, Rest...>::run(
+          obj, std::forward<decltype(as)>(as)...);
+    };
+    return First::around(next, obj, std::forward<A>(args)...);
+  }
+};
+
+}  // namespace detail
+
+/// An instance of T whose exposed calls are statically woven through the
+/// given aspects.
+template <class T, class... Aspects>
+class Woven {
+ public:
+  template <class... CtorArgs>
+  explicit Woven(CtorArgs&&... args) : obj_(std::forward<CtorArgs>(args)...) {}
+
+  [[nodiscard]] T& object() { return obj_; }
+  [[nodiscard]] const T& object() const { return obj_; }
+
+  /// Statically woven call of method M.
+  template <auto M, class... A>
+  decltype(auto) call(A&&... args) {
+    return detail::ChainRunner<M, T, Aspects...>::run(
+        obj_, std::forward<A>(args)...);
+  }
+
+ private:
+  T obj_;
+};
+
+/// Static crosscutting (paper §3, Figure 2): introduce members and base
+/// interfaces into a class without editing it. Each mixin is a CRTP
+/// template; `Introduce<Point, Migratable>` is a Point that additionally
+/// has every Migratable<...> member.
+template <class T, template <class> class... Mixins>
+struct Introduce final : T, Mixins<Introduce<T, Mixins...>>... {
+  using T::T;
+};
+
+}  // namespace apar::aop::ct

@@ -1,0 +1,45 @@
+#include "apar/aop/signature.hpp"
+
+namespace apar::aop {
+
+Pattern::Pattern(std::string_view text) {
+  const auto dot = text.find('.');
+  if (dot == std::string_view::npos) {
+    class_pat_ = std::string(text);
+    method_pat_ = "*";
+  } else {
+    class_pat_ = std::string(text.substr(0, dot));
+    method_pat_ = std::string(text.substr(dot + 1));
+  }
+  if (class_pat_.empty()) class_pat_ = "*";
+  if (method_pat_.empty()) method_pat_ = "*";
+}
+
+bool Pattern::matches(const Signature& sig) const {
+  return glob_match(class_pat_, sig.class_name) &&
+         glob_match(method_pat_, sig.method_name);
+}
+
+bool Pattern::glob_match(std::string_view pattern, std::string_view text) {
+  // Iterative '*' glob with backtracking (classic two-pointer algorithm).
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace apar::aop

@@ -1,0 +1,124 @@
+#include "apar/aop/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace apar::aop {
+
+void Tracer::record(TraceEvent event) {
+  std::lock_guard lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+}
+
+std::size_t Tracer::thread_count() const {
+  std::lock_guard lock(mutex_);
+  std::set<std::thread::id> threads;
+  for (const auto& e : events_) threads.insert(e.thread);
+  return threads.size();
+}
+
+std::size_t Tracer::calls(std::string_view signature) const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.phase == TraceEvent::Phase::kEnter && e.signature == signature)
+      ++n;
+  }
+  return n;
+}
+
+std::size_t Tracer::targets(std::string_view signature) const {
+  std::lock_guard lock(mutex_);
+  std::set<const void*> targets;
+  for (const auto& e : events_) {
+    if (e.signature == signature && e.target != nullptr)
+      targets.insert(e.target);
+  }
+  return targets.size();
+}
+
+std::string Tracer::interaction_diagram() const {
+  std::vector<TraceEvent> snapshot = events();
+  std::stable_sort(snapshot.begin(), snapshot.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.when < b.when;
+                   });
+  std::map<std::thread::id, std::size_t> thread_labels;
+  std::map<const void*, char> object_labels;
+  auto thread_label = [&](std::thread::id id) {
+    auto [it, inserted] = thread_labels.emplace(id, thread_labels.size() + 1);
+    (void)inserted;
+    return "T" + std::to_string(it->second);
+  };
+  auto object_label = [&](const void* target) -> std::string {
+    if (!target) return "-";
+    auto [it, inserted] = object_labels.emplace(
+        target, static_cast<char>('A' + (object_labels.size() % 26)));
+    (void)inserted;
+    return std::string(1, it->second);
+  };
+
+  std::ostringstream os;
+  os << "  t(us)  thread  obj  event\n";
+  const auto t0 = snapshot.empty()
+                      ? std::chrono::steady_clock::time_point{}
+                      : snapshot.front().when;
+  for (const auto& e : snapshot) {
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(e.when - t0)
+            .count();
+    const char* arrow = e.phase == TraceEvent::Phase::kEnter  ? "->"
+                        : e.phase == TraceEvent::Phase::kExit ? "<-"
+                                                              : "!!";
+    char line[160];
+    std::snprintf(line, sizeof line, "%7lld  %-6s  %-3s  %s %s\n",
+                  static_cast<long long>(us),
+                  thread_label(e.thread).c_str(),
+                  object_label(e.target).c_str(), arrow,
+                  e.signature.c_str());
+    os << line;
+  }
+  return os.str();
+}
+
+std::string Tracer::summary() const {
+  std::vector<TraceEvent> snapshot = events();
+  struct Counts {
+    std::size_t calls = 0;
+    std::set<const void*> targets;
+    std::set<std::thread::id> threads;
+  };
+  std::map<std::string, Counts> by_signature;
+  for (const auto& e : snapshot) {
+    auto& c = by_signature[e.signature];
+    if (e.phase == TraceEvent::Phase::kEnter) ++c.calls;
+    if (e.target) c.targets.insert(e.target);
+    c.threads.insert(e.thread);
+  }
+  std::ostringstream os;
+  for (const auto& [signature, c] : by_signature) {
+    os << "  " << signature << ": " << c.calls << " call(s) on "
+       << c.targets.size() << " object(s) from " << c.threads.size()
+       << " thread(s)\n";
+  }
+  return os.str();
+}
+
+}  // namespace apar::aop

@@ -1,0 +1,72 @@
+#include "apar/apps/heat_band.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace apar::apps {
+
+HeatBand::HeatBand(long long rows, long long cols, long long row_offset,
+                   long long total_rows, double ns_per_cell)
+    : rows_(rows),
+      cols_(cols),
+      offset_(row_offset),
+      total_rows_(total_rows),
+      ns_per_cell_(ns_per_cell),
+      cells_(static_cast<std::size_t>(rows * cols), 0.0),
+      next_(static_cast<std::size_t>(rows * cols), 0.0),
+      halo_above_(static_cast<std::size_t>(cols),
+                  row_offset == 0 ? 1.0 : 0.0),
+      halo_below_(static_cast<std::size_t>(cols), 0.0) {}
+
+double HeatBand::at(long long r, long long c) const {
+  // r in [-1, rows_]: -1 is the halo above, rows_ the halo below.
+  if (c < 0 || c >= cols_) return 0.0;  // side walls held at 0
+  if (r < 0) return halo_above_[static_cast<std::size_t>(c)];
+  if (r >= rows_) return halo_below_[static_cast<std::size_t>(c)];
+  return cells_[static_cast<std::size_t>(r * cols_ + c)];
+}
+
+void HeatBand::step() {
+  double max_delta = 0.0;
+  for (long long r = 0; r < rows_; ++r) {
+    for (long long c = 0; c < cols_; ++c) {
+      const double updated = 0.25 * (at(r - 1, c) + at(r + 1, c) +
+                                     at(r, c - 1) + at(r, c + 1));
+      const std::size_t idx = static_cast<std::size_t>(r * cols_ + c);
+      max_delta = std::max(max_delta, std::abs(updated - cells_[idx]));
+      next_[idx] = updated;
+    }
+  }
+  cells_.swap(next_);
+  residual_ = max_delta;
+  if (ns_per_cell_ > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::nano>(
+        ns_per_cell_ * static_cast<double>(rows_ * cols_)));
+  }
+}
+
+void HeatBand::run(int iterations) {
+  for (int i = 0; i < iterations; ++i) step();
+}
+
+std::vector<double> HeatBand::top_row() const {
+  return {cells_.begin(), cells_.begin() + static_cast<long long>(cols_)};
+}
+
+std::vector<double> HeatBand::bottom_row() const {
+  return {cells_.end() - static_cast<long long>(cols_), cells_.end()};
+}
+
+void HeatBand::set_halo_above(const std::vector<double>& row) {
+  halo_above_ = row;
+}
+
+void HeatBand::set_halo_below(const std::vector<double>& row) {
+  halo_below_ = row;
+}
+
+std::vector<double> HeatBand::snapshot() const { return cells_; }
+
+}  // namespace apar::apps

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apar/aop/signature.hpp"
+
+namespace apar::apps {
+
+/// Core functionality for the heartbeat case study: a horizontal band of a
+/// 2-D Jacobi heat-diffusion grid.
+///
+/// The global domain has `total_rows` interior rows; this band owns rows
+/// [row_offset, row_offset + rows). Boundary conditions: the global top
+/// edge is held at 1.0 (hot plate), every other edge at 0.0. A band on an
+/// interior seam exchanges its top/bottom rows with its neighbours through
+/// the halo setters — which is exactly what the HeartbeatAspect automates.
+///
+/// Sequentially (`run(n)`), a single band covering the whole domain is a
+/// complete solver; the heartbeat aspect re-expresses the same program as
+/// k bands with halo exchanges, without this class knowing.
+class HeatBand {
+ public:
+  HeatBand(long long rows, long long cols, long long row_offset,
+           long long total_rows, double ns_per_cell = 0.0);
+
+  /// One Jacobi sweep over the owned rows (using current halos).
+  void step();
+
+  /// Sequential driver: `iterations` sweeps.
+  void run(int iterations);
+
+  [[nodiscard]] std::vector<double> top_row() const;
+  [[nodiscard]] std::vector<double> bottom_row() const;
+  void set_halo_above(const std::vector<double>& row);
+  void set_halo_below(const std::vector<double>& row);
+
+  /// Max |delta| of the most recent step (0 before any step).
+  [[nodiscard]] double residual() const { return residual_; }
+
+  /// Owned data, row-major (testing / visualisation).
+  [[nodiscard]] std::vector<double> snapshot() const;
+
+  [[nodiscard]] long long rows() const { return rows_; }
+  [[nodiscard]] long long cols() const { return cols_; }
+  [[nodiscard]] long long row_offset() const { return offset_; }
+
+ private:
+  [[nodiscard]] double at(long long r, long long c) const;
+
+  long long rows_;
+  long long cols_;
+  long long offset_;
+  long long total_rows_;
+  double ns_per_cell_;
+  std::vector<double> cells_;   // rows_ x cols_
+  std::vector<double> next_;    // scratch (shared across calls: not thread safe)
+  std::vector<double> halo_above_;
+  std::vector<double> halo_below_;
+  double residual_ = 0.0;
+};
+
+}  // namespace apar::apps
+
+APAR_CLASS_NAME(apar::apps::HeatBand, "HeatBand");
+APAR_METHOD_NAME(&apar::apps::HeatBand::step, "step");
+APAR_METHOD_NAME(&apar::apps::HeatBand::run, "run");
+APAR_METHOD_NAME(&apar::apps::HeatBand::top_row, "top_row");
+APAR_METHOD_NAME(&apar::apps::HeatBand::bottom_row, "bottom_row");
+APAR_METHOD_NAME(&apar::apps::HeatBand::set_halo_above, "set_halo_above");
+APAR_METHOD_NAME(&apar::apps::HeatBand::set_halo_below, "set_halo_below");
+APAR_METHOD_NAME(&apar::apps::HeatBand::residual, "residual");
+APAR_METHOD_NAME(&apar::apps::HeatBand::snapshot, "snapshot");

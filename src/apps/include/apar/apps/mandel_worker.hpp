@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apar/aop/signature.hpp"
+
+namespace apar::apps {
+
+/// Core functionality for the farm-imbalance study: renders rows of the
+/// Mandelbrot set. Rows crossing the set's interior need orders of
+/// magnitude more iterations than edge rows — the classic skewed workload
+/// where a dynamic farm beats static round-robin routing.
+///
+/// Satisfies the Stage concept with E = long long (row indices): process()
+/// renders the rows in the pack and retains their indices as results;
+/// per-row work is visible through iterations().
+class MandelWorker {
+ public:
+  MandelWorker(long long width, long long height, long long max_iter,
+               double ns_per_iter = 0.0);
+
+  /// Render the rows in `pack` (indices into [0, height)); the pack is
+  /// left unchanged — rendering has no data dependencies between stages.
+  void filter(std::vector<long long>& pack);
+
+  /// Render and retain the row indices as results.
+  void process(std::vector<long long>& pack);
+
+  void collect(const std::vector<long long>& pack);
+  std::vector<long long> take_results();
+
+  /// Total escape-time iterations performed by this worker — the load
+  /// metric benches report per worker.
+  [[nodiscard]] std::uint64_t iterations() const { return iterations_; }
+
+  /// Deterministic checksum over every pixel this worker rendered
+  /// (order-independent); lets tests compare parallel against sequential.
+  [[nodiscard]] std::uint64_t checksum() const { return checksum_; }
+
+ private:
+  [[nodiscard]] int escape_iterations(double re, double im) const;
+
+  long long width_;
+  long long height_;
+  long long max_iter_;
+  double ns_per_iter_;
+  std::uint64_t iterations_ = 0;
+  std::uint64_t checksum_ = 0;
+  std::vector<long long> done_;
+};
+
+}  // namespace apar::apps
+
+APAR_CLASS_NAME(apar::apps::MandelWorker, "MandelWorker");
+APAR_METHOD_NAME(&apar::apps::MandelWorker::filter, "filter");
+APAR_METHOD_NAME(&apar::apps::MandelWorker::process, "process");
+APAR_METHOD_NAME(&apar::apps::MandelWorker::collect, "collect");
+APAR_METHOD_NAME(&apar::apps::MandelWorker::take_results, "take_results");
+APAR_METHOD_NAME(&apar::apps::MandelWorker::iterations, "iterations");
+APAR_METHOD_NAME(&apar::apps::MandelWorker::checksum, "checksum");

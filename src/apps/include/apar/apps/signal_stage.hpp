@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apar/aop/signature.hpp"
+
+namespace apar::apps {
+
+/// Transform kinds a SignalStage can apply, combinable as a bitmask. The
+/// order of application is fixed (gain, then clip, then quantize), so a
+/// pipeline whose stage i applies bit i computes exactly what one stage
+/// with the full mask computes — the property that makes the sequential
+/// core and the woven pipeline bit-identical.
+namespace signal {
+inline constexpr long long kGain = 1;      ///< samples *= 3
+inline constexpr long long kClip = 2;      ///< clamp to [-1000, 1000]
+inline constexpr long long kQuantize = 4;  ///< round to multiples of 8
+inline constexpr long long kAll = kGain | kClip | kQuantize;
+}  // namespace signal
+
+/// Core functionality for the pipeline-reuse study: a stage of a signal
+/// processing chain over packs of integer samples. The same
+/// PipelineAspect that drives the prime sieve drives this class — the
+/// paper's claim that "moving from a parallel application to another using
+/// the same parallelisation strategy is performed by copying the
+/// parallelisation aspects" (§7).
+class SignalStage {
+ public:
+  explicit SignalStage(long long mask, double ns_per_sample = 0.0);
+
+  /// Apply this stage's transforms to the pack in place.
+  void filter(std::vector<long long>& pack);
+
+  /// Full sequential semantics: transform and retain.
+  void process(std::vector<long long>& pack);
+
+  void collect(const std::vector<long long>& pack);
+  std::vector<long long> take_results();
+
+  [[nodiscard]] long long mask() const { return mask_; }
+
+ private:
+  long long mask_;
+  double ns_per_sample_;
+  std::vector<long long> out_;
+};
+
+}  // namespace apar::apps
+
+APAR_CLASS_NAME(apar::apps::SignalStage, "SignalStage");
+APAR_METHOD_NAME(&apar::apps::SignalStage::filter, "filter");
+APAR_METHOD_NAME(&apar::apps::SignalStage::process, "process");
+APAR_METHOD_NAME(&apar::apps::SignalStage::collect, "collect");
+APAR_METHOD_NAME(&apar::apps::SignalStage::take_results, "take_results");

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apar/aop/signature.hpp"
+
+namespace apar::apps {
+
+/// Core functionality for the divide-and-conquer strategy: a merge-sort
+/// solver. `solve` sorts a problem sequentially; the problem algebra
+/// (should_split / split / merge) is what the DivideAndConquerAspect uses
+/// to re-express the same call as a parallel recursion tree.
+class SortSolver {
+ public:
+  explicit SortSolver(long long split_threshold = 1024,
+                      double ns_per_element = 0.0);
+
+  /// Sequentially sort (a copy of) the problem.
+  [[nodiscard]] std::vector<long long> solve(
+      const std::vector<long long>& problem);
+
+  /// Worth splitting? (strictly larger than the threshold)
+  [[nodiscard]] bool should_split(const std::vector<long long>& p) const;
+
+  /// Halve the problem (two sub-problems, order preserved).
+  [[nodiscard]] std::vector<std::vector<long long>> split(
+      const std::vector<long long>& p) const;
+
+  /// Merge two sorted runs into one sorted run.
+  [[nodiscard]] std::vector<long long> merge(
+      const std::vector<long long>& a, const std::vector<long long>& b) const;
+
+  [[nodiscard]] std::uint64_t elements_sorted() const {
+    return elements_sorted_;
+  }
+
+ private:
+  long long split_threshold_;
+  double ns_per_element_;
+  std::uint64_t elements_sorted_ = 0;
+};
+
+}  // namespace apar::apps
+
+APAR_CLASS_NAME(apar::apps::SortSolver, "SortSolver");
+APAR_METHOD_NAME(&apar::apps::SortSolver::solve, "solve");
+APAR_METHOD_NAME(&apar::apps::SortSolver::merge, "merge");

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apar/aop/signature.hpp"
+
+namespace apar::apps {
+
+/// Normalisation steps a WordCounter applies, combinable as a bitmask with
+/// a fixed application order (lowercase, then strip punctuation, then drop
+/// short tokens) — so a pipeline whose stage i applies bit i computes
+/// exactly what one stage with the full mask computes.
+namespace wc {
+inline constexpr long long kLowercase = 1;
+inline constexpr long long kStripPunct = 2;
+inline constexpr long long kDropShort = 4;  ///< drop tokens shorter than 3
+inline constexpr long long kAll = kLowercase | kStripPunct | kDropShort;
+}  // namespace wc
+
+/// Core functionality for a text-processing workload: normalises packs of
+/// tokens and counts them. A Stage<std::string>, so the very same
+/// pipeline/farm aspects that drive the prime sieve drive it — with
+/// std::string elements crossing the simulated wire instead of integers.
+class WordCounter {
+ public:
+  explicit WordCounter(long long mask = wc::kAll, double ns_per_token = 0.0);
+
+  /// Apply this stage's normalisations to the pack in place. Tokens
+  /// dropped by kDropShort are removed from the pack (like the sieve's
+  /// composites).
+  void filter(std::vector<std::string>& pack);
+
+  /// Full sequential semantics: normalise with every step, then retain
+  /// and count the surviving tokens.
+  void process(std::vector<std::string>& pack);
+
+  /// Retain and count already fully-normalised tokens.
+  void collect(const std::vector<std::string>& pack);
+
+  /// Move the retained tokens out.
+  std::vector<std::string> take_results();
+
+  /// Occurrence counts of every retained token (kept across
+  /// take_results; reflects everything this instance counted).
+  [[nodiscard]] std::map<std::string, long long> counts() const;
+
+  [[nodiscard]] long long mask() const { return mask_; }
+  [[nodiscard]] std::uint64_t tokens_seen() const { return tokens_seen_; }
+
+ private:
+  long long mask_;
+  double ns_per_token_;
+  std::vector<std::string> retained_;
+  std::map<std::string, long long> counts_;
+  std::uint64_t tokens_seen_ = 0;
+};
+
+}  // namespace apar::apps
+
+APAR_CLASS_NAME(apar::apps::WordCounter, "WordCounter");
+APAR_METHOD_NAME(&apar::apps::WordCounter::filter, "filter");
+APAR_METHOD_NAME(&apar::apps::WordCounter::process, "process");
+APAR_METHOD_NAME(&apar::apps::WordCounter::collect, "collect");
+APAR_METHOD_NAME(&apar::apps::WordCounter::take_results, "take_results");
+APAR_METHOD_NAME(&apar::apps::WordCounter::counts, "counts");

@@ -1,0 +1,69 @@
+#include "apar/apps/mandel_worker.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace apar::apps {
+
+MandelWorker::MandelWorker(long long width, long long height,
+                           long long max_iter, double ns_per_iter)
+    : width_(width),
+      height_(height),
+      max_iter_(max_iter),
+      ns_per_iter_(ns_per_iter) {}
+
+int MandelWorker::escape_iterations(double re, double im) const {
+  double x = 0.0, y = 0.0;
+  int iter = 0;
+  while (x * x + y * y <= 4.0 && iter < max_iter_) {
+    const double nx = x * x - y * y + re;
+    y = 2.0 * x * y + im;
+    x = nx;
+    ++iter;
+  }
+  return iter;
+}
+
+void MandelWorker::filter(std::vector<long long>& pack) {
+  std::uint64_t work = 0;
+  for (const long long row : pack) {
+    if (row < 0 || row >= height_) continue;
+    const double im = -1.2 + 2.4 * static_cast<double>(row) /
+                                 static_cast<double>(height_ - 1);
+    for (long long col = 0; col < width_; ++col) {
+      const double re = -2.0 + 3.0 * static_cast<double>(col) /
+                                   static_cast<double>(width_ - 1);
+      const int iters = escape_iterations(re, im);
+      work += static_cast<std::uint64_t>(iters);
+      // Order-independent pixel checksum (commutative sum of mixed terms).
+      std::uint64_t pixel = static_cast<std::uint64_t>(row) * 0x9e3779b1u +
+                            static_cast<std::uint64_t>(col) * 0x85ebca77u +
+                            static_cast<std::uint64_t>(iters);
+      pixel *= 0xc2b2ae3d27d4eb4fULL;
+      pixel ^= pixel >> 29;
+      checksum_ += pixel;
+    }
+  }
+  iterations_ += work;
+  if (ns_per_iter_ > 0.0 && work > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::nano>(
+        ns_per_iter_ * static_cast<double>(work)));
+  }
+}
+
+void MandelWorker::process(std::vector<long long>& pack) {
+  filter(pack);
+  collect(pack);
+}
+
+void MandelWorker::collect(const std::vector<long long>& pack) {
+  done_.insert(done_.end(), pack.begin(), pack.end());
+}
+
+std::vector<long long> MandelWorker::take_results() {
+  std::vector<long long> out;
+  out.swap(done_);
+  return out;
+}
+
+}  // namespace apar::apps

@@ -1,0 +1,39 @@
+#include "apar/apps/signal_stage.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace apar::apps {
+
+SignalStage::SignalStage(long long mask, double ns_per_sample)
+    : mask_(mask), ns_per_sample_(ns_per_sample) {}
+
+void SignalStage::filter(std::vector<long long>& pack) {
+  for (long long& sample : pack) {
+    if (mask_ & signal::kGain) sample *= 3;
+    if (mask_ & signal::kClip) sample = std::clamp(sample, -1000LL, 1000LL);
+    if (mask_ & signal::kQuantize) sample = (sample / 8) * 8;
+  }
+  if (ns_per_sample_ > 0.0 && !pack.empty()) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::nano>(
+        ns_per_sample_ * static_cast<double>(pack.size())));
+  }
+}
+
+void SignalStage::process(std::vector<long long>& pack) {
+  filter(pack);
+  collect(pack);
+}
+
+void SignalStage::collect(const std::vector<long long>& pack) {
+  out_.insert(out_.end(), pack.begin(), pack.end());
+}
+
+std::vector<long long> SignalStage::take_results() {
+  std::vector<long long> out;
+  out.swap(out_);
+  return out;
+}
+
+}  // namespace apar::apps

@@ -1,0 +1,44 @@
+#include "apar/apps/sort_solver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace apar::apps {
+
+SortSolver::SortSolver(long long split_threshold, double ns_per_element)
+    : split_threshold_(split_threshold < 1 ? 1 : split_threshold),
+      ns_per_element_(ns_per_element) {}
+
+std::vector<long long> SortSolver::solve(
+    const std::vector<long long>& problem) {
+  std::vector<long long> sorted = problem;
+  std::sort(sorted.begin(), sorted.end());
+  elements_sorted_ += sorted.size();
+  if (ns_per_element_ > 0.0 && !sorted.empty()) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::nano>(
+        ns_per_element_ * static_cast<double>(sorted.size())));
+  }
+  return sorted;
+}
+
+bool SortSolver::should_split(const std::vector<long long>& p) const {
+  return static_cast<long long>(p.size()) > split_threshold_;
+}
+
+std::vector<std::vector<long long>> SortSolver::split(
+    const std::vector<long long>& p) const {
+  const auto mid = p.begin() + static_cast<long>(p.size() / 2);
+  return {{p.begin(), mid}, {mid, p.end()}};
+}
+
+std::vector<long long> SortSolver::merge(
+    const std::vector<long long>& a, const std::vector<long long>& b) const {
+  std::vector<long long> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(),
+             std::back_inserter(out));
+  return out;
+}
+
+}  // namespace apar::apps

@@ -1,0 +1,63 @@
+#include "apar/apps/word_counter.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <thread>
+
+namespace apar::apps {
+
+WordCounter::WordCounter(long long mask, double ns_per_token)
+    : mask_(mask), ns_per_token_(ns_per_token) {}
+
+void WordCounter::filter(std::vector<std::string>& pack) {
+  tokens_seen_ += pack.size();
+  for (auto& token : pack) {
+    if (mask_ & wc::kLowercase) {
+      std::transform(token.begin(), token.end(), token.begin(),
+                     [](unsigned char c) {
+                       return static_cast<char>(std::tolower(c));
+                     });
+    }
+    if (mask_ & wc::kStripPunct) {
+      token.erase(std::remove_if(token.begin(), token.end(),
+                                 [](unsigned char c) {
+                                   return std::ispunct(c) != 0;
+                                 }),
+                  token.end());
+    }
+  }
+  if (mask_ & wc::kDropShort) {
+    pack.erase(std::remove_if(pack.begin(), pack.end(),
+                              [](const std::string& t) {
+                                return t.size() < 3;
+                              }),
+               pack.end());
+  }
+  if (ns_per_token_ > 0.0 && !pack.empty()) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::nano>(
+        ns_per_token_ * static_cast<double>(pack.size())));
+  }
+}
+
+void WordCounter::process(std::vector<std::string>& pack) {
+  filter(pack);
+  collect(pack);
+}
+
+void WordCounter::collect(const std::vector<std::string>& pack) {
+  for (const auto& token : pack) ++counts_[token];
+  retained_.insert(retained_.end(), pack.begin(), pack.end());
+}
+
+std::vector<std::string> WordCounter::take_results() {
+  std::vector<std::string> out;
+  out.swap(retained_);
+  return out;
+}
+
+std::map<std::string, long long> WordCounter::counts() const {
+  return counts_;
+}
+
+}  // namespace apar::apps

@@ -1,0 +1,51 @@
+#include "apar/cluster/cluster.hpp"
+
+namespace apar::cluster {
+
+Cluster::Cluster(Options options) {
+  if (options.nodes == 0) options.nodes = 1;
+  nodes_.reserve(options.nodes);
+  for (std::size_t i = 0; i < options.nodes; ++i)
+    nodes_.push_back(std::make_unique<Node>(*this, static_cast<NodeId>(i),
+                                            registry_,
+                                            options.executors_per_node));
+}
+
+Cluster::~Cluster() { shutdown(); }
+
+bool Cluster::route(Message msg) {
+  return nodes_.at(msg.dst)->deliver(std::move(msg));
+}
+
+void Cluster::one_way_started() {
+  std::lock_guard lock(pending_mutex_);
+  ++pending_;
+}
+
+void Cluster::one_way_finished(std::string error) {
+  std::lock_guard lock(pending_mutex_);
+  if (!error.empty() && first_error_.empty()) first_error_ = std::move(error);
+  if (--pending_ == 0) pending_cv_.notify_all();
+}
+
+std::size_t Cluster::one_way_pending() const {
+  std::lock_guard lock(pending_mutex_);
+  return pending_;
+}
+
+void Cluster::drain() {
+  std::unique_lock lock(pending_mutex_);
+  pending_cv_.wait(lock, [&] { return pending_ == 0; });
+  if (!first_error_.empty()) {
+    std::string error;
+    error.swap(first_error_);
+    lock.unlock();
+    throw rpc::RpcError("one-way call failed: " + error);
+  }
+}
+
+void Cluster::shutdown() {
+  for (auto& node : nodes_) node->shutdown();
+}
+
+}  // namespace apar::cluster

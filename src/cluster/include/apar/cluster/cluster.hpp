@@ -1,0 +1,73 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "apar/cluster/cost_model.hpp"
+#include "apar/cluster/ids.hpp"
+#include "apar/cluster/name_server.hpp"
+#include "apar/cluster/node.hpp"
+#include "apar/cluster/rpc.hpp"
+
+namespace apar::cluster {
+
+/// The simulated distributed machine: N nodes, a name server, and a shared
+/// RPC registry. Substitutes the paper's 7-machine Gigabit cluster; see
+/// DESIGN.md ("Substitutions") for why relative timing shapes survive.
+class Cluster {
+ public:
+  struct Options {
+    std::size_t nodes = 7;           ///< paper: seven dedicated machines
+    std::size_t executors_per_node = 4;  ///< dual Xeon with HyperThreading
+  };
+
+  Cluster() : Cluster(Options{}) {}
+  explicit Cluster(Options options);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] rpc::Registry& registry() { return registry_; }
+  [[nodiscard]] const rpc::Registry& registry() const { return registry_; }
+  [[nodiscard]] NameServer& name_server() { return name_server_; }
+
+  /// Route a message to its destination node.
+  bool route(Message msg);
+
+  // --- one-way completion tracking ---------------------------------------
+
+  /// Called by middleware before a one-way send.
+  void one_way_started();
+  /// Called by a node executor after a one-way request finished.
+  void one_way_finished(std::string error = {});
+
+  /// Outstanding one-way requests (sent but not yet executed).
+  [[nodiscard]] std::size_t one_way_pending() const;
+
+  /// Block until every one-way request has executed; rethrows the first
+  /// one-way error as rpc::RpcError.
+  void drain();
+
+  /// Stop all nodes (drains mailboxes first).
+  void shutdown();
+
+ private:
+  rpc::Registry registry_;
+  NameServer name_server_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+
+  mutable std::mutex pending_mutex_;
+  std::condition_variable pending_cv_;
+  std::size_t pending_ = 0;
+  std::string first_error_;
+};
+
+}  // namespace apar::cluster

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace apar::cluster {
+
+/// Index of a simulated compute node within its Cluster.
+using NodeId = std::uint32_t;
+
+/// Per-node object-table index of a remotely created object.
+using ObjectId = std::uint64_t;
+
+/// Correlates a request with its reply (diagnostics only — replies travel
+/// on per-call promises in this in-process simulation).
+using CallId = std::uint64_t;
+
+/// Location of a remote object: which node, which slot.
+struct RemoteHandle {
+  NodeId node = 0;
+  ObjectId object = 0;
+
+  friend bool operator==(const RemoteHandle&, const RemoteHandle&) = default;
+
+  [[nodiscard]] std::string str() const {
+    return "node " + std::to_string(node) + " / object " +
+           std::to_string(object);
+  }
+};
+
+}  // namespace apar::cluster

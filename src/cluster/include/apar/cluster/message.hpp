@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apar/cluster/ids.hpp"
+#include "apar/concurrency/future.hpp"
+#include "apar/serial/archive.hpp"
+
+namespace apar::cluster {
+
+/// Reply to a create/call request. `error` is empty on success.
+struct Reply {
+  ObjectId object = 0;              ///< create: the new object's id
+  std::vector<std::byte> payload;   ///< call: copy-restored args + result
+  std::string error;
+};
+
+/// A simulated wire message. Payloads are genuinely serialized with the
+/// middleware's wire format; only the reply channel is an in-process
+/// promise (the simulation's stand-in for a response socket).
+struct Message {
+  enum class Kind { kCreate, kCall, kOneWay };
+
+  Kind kind = Kind::kCall;
+  NodeId src = 0;
+  NodeId dst = 0;
+  CallId call_id = 0;
+  std::string class_name;  ///< kCreate: class to instantiate
+  ObjectId object = 0;     ///< kCall/kOneWay: target object
+  std::string method;      ///< kCall/kOneWay: method name
+  std::vector<std::byte> payload;
+  serial::Format format = serial::Format::kCompact;
+  /// Wire cost (latency + bytes) charged on the receiving node before the
+  /// request executes.
+  double deliver_cost_us = 0.0;
+  /// Where the reply goes; null for one-way sends.
+  std::shared_ptr<concurrency::Promise<Reply>> reply_to;
+};
+
+}  // namespace apar::cluster

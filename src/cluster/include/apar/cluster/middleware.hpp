@@ -1,0 +1,211 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apar/cluster/cluster.hpp"
+#include "apar/cluster/cost_model.hpp"
+#include "apar/cluster/ids.hpp"
+#include "apar/serial/archive.hpp"
+
+namespace apar::cluster {
+
+/// Traffic counters, maintained by every middleware implementation.
+struct MiddlewareStats {
+  std::atomic<std::uint64_t> creates{0};
+  std::atomic<std::uint64_t> sync_calls{0};
+  std::atomic<std::uint64_t> one_way_calls{0};
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> bytes_received{0};
+  std::atomic<std::uint64_t> lookups{0};
+};
+
+/// Client-side middleware interface — the seam that lets the distribution
+/// aspect "switch among underlying middleware implementations ... such as
+/// CORBA, Java RMI and MPI" (paper §4.3) without touching partition or
+/// concurrency code.
+class Middleware {
+ public:
+  virtual ~Middleware() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual serial::Format wire_format() const = 0;
+  /// True if void calls may be sent without waiting for a reply.
+  [[nodiscard]] virtual bool supports_one_way() const = 0;
+
+  /// Create an instance of a registered class on `node` from marshalled
+  /// constructor arguments; blocks until the object exists.
+  virtual RemoteHandle create(NodeId node, std::string_view class_name,
+                              std::vector<std::byte> ctor_args) = 0;
+
+  /// Synchronous request/reply call. The reply payload carries the
+  /// copy-restored (possibly mutated) arguments followed by the result.
+  virtual std::vector<std::byte> invoke(const RemoteHandle& target,
+                                        std::string_view method,
+                                        std::vector<std::byte> args) = 0;
+
+  /// Fire-and-forget call; completion is observable via Cluster::drain().
+  /// Middlewares without one-way support degrade to invoke().
+  virtual void invoke_one_way(const RemoteHandle& target,
+                              std::string_view method,
+                              std::vector<std::byte> args) = 0;
+
+  /// Charged name-server lookup (the RMI registry round-trip).
+  virtual std::optional<RemoteHandle> lookup(std::string_view name) = 0;
+
+  [[nodiscard]] virtual const MiddlewareStats& stats() const = 0;
+  [[nodiscard]] virtual const CostModel& costs() const = 0;
+
+  /// Which middleware actually carries calls to `method` ("new" for
+  /// creations). Plain middlewares return themselves; a hybrid returns one
+  /// of its backends. Callers must encode arguments with the ROUTED
+  /// middleware's wire format.
+  [[nodiscard]] virtual Middleware& route_for(std::string_view method) {
+    (void)method;
+    return *this;
+  }
+};
+
+/// Shared implementation over the simulated Cluster; concrete middlewares
+/// differ only in cost model, wire format and one-way capability.
+class SimMiddleware : public Middleware {
+ public:
+  SimMiddleware(Cluster& cluster, CostModel costs, serial::Format format,
+                bool one_way, std::string_view name)
+      : cluster_(cluster),
+        costs_(costs),
+        format_(format),
+        one_way_(one_way),
+        name_(name) {}
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] serial::Format wire_format() const override { return format_; }
+  [[nodiscard]] bool supports_one_way() const override { return one_way_; }
+
+  RemoteHandle create(NodeId node, std::string_view class_name,
+                      std::vector<std::byte> ctor_args) override;
+  std::vector<std::byte> invoke(const RemoteHandle& target,
+                                std::string_view method,
+                                std::vector<std::byte> args) override;
+  void invoke_one_way(const RemoteHandle& target, std::string_view method,
+                      std::vector<std::byte> args) override;
+  std::optional<RemoteHandle> lookup(std::string_view name) override;
+
+  [[nodiscard]] const MiddlewareStats& stats() const override {
+    return stats_;
+  }
+  [[nodiscard]] const CostModel& costs() const override { return costs_; }
+
+  [[nodiscard]] Cluster& cluster() { return cluster_; }
+
+ private:
+  Reply send_and_wait(Message msg);
+
+  /// The client machine's network link is a shared serial resource: every
+  /// request and reply byte crosses it, one message at a time. This is
+  /// what keeps a client-woven pipeline from scaling (paper §6: "each
+  /// message must cross all pipeline elements") — latency overlaps across
+  /// threads, but link occupancy does not.
+  void charge_client_link(std::size_t bytes);
+
+  /// Per-call client-side setup: connection handshake plus request
+  /// marshalling, also serialized on the client (it is CPU + link work).
+  void charge_client_setup(std::size_t bytes);
+
+  std::mutex link_mutex_;
+  Cluster& cluster_;
+  CostModel costs_;
+  serial::Format format_;
+  bool one_way_;
+  std::string_view name_;
+  MiddlewareStats stats_;
+};
+
+/// Java-RMI-like middleware: per-call handshake, verbose self-describing
+/// marshalling, registry lookups, strictly synchronous request/reply.
+class RmiMiddleware final : public SimMiddleware {
+ public:
+  explicit RmiMiddleware(Cluster& cluster, CostModel costs = CostModel::rmi())
+      : SimMiddleware(cluster, costs, serial::Format::kVerbose,
+                      /*one_way=*/false, "RMI") {}
+};
+
+/// MPP-like middleware (java.nio message passing): persistent channels,
+/// compact frames, one-way sends.
+class MppMiddleware final : public SimMiddleware {
+ public:
+  explicit MppMiddleware(Cluster& cluster, CostModel costs = CostModel::mpp())
+      : SimMiddleware(cluster, costs, serial::Format::kCompact,
+                      /*one_way=*/true, "MPP") {}
+};
+
+/// Hybrid middleware (paper §5.3: "it is also possible to develop a hybrid
+/// implementation, using MPP and RMI ... using MPI for performance
+/// critical parts, and Java RMI in the remainder parts").
+///
+/// Calls to the registered fast-path methods travel over `fast` (MPP);
+/// everything else — creations, result gathering, control traffic — over
+/// `control` (RMI). Both backends keep their own statistics.
+class HybridMiddleware final : public Middleware {
+ public:
+  HybridMiddleware(Middleware& control, Middleware& fast,
+                   std::vector<std::string> fast_methods)
+      : control_(control), fast_(fast) {
+    for (auto& m : fast_methods) fast_methods_.insert(std::move(m));
+    name_ = "Hybrid(" + std::string(control_.name()) + "+" +
+            std::string(fast_.name()) + ")";
+  }
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] serial::Format wire_format() const override {
+    return control_.wire_format();
+  }
+  [[nodiscard]] bool supports_one_way() const override {
+    return control_.supports_one_way();
+  }
+
+  Middleware& route_for(std::string_view method) override {
+    return fast_methods_.count(method) != 0 ? fast_ : control_;
+  }
+
+  RemoteHandle create(NodeId node, std::string_view class_name,
+                      std::vector<std::byte> ctor_args) override {
+    return control_.create(node, class_name, std::move(ctor_args));
+  }
+  std::vector<std::byte> invoke(const RemoteHandle& target,
+                                std::string_view method,
+                                std::vector<std::byte> args) override {
+    return route_for(method).invoke(target, method, std::move(args));
+  }
+  void invoke_one_way(const RemoteHandle& target, std::string_view method,
+                      std::vector<std::byte> args) override {
+    route_for(method).invoke_one_way(target, method, std::move(args));
+  }
+  std::optional<RemoteHandle> lookup(std::string_view name) override {
+    return control_.lookup(name);
+  }
+
+  [[nodiscard]] const MiddlewareStats& stats() const override {
+    return control_.stats();
+  }
+  [[nodiscard]] const CostModel& costs() const override {
+    return control_.costs();
+  }
+
+  [[nodiscard]] Middleware& control() { return control_; }
+  [[nodiscard]] Middleware& fast() { return fast_; }
+
+ private:
+  Middleware& control_;
+  Middleware& fast_;
+  std::set<std::string, std::less<>> fast_methods_;
+  std::string name_;
+};
+
+}  // namespace apar::cluster

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apar/cluster/ids.hpp"
+
+namespace apar::cluster {
+
+/// The RMI registry analogue (paper §5.3, modification 2/3): remote
+/// instances are registered under generated names ("PS1", "PS2", ...) and
+/// clients bind to them by name.
+class NameServer {
+ public:
+  /// Register `handle` under `name`; re-registering a name rebinds it.
+  void bind(std::string name, RemoteHandle handle);
+
+  /// Look up a name; nullopt if unbound. (The middleware charges its
+  /// lookup cost before calling this.)
+  [[nodiscard]] std::optional<RemoteHandle> lookup(std::string_view name) const;
+
+  void unbind(std::string_view name);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, RemoteHandle, std::less<>> bindings_;
+};
+
+}  // namespace apar::cluster

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "apar/cluster/ids.hpp"
+#include "apar/cluster/message.hpp"
+#include "apar/cluster/rpc.hpp"
+#include "apar/concurrency/sync_registry.hpp"
+#include "apar/concurrency/work_queue.hpp"
+
+namespace apar::cluster {
+
+class Cluster;
+
+/// One simulated compute node: a mailbox, a small executor pool (default 4,
+/// matching the paper's dual-Xeon-with-HyperThreading machines), and an
+/// object table holding remotely created instances.
+///
+/// Executors charge each message's wire cost before dispatching it, and
+/// take a per-object monitor during execution — mirroring the paper's MPP
+/// server loop (Figure 15), which serves each object from a single receive
+/// loop and therefore never runs two calls on one object concurrently.
+class Node {
+ public:
+  Node(Cluster& cluster, NodeId id, const rpc::Registry& registry,
+       std::size_t executors);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+
+  /// Enqueue a message for this node. Returns false if the node stopped.
+  bool deliver(Message msg);
+
+  /// Number of objects in the table (diagnostic).
+  [[nodiscard]] std::size_t object_count() const;
+
+  /// Direct access to a hosted object (test/diagnostic use; the object
+  /// stays owned by the node).
+  [[nodiscard]] std::shared_ptr<void> object(ObjectId id) const;
+
+  /// Stop accepting messages and join executors (drains the mailbox).
+  void shutdown();
+
+  /// Crash the node: queued requests are dropped with an error reply (or a
+  /// one-way failure recorded with the cluster), executors stop, and
+  /// further deliveries are refused. Used by the fault-injection tests and
+  /// the failover aspect's scenarios.
+  void crash();
+
+  [[nodiscard]] bool crashed() const {
+    return crashed_.load(std::memory_order_relaxed);
+  }
+
+  // --- statistics ---------------------------------------------------------
+  [[nodiscard]] std::uint64_t executed_calls() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void executor_loop();
+  void handle(Message& msg);
+  void handle_create(Message& msg);
+  void handle_call(Message& msg);
+
+  struct Entry {
+    std::shared_ptr<void> instance;
+    const rpc::ClassEntry* cls = nullptr;
+  };
+
+  Cluster& cluster_;
+  NodeId id_;
+  const rpc::Registry& registry_;
+
+  concurrency::WorkQueue<Message> mailbox_;
+  std::vector<std::thread> executors_;
+
+  mutable std::mutex table_mutex_;
+  std::map<ObjectId, Entry> table_;
+  std::atomic<ObjectId> next_object_{1};
+
+  concurrency::SyncRegistry monitors_;
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> crashed_{false};
+};
+
+}  // namespace apar::cluster

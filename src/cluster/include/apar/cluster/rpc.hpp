@@ -1,0 +1,165 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "apar/serial/archive.hpp"
+
+namespace apar::cluster::rpc {
+
+/// Raised on unknown classes/methods or argument decoding failures.
+class RpcError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Type-erased server-side dispatch table for one distributable class:
+/// how to construct an instance from marshalled arguments and how to invoke
+/// each exposed method. This is the C++ analogue of the interface+skeleton
+/// plumbing Java RMI generates — here it is explicit, tiny, and owned by
+/// the distribution layer, so core classes remain middleware-free (paper
+/// §4.3, code modifications 1-2 localized in one module).
+struct ClassEntry {
+  std::string name;
+  /// Construct an instance from marshalled ctor args.
+  std::function<std::shared_ptr<void>(serial::Reader&)> construct;
+
+  struct MethodEntry {
+    std::string name;
+    /// Invoke on a type-erased instance; args come from `in`, the result
+    /// (if any) is appended to `out`.
+    std::function<void(void* object, serial::Reader& in, serial::Writer& out)>
+        invoke;
+  };
+  std::map<std::string, MethodEntry, std::less<>> methods;
+
+  [[nodiscard]] const MethodEntry& method(std::string_view method_name) const {
+    auto it = methods.find(method_name);
+    if (it == methods.end())
+      throw RpcError("unknown method '" + std::string(method_name) +
+                     "' on class '" + name + "'");
+    return it->second;
+  }
+};
+
+class Registry;
+
+/// Fluent registration helper returned by Registry::bind<T>().
+template <class T>
+class ClassBinder {
+ public:
+  ClassBinder(ClassEntry& entry) : entry_(entry) {}
+
+  /// Expose a constructor T(A...); exactly one per class.
+  template <class... A>
+  ClassBinder& ctor() {
+    entry_.construct = [](serial::Reader& in) -> std::shared_ptr<void> {
+      std::tuple<std::decay_t<A>...> args{};
+      std::apply([&](auto&... a) { (in.value(a), ...); }, args);
+      return std::apply(
+          [](auto&... a) { return std::make_shared<T>(std::move(a)...); },
+          args);
+    };
+    return *this;
+  }
+
+  /// Expose method M under `name`.
+  template <auto M>
+  ClassBinder& method(std::string name) {
+    using Traits = MethodTraits<decltype(M)>;
+    static_assert(std::is_same_v<typename Traits::Class, T>,
+                  "method does not belong to the bound class");
+    entry_.methods[name] = ClassEntry::MethodEntry{
+        name, make_invoker<M>(typename Traits::ArgsTuple{})};
+    return *this;
+  }
+
+ private:
+  template <class F>
+  struct MethodTraits;
+  template <class C, class R, class... A>
+  struct MethodTraits<R (C::*)(A...)> {
+    using Class = C;
+    using Ret = R;
+    struct ArgsTuple {
+      using Decayed = std::tuple<std::decay_t<A>...>;
+      using Exact = std::tuple<A...>;
+    };
+  };
+  template <class C, class R, class... A>
+  struct MethodTraits<R (C::*)(A...) const> {
+    using Class = C;
+    using Ret = R;
+    struct ArgsTuple {
+      using Decayed = std::tuple<std::decay_t<A>...>;
+      using Exact = std::tuple<A...>;
+    };
+  };
+
+  template <auto M, class ArgsTag>
+  static std::function<void(void*, serial::Reader&, serial::Writer&)>
+  make_invoker(ArgsTag) {
+    using Traits = MethodTraits<decltype(M)>;
+    using R = typename Traits::Ret;
+    using Decayed = typename ArgsTag::Decayed;
+    return [](void* object, serial::Reader& in, serial::Writer& out) {
+      Decayed args{};
+      std::apply([&](auto&... a) { (in.value(a), ...); }, args);
+      T* self = static_cast<T*>(object);
+      if constexpr (std::is_void_v<R>) {
+        std::apply([&](auto&... a) { (self->*M)(a...); }, args);
+        // Mutated reference parameters travel back in the reply so the
+        // caller can observe in-place updates (RMI-like copy-restore).
+        std::apply([&](const auto&... a) { (out.value(a), ...); }, args);
+      } else {
+        R result =
+            std::apply([&](auto&... a) { return (self->*M)(a...); }, args);
+        std::apply([&](const auto&... a) { (out.value(a), ...); }, args);
+        out.value(result);
+      }
+    };
+  }
+
+  ClassEntry& entry_;
+};
+
+/// Registry of distributable classes — the dispatch side of the simulated
+/// middleware. Bind every class you intend to place on remote nodes:
+///
+///   registry.bind<PrimeFilter>("PrimeFilter")
+///       .ctor<long long, long long>()
+///       .method<&PrimeFilter::filter>("filter");
+class Registry {
+ public:
+  template <class T>
+  ClassBinder<T> bind(std::string name) {
+    ClassEntry& entry = entries_[name];
+    entry.name = std::move(name);
+    return ClassBinder<T>(entry);
+  }
+
+  [[nodiscard]] const ClassEntry& find(std::string_view class_name) const {
+    auto it = entries_.find(class_name);
+    if (it == entries_.end())
+      throw RpcError("unknown class '" + std::string(class_name) + "'");
+    return it->second;
+  }
+
+  [[nodiscard]] bool contains(std::string_view class_name) const {
+    return entries_.find(class_name) != entries_.end();
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, ClassEntry, std::less<>> entries_;
+};
+
+}  // namespace apar::cluster::rpc

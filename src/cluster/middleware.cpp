@@ -1,0 +1,110 @@
+#include "apar/cluster/middleware.hpp"
+
+namespace apar::cluster {
+
+void SimMiddleware::charge_client_link(std::size_t bytes) {
+  const double us = costs_.per_kb_us * (static_cast<double>(bytes) / 1024.0);
+  if (us <= 0.0) return;
+  std::lock_guard lock(link_mutex_);
+  charge_us(us);
+}
+
+void SimMiddleware::charge_client_setup(std::size_t bytes) {
+  // Connection setup and marshalling are client-CPU work: they serialize
+  // with each other and with link occupancy no matter how many caller
+  // threads exist. This is what keeps the client-woven RMI pipeline flat
+  // in Figure 17 — 16x the messages of the farm, all squeezed through one
+  // client.
+  const double us =
+      costs_.handshake_us +
+      costs_.per_kb_us * (static_cast<double>(bytes) / 1024.0);
+  if (us <= 0.0) return;
+  std::lock_guard lock(link_mutex_);
+  charge_us(us);
+}
+
+Reply SimMiddleware::send_and_wait(Message msg) {
+  auto promise = std::make_shared<concurrency::Promise<Reply>>();
+  auto future = promise->future();
+  msg.reply_to = promise;
+  const std::size_t bytes = msg.payload.size();
+  if (!cluster_.route(std::move(msg)))
+    throw rpc::RpcError("destination node is shut down");
+  Reply reply = future.get();
+  // Reply bytes cross the client link too; latency is charged on the
+  // waiting client thread (it overlaps across threads, occupancy doesn't).
+  charge_client_link(reply.payload.size());
+  charge_us(costs_.latency_us);
+  stats_.bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+  stats_.bytes_received.fetch_add(reply.payload.size(),
+                                  std::memory_order_relaxed);
+  if (!reply.error.empty()) throw rpc::RpcError(reply.error);
+  return reply;
+}
+
+RemoteHandle SimMiddleware::create(NodeId node, std::string_view class_name,
+                                   std::vector<std::byte> ctor_args) {
+  charge_client_setup(ctor_args.size());
+  Message msg;
+  msg.kind = Message::Kind::kCreate;
+  msg.dst = node;
+  msg.class_name = std::string(class_name);
+  msg.format = format_;
+  msg.deliver_cost_us = costs_.latency_us;
+  msg.payload = std::move(ctor_args);
+  stats_.creates.fetch_add(1, std::memory_order_relaxed);
+  const Reply reply = send_and_wait(std::move(msg));
+  return RemoteHandle{node, reply.object};
+}
+
+std::vector<std::byte> SimMiddleware::invoke(const RemoteHandle& target,
+                                             std::string_view method,
+                                             std::vector<std::byte> args) {
+  charge_client_setup(args.size());
+  Message msg;
+  msg.kind = Message::Kind::kCall;
+  msg.dst = target.node;
+  msg.object = target.object;
+  msg.method = std::string(method);
+  msg.format = format_;
+  msg.deliver_cost_us = costs_.latency_us;
+  msg.payload = std::move(args);
+  stats_.sync_calls.fetch_add(1, std::memory_order_relaxed);
+  return send_and_wait(std::move(msg)).payload;
+}
+
+void SimMiddleware::invoke_one_way(const RemoteHandle& target,
+                                   std::string_view method,
+                                   std::vector<std::byte> args) {
+  if (!one_way_) {
+    // RMI has no fire-and-forget: degrade to a synchronous call and drop
+    // the reply — exactly what a void remote method does in Java RMI.
+    invoke(target, method, std::move(args));
+    return;
+  }
+  charge_client_setup(args.size());
+  Message msg;
+  msg.kind = Message::Kind::kOneWay;
+  msg.dst = target.node;
+  msg.object = target.object;
+  msg.method = std::string(method);
+  msg.format = format_;
+  msg.deliver_cost_us = costs_.latency_us;
+  stats_.one_way_calls.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_sent.fetch_add(args.size(), std::memory_order_relaxed);
+  msg.payload = std::move(args);
+  cluster_.one_way_started();
+  if (!cluster_.route(std::move(msg))) {
+    // Record the failure; it surfaces (and rethrows) at the next drain(),
+    // like any other asynchronous one-way error.
+    cluster_.one_way_finished("destination node is shut down");
+  }
+}
+
+std::optional<RemoteHandle> SimMiddleware::lookup(std::string_view name) {
+  charge_us(costs_.lookup_us);
+  stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+  return cluster_.name_server().lookup(name);
+}
+
+}  // namespace apar::cluster

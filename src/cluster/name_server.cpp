@@ -1,0 +1,36 @@
+#include "apar/cluster/name_server.hpp"
+
+namespace apar::cluster {
+
+void NameServer::bind(std::string name, RemoteHandle handle) {
+  std::lock_guard lock(mutex_);
+  bindings_[std::move(name)] = handle;
+}
+
+std::optional<RemoteHandle> NameServer::lookup(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  auto it = bindings_.find(name);
+  if (it == bindings_.end()) return std::nullopt;
+  return it->second;
+}
+
+void NameServer::unbind(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = bindings_.find(name);
+  if (it != bindings_.end()) bindings_.erase(it);
+}
+
+std::size_t NameServer::size() const {
+  std::lock_guard lock(mutex_);
+  return bindings_.size();
+}
+
+std::vector<std::string> NameServer::names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(bindings_.size());
+  for (const auto& [name, handle] : bindings_) out.push_back(name);
+  return out;
+}
+
+}  // namespace apar::cluster

@@ -1,0 +1,131 @@
+#include "apar/cluster/node.hpp"
+
+#include "apar/cluster/cluster.hpp"
+#include "apar/common/log.hpp"
+
+namespace apar::cluster {
+
+Node::Node(Cluster& cluster, NodeId id, const rpc::Registry& registry,
+           std::size_t executors)
+    : cluster_(cluster), id_(id), registry_(registry) {
+  if (executors == 0) executors = 1;
+  executors_.reserve(executors);
+  for (std::size_t i = 0; i < executors; ++i)
+    executors_.emplace_back([this] { executor_loop(); });
+}
+
+Node::~Node() { shutdown(); }
+
+bool Node::deliver(Message msg) { return mailbox_.push(std::move(msg)); }
+
+std::size_t Node::object_count() const {
+  std::lock_guard lock(table_mutex_);
+  return table_.size();
+}
+
+std::shared_ptr<void> Node::object(ObjectId id) const {
+  std::lock_guard lock(table_mutex_);
+  auto it = table_.find(id);
+  return it == table_.end() ? nullptr : it->second.instance;
+}
+
+void Node::shutdown() {
+  if (stopped_.exchange(true)) return;
+  mailbox_.close();
+  for (auto& t : executors_) t.join();
+  executors_.clear();
+}
+
+void Node::crash() {
+  crashed_.store(true, std::memory_order_relaxed);
+  if (stopped_.exchange(true)) return;
+  auto dropped = mailbox_.close_now();
+  for (auto& t : executors_) t.join();
+  executors_.clear();
+  // Fail every request that was still queued; silence would deadlock
+  // waiting clients and Cluster::drain().
+  for (auto& msg : dropped) {
+    if (msg.reply_to) {
+      Reply reply;
+      reply.error = "node " + std::to_string(id_) + " crashed";
+      msg.reply_to->set_value(std::move(reply));
+    } else {
+      cluster_.one_way_finished("node " + std::to_string(id_) + " crashed");
+    }
+  }
+}
+
+void Node::executor_loop() {
+  while (auto msg = mailbox_.pop()) {
+    charge_us(msg->deliver_cost_us);
+    handle(*msg);
+  }
+}
+
+void Node::handle(Message& msg) {
+  try {
+    if (msg.kind == Message::Kind::kCreate) {
+      handle_create(msg);
+    } else {
+      handle_call(msg);
+    }
+  } catch (const std::exception& e) {
+    APAR_DEBUG("cluster") << "node " << id_ << " request failed: "
+                          << e.what();
+    if (msg.reply_to) {
+      Reply reply;
+      reply.error = e.what();
+      msg.reply_to->set_value(std::move(reply));
+    } else {
+      cluster_.one_way_finished(e.what());
+    }
+  }
+}
+
+void Node::handle_create(Message& msg) {
+  const rpc::ClassEntry& cls = registry_.find(msg.class_name);
+  serial::Reader in(msg.payload, msg.format);
+  std::shared_ptr<void> instance = cls.construct(in);
+  const ObjectId oid = next_object_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(table_mutex_);
+    table_[oid] = Entry{std::move(instance), &cls};
+  }
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  Reply reply;
+  reply.object = oid;
+  msg.reply_to->set_value(std::move(reply));
+}
+
+void Node::handle_call(Message& msg) {
+  Entry entry;
+  {
+    std::lock_guard lock(table_mutex_);
+    auto it = table_.find(msg.object);
+    if (it == table_.end())
+      throw rpc::RpcError("node " + std::to_string(id_) + ": no object " +
+                          std::to_string(msg.object));
+    entry = it->second;
+  }
+  const auto& method = entry.cls->method(msg.method);
+
+  serial::Reader in(msg.payload, msg.format);
+  serial::Writer out(msg.format);
+  {
+    // Per-object monitor: one call at a time per hosted object, like the
+    // paper's single-threaded MPP server loop per object.
+    auto guard = monitors_.acquire(entry.instance.get());
+    method.invoke(entry.instance.get(), in, out);
+  }
+  executed_.fetch_add(1, std::memory_order_relaxed);
+
+  if (msg.reply_to) {
+    Reply reply;
+    reply.payload = out.take();
+    msg.reply_to->set_value(std::move(reply));
+  } else {
+    cluster_.one_way_finished();
+  }
+}
+
+}  // namespace apar::cluster

@@ -1,0 +1,15 @@
+// rpc.hpp is header-only; this anchor forces an instantiation under the
+// library's warning flags.
+#include "apar/cluster/rpc.hpp"
+
+namespace apar::cluster::rpc {
+namespace {
+struct Probe {
+  int triple(int x) { return 3 * x; }
+};
+[[maybe_unused]] void instantiation_anchor() {
+  Registry reg;
+  reg.bind<Probe>("Probe").ctor<>().method<&Probe::triple>("triple");
+}
+}  // namespace
+}  // namespace apar::cluster::rpc

@@ -1,0 +1,74 @@
+#include "apar/common/config.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace apar::common {
+
+Config::Config(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      values_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[std::string(arg)] = argv[++i];
+    } else {
+      values_[std::string(arg)] = "true";
+    }
+  }
+}
+
+std::optional<std::string> Config::lookup(std::string_view key) const {
+  if (auto it = values_.find(key); it != values_.end()) return it->second;
+  std::string env = "APAR_";
+  for (char c : key)
+    env += c == '-' ? '_' : static_cast<char>(std::toupper(
+                                static_cast<unsigned char>(c)));
+  if (const char* v = std::getenv(env.c_str())) return std::string(v);
+  return std::nullopt;
+}
+
+bool Config::has(std::string_view key) const {
+  return lookup(key).has_value();
+}
+
+std::string Config::get(std::string_view key, std::string_view fallback) const {
+  if (auto v = lookup(key)) return *v;
+  return std::string(fallback);
+}
+
+long long Config::get_int(std::string_view key, long long fallback) const {
+  if (auto v = lookup(key)) {
+    char* end = nullptr;
+    const long long parsed = std::strtoll(v->c_str(), &end, 10);
+    if (end != v->c_str()) return parsed;
+  }
+  return fallback;
+}
+
+double Config::get_double(std::string_view key, double fallback) const {
+  if (auto v = lookup(key)) {
+    char* end = nullptr;
+    const double parsed = std::strtod(v->c_str(), &end);
+    if (end != v->c_str()) return parsed;
+  }
+  return fallback;
+}
+
+bool Config::get_bool(std::string_view key, bool fallback) const {
+  if (auto v = lookup(key)) {
+    return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+  }
+  return fallback;
+}
+
+void Config::set(std::string key, std::string value) {
+  values_[std::move(key)] = std::move(value);
+}
+
+}  // namespace apar::common

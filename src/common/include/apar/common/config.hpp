@@ -1,0 +1,47 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace apar::common {
+
+/// Minimal command-line / environment option parser shared by the example
+/// binaries and the bench harnesses.
+///
+/// Recognised syntax: `--key value`, `--key=value`, bare `--flag` (value
+/// "true"), and positional arguments. Lookups fall back to the environment
+/// variable `APAR_<KEY>` (upper-cased, '-' → '_') so bench sweeps can be
+/// re-parameterised without editing code.
+class Config {
+ public:
+  Config() = default;
+  Config(int argc, const char* const* argv);
+
+  /// True if the key was given on the command line or via the environment.
+  [[nodiscard]] bool has(std::string_view key) const;
+
+  [[nodiscard]] std::string get(std::string_view key,
+                                std::string_view fallback = "") const;
+  [[nodiscard]] long long get_int(std::string_view key,
+                                  long long fallback) const;
+  [[nodiscard]] double get_double(std::string_view key, double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view key, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Inject/override a value programmatically (tests).
+  void set(std::string key, std::string value);
+
+ private:
+  [[nodiscard]] std::optional<std::string> lookup(std::string_view key) const;
+
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace apar::common

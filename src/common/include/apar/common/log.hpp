@@ -1,0 +1,59 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace apar::common {
+
+/// Log severity, lowest to highest.
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide minimum severity; messages below it are dropped before
+/// formatting. Defaults to kWarn so library internals stay quiet in benches.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parse "trace"/"debug"/"info"/"warn"/"error"/"off"; unknown → kWarn.
+LogLevel parse_log_level(std::string_view name);
+
+namespace detail {
+void log_sink(LogLevel level, std::string_view component, std::string_view msg);
+}
+
+/// Streaming log statement builder; flushes to the sink on destruction.
+///
+///   LogLine(LogLevel::kInfo, "cluster") << "node " << id << " up";
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component), enabled_(level >= log_level()) {}
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  ~LogLine() {
+    if (enabled_) detail::log_sink(level_, component_, os_.str());
+  }
+
+  template <class T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  bool enabled_;
+  std::ostringstream os_;
+};
+
+#define APAR_LOG(level, component) ::apar::common::LogLine(level, component)
+#define APAR_TRACE(component) APAR_LOG(::apar::common::LogLevel::kTrace, component)
+#define APAR_DEBUG(component) APAR_LOG(::apar::common::LogLevel::kDebug, component)
+#define APAR_INFO(component) APAR_LOG(::apar::common::LogLevel::kInfo, component)
+#define APAR_WARN(component) APAR_LOG(::apar::common::LogLevel::kWarn, component)
+#define APAR_ERROR(component) APAR_LOG(::apar::common::LogLevel::kError, component)
+
+}  // namespace apar::common

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace apar::common {
+
+/// Summary statistics over a sample of measurements.
+///
+/// The paper reports the *median of five executions*; every figure harness in
+/// bench/ funnels its repetitions through this type so the aggregation policy
+/// is identical everywhere.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+};
+
+/// Compute summary statistics. An empty sample yields a zeroed Summary.
+Summary summarize(std::vector<double> sample);
+
+/// Median of a sample (by copy; the input is not modified by the caller's
+/// view). An empty sample yields 0.
+double median(std::vector<double> sample);
+
+/// Percentile in [0,100] using linear interpolation between closest ranks.
+double percentile(std::vector<double> sample, double pct);
+
+/// Online mean/variance accumulator (Welford). Useful when a bench loop does
+/// not want to keep every observation.
+class Accumulator {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Sample variance; 0 when fewer than two observations.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace apar::common

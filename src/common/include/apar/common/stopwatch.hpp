@@ -1,0 +1,43 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace apar::common {
+
+/// Monotonic wall-clock stopwatch.
+///
+/// All benchmark harnesses in this project time with Stopwatch so that the
+/// measurement policy (steady_clock, double seconds) is defined in one place.
+class Stopwatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restart the stopwatch at the current instant.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+  /// Microseconds elapsed since construction or the last reset().
+  [[nodiscard]] double micros() const { return seconds() * 1e6; }
+
+  /// Nanoseconds elapsed since construction or the last reset().
+  [[nodiscard]] std::int64_t nanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  clock::time_point start_;
+};
+
+}  // namespace apar::common

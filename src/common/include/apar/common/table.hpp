@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace apar::common {
+
+/// Plain-text table printer used by the figure/table reproduction benches to
+/// emit the same rows/series the paper reports.
+///
+/// Columns are sized to the widest cell; numbers should be pre-formatted by
+/// the caller (see fmt_seconds / fmt_ratio below for the house style).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row. Rows shorter than the header are padded with empty
+  /// cells; longer rows extend the column count.
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const;
+
+  /// Render with aligned columns, a header underline, and `indent` leading
+  /// spaces on every line.
+  [[nodiscard]] std::string str(int indent = 0) const;
+
+  /// Render as comma-separated values (no alignment), e.g. for plotting.
+  [[nodiscard]] std::string csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format seconds with 4 significant digits, e.g. "3.142".
+std::string fmt_seconds(double s);
+
+/// Format milliseconds, e.g. "12.34 ms".
+std::string fmt_millis(double ms);
+
+/// Format a ratio as a percentage delta, e.g. "+4.2%".
+std::string fmt_ratio(double ratio);
+
+/// Format a count with thousands separators, e.g. "10,000,000".
+std::string fmt_count(long long n);
+
+}  // namespace apar::common

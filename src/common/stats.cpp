@@ -1,0 +1,64 @@
+#include "apar/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apar::common {
+
+double median(std::vector<double> sample) {
+  if (sample.empty()) return 0.0;
+  const std::size_t mid = sample.size() / 2;
+  std::nth_element(sample.begin(), sample.begin() + mid, sample.end());
+  const double hi = sample[mid];
+  if (sample.size() % 2 == 1) return hi;
+  const double lo = *std::max_element(sample.begin(), sample.begin() + mid);
+  return 0.5 * (lo + hi);
+}
+
+double percentile(std::vector<double> sample, double pct) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  if (pct <= 0.0) return sample.front();
+  if (pct >= 100.0) return sample.back();
+  const double rank = pct / 100.0 * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sample.size()) return sample.back();
+  return sample[lo] * (1.0 - frac) + sample[lo + 1] * frac;
+}
+
+Summary summarize(std::vector<double> sample) {
+  Summary s;
+  if (sample.empty()) return s;
+  s.count = sample.size();
+  s.median = median(sample);
+  Accumulator acc;
+  for (double x : sample) acc.add(x);
+  s.min = acc.min();
+  s.max = acc.max();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  return s;
+}
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace apar::common

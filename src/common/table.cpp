@@ -1,0 +1,101 @@
+#include "apar/common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace apar::common {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::size_t Table::columns() const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  return cols;
+}
+
+std::string Table::str(int indent) const {
+  const std::size_t cols = columns();
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream os;
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << pad;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << cell << std::string(width[c] - cell.size(), ' ');
+      if (c + 1 < cols) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::vector<std::string> rule;
+  rule.reserve(cols);
+  for (std::size_t c = 0; c < cols; ++c)
+    rule.emplace_back(width[c], '-');
+  emit(rule);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::string Table::csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.str();
+}
+
+std::string fmt_seconds(double s) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", s);
+  return buf;
+}
+
+std::string fmt_millis(double ms) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f ms", ms);
+  return buf;
+}
+
+std::string fmt_ratio(double ratio) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", (ratio - 1.0) * 100.0);
+  return buf;
+}
+
+std::string fmt_count(long long n) {
+  std::string digits = std::to_string(n < 0 ? -n : n);
+  std::string out;
+  const std::size_t len = digits.size();
+  for (std::size_t i = 0; i < len; ++i) {
+    if (i != 0 && (len - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  if (n < 0) out.insert(out.begin(), '-');
+  return out;
+}
+
+}  // namespace apar::common

@@ -1,0 +1,286 @@
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace apar::concurrency {
+
+/// Error raised when a Promise is dropped without delivering a value.
+class BrokenPromise : public std::runtime_error {
+ public:
+  BrokenPromise() : std::runtime_error("broken promise") {}
+};
+
+namespace detail {
+
+template <class T>
+struct FutureState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::optional<T> value;
+  std::exception_ptr error;
+  bool broken = false;
+  std::vector<std::function<void()>> continuations;
+
+  bool ready_locked() const { return value.has_value() || error || broken; }
+};
+
+template <>
+struct FutureState<void> {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  std::exception_ptr error;
+  bool broken = false;
+  std::vector<std::function<void()>> continuations;
+
+  bool ready_locked() const { return done || error || broken; }
+};
+
+template <class T>
+void fire_continuations(FutureState<T>& st,
+                        std::vector<std::function<void()>>& out) {
+  out.swap(st.continuations);
+}
+
+}  // namespace detail
+
+template <class T>
+class Promise;
+
+/// ABCL-style future variable (paper §2): the client receives the future
+/// immediately; touching the value blocks until the producer delivers it.
+///
+/// Unlike std::future, this future is copyable (shared) and supports
+/// `on_ready` continuations, which the concurrency aspect uses to chain
+/// pipeline stages without blocking a thread.
+template <class T>
+class Future {
+ public:
+  Future() = default;
+
+  /// True once a value or error has been delivered.
+  [[nodiscard]] bool ready() const {
+    if (!state_) return true;
+    std::lock_guard lock(state_->mutex);
+    return state_->ready_locked();
+  }
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(state_); }
+
+  /// Block until ready.
+  void wait() const {
+    ensure_valid();
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->ready_locked(); });
+  }
+
+  /// Block and return the value (by const reference; the state is shared).
+  /// Rethrows a delivered exception; throws BrokenPromise if the producer
+  /// vanished.
+  const T& get() const {
+    ensure_valid();
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->ready_locked(); });
+    if (state_->error) std::rethrow_exception(state_->error);
+    if (state_->broken) throw BrokenPromise();
+    return *state_->value;
+  }
+
+  /// Register a callback run when the value (or error) arrives; runs
+  /// immediately if already ready. The callback must not block.
+  void on_ready(std::function<void()> fn) const {
+    ensure_valid();
+    {
+      std::lock_guard lock(state_->mutex);
+      if (!state_->ready_locked()) {
+        state_->continuations.push_back(std::move(fn));
+        return;
+      }
+    }
+    fn();
+  }
+
+ private:
+  friend class Promise<T>;
+  explicit Future(std::shared_ptr<detail::FutureState<T>> s)
+      : state_(std::move(s)) {}
+
+  void ensure_valid() const {
+    if (!state_) throw std::logic_error("Future has no state");
+  }
+
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+template <>
+class Future<void> {
+ public:
+  Future() = default;
+
+  [[nodiscard]] bool ready() const {
+    if (!state_) return true;
+    std::lock_guard lock(state_->mutex);
+    return state_->ready_locked();
+  }
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(state_); }
+
+  void wait() const {
+    ensure_valid();
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->ready_locked(); });
+  }
+
+  void get() const {
+    ensure_valid();
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock, [&] { return state_->ready_locked(); });
+    if (state_->error) std::rethrow_exception(state_->error);
+    if (state_->broken) throw BrokenPromise();
+  }
+
+  void on_ready(std::function<void()> fn) const {
+    ensure_valid();
+    {
+      std::lock_guard lock(state_->mutex);
+      if (!state_->ready_locked()) {
+        state_->continuations.push_back(std::move(fn));
+        return;
+      }
+    }
+    fn();
+  }
+
+ private:
+  friend class Promise<void>;
+  explicit Future(std::shared_ptr<detail::FutureState<void>> s)
+      : state_(std::move(s)) {}
+
+  void ensure_valid() const {
+    if (!state_) throw std::logic_error("Future has no state");
+  }
+
+  std::shared_ptr<detail::FutureState<void>> state_;
+};
+
+/// Producer side of a Future.
+template <class T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<detail::FutureState<T>>()) {}
+
+  Promise(Promise&&) noexcept = default;
+  Promise& operator=(Promise&&) noexcept = default;
+  Promise(const Promise&) = delete;
+  Promise& operator=(const Promise&) = delete;
+
+  ~Promise() {
+    if (!state_) return;
+    std::vector<std::function<void()>> conts;
+    {
+      std::lock_guard lock(state_->mutex);
+      if (!state_->ready_locked()) {
+        state_->broken = true;
+        detail::fire_continuations(*state_, conts);
+        state_->cv.notify_all();
+      }
+    }
+    for (auto& c : conts) c();
+  }
+
+  [[nodiscard]] Future<T> future() const { return Future<T>(state_); }
+
+  template <class U>
+  void set_value(U&& v) {
+    deliver([&](auto& st) { st.value.emplace(std::forward<U>(v)); });
+  }
+
+  void set_exception(std::exception_ptr e) {
+    deliver([&](auto& st) { st.error = std::move(e); });
+  }
+
+ private:
+  template <class F>
+  void deliver(F&& store) {
+    std::vector<std::function<void()>> conts;
+    {
+      std::lock_guard lock(state_->mutex);
+      if (state_->ready_locked())
+        throw std::logic_error("Promise already satisfied");
+      store(*state_);
+      detail::fire_continuations(*state_, conts);
+      state_->cv.notify_all();
+    }
+    for (auto& c : conts) c();
+  }
+
+  std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+template <>
+class Promise<void> {
+ public:
+  Promise() : state_(std::make_shared<detail::FutureState<void>>()) {}
+
+  Promise(Promise&&) noexcept = default;
+  Promise& operator=(Promise&&) noexcept = default;
+  Promise(const Promise&) = delete;
+  Promise& operator=(const Promise&) = delete;
+
+  ~Promise() {
+    if (!state_) return;
+    std::vector<std::function<void()>> conts;
+    {
+      std::lock_guard lock(state_->mutex);
+      if (!state_->ready_locked()) {
+        state_->broken = true;
+        detail::fire_continuations(*state_, conts);
+        state_->cv.notify_all();
+      }
+    }
+    for (auto& c : conts) c();
+  }
+
+  [[nodiscard]] Future<void> future() const { return Future<void>(state_); }
+
+  void set_value() {
+    deliver([](auto& st) { st.done = true; });
+  }
+
+  void set_exception(std::exception_ptr e) {
+    deliver([&](auto& st) { st.error = std::move(e); });
+  }
+
+ private:
+  template <class F>
+  void deliver(F&& store) {
+    std::vector<std::function<void()>> conts;
+    {
+      std::lock_guard lock(state_->mutex);
+      if (state_->ready_locked())
+        throw std::logic_error("Promise already satisfied");
+      store(*state_);
+      detail::fire_continuations(*state_, conts);
+      state_->cv.notify_all();
+    }
+    for (auto& c : conts) c();
+  }
+
+  std::shared_ptr<detail::FutureState<void>> state_;
+};
+
+/// Wait for every future in the range; rethrows the first stored exception.
+template <class T>
+void wait_all(const std::vector<Future<T>>& futures) {
+  for (const auto& f : futures) f.get();
+}
+
+}  // namespace apar::concurrency

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace apar::concurrency {
+
+/// Per-object monitor table: the C++ analogue of Java's
+/// `synchronized(target) { ... }` used by the paper's concurrency aspect
+/// (Figure 12) to protect non-thread-safe server objects.
+///
+/// Monitors are keyed by object address and allocated lazily; the table is
+/// sharded to keep the lookup itself off the contention path. Monitors are
+/// recursive so advice nested on the same target (e.g. sync advice around a
+/// forwarded call that re-enters the same object) cannot self-deadlock.
+class SyncRegistry {
+ public:
+  explicit SyncRegistry(std::size_t shards = 16);
+
+  SyncRegistry(const SyncRegistry&) = delete;
+  SyncRegistry& operator=(const SyncRegistry&) = delete;
+
+  /// RAII monitor hold (CP.20: RAII, never plain lock/unlock).
+  class Guard {
+   public:
+    explicit Guard(std::recursive_mutex& m) : lock_(m) {}
+
+   private:
+    std::unique_lock<std::recursive_mutex> lock_;
+  };
+
+  /// Acquire the monitor for `object`; released when the Guard dies.
+  [[nodiscard]] Guard acquire(const void* object);
+
+  /// Drop the monitor entry for a destroyed object (optional; entries are
+  /// harmless but this keeps long-lived registries bounded).
+  void forget(const void* object);
+
+  /// Number of live monitor entries (diagnostic).
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<const void*, std::unique_ptr<std::recursive_mutex>> map;
+  };
+
+  Shard& shard_for(const void* object);
+  const Shard& shard_for(const void* object) const;
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace apar::concurrency

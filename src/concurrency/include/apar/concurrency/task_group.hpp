@@ -1,0 +1,62 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace apar::concurrency {
+
+class ThreadPool;
+
+/// Tracks a dynamic set of asynchronous tasks so a caller can quiesce.
+///
+/// The paper's `main` implicitly waits for the woven pipeline to drain; the
+/// concurrency aspect registers every spawned call here and
+/// `aop::Context::quiesce()` forwards to wait(). Supports both the paper's
+/// literal thread-per-call model (`spawn`) and the pooled optimisation
+/// (`run_on`). The first exception thrown by any task is captured and
+/// rethrown from wait().
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Run `task` on a fresh thread (the paper's `new Thread(){run(){...}}`).
+  void spawn(std::function<void()> task);
+
+  /// Run `task` on `pool`, still tracked by this group.
+  void run_on(ThreadPool& pool, std::function<void()> task);
+
+  /// Manual bracketing for advice that manages its own execution: balance
+  /// every enter() with exactly one leave().
+  void enter();
+  void leave(std::exception_ptr error = nullptr);
+
+  /// Tasks started but not yet finished. New tasks may be spawned by
+  /// running tasks, so this can rise while waiting.
+  [[nodiscard]] std::size_t outstanding() const;
+
+  /// Block until every task (including tasks spawned by tasks) finishes;
+  /// rethrows the first captured exception. The group is reusable after
+  /// wait() returns.
+  void wait();
+
+ private:
+  void finish(std::exception_ptr error);
+  void reap_locked();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t outstanding_ = 0;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace apar::concurrency

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "apar/concurrency/future.hpp"
+
+namespace apar::concurrency {
+
+/// Fixed-size thread pool (CP.4: think in terms of tasks, not threads).
+///
+/// The pool is the substrate for the ThreadPoolAspect optimisation (paper
+/// §4.4): instead of spawning a thread per asynchronous method call, the
+/// concurrency aspect can route calls here. Destruction drains queued tasks
+/// and joins all workers (CP.23/CP.25: threads are scoped; never detached).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue fire-and-forget work. Throws if the pool is shutting down.
+  void post(std::function<void()> task);
+
+  /// Enqueue work and obtain a future for its result.
+  template <class F>
+  auto submit(F&& fn) -> Future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto promise = std::make_shared<Promise<R>>();
+    auto future = promise->future();
+    post([promise, fn = std::forward<F>(fn)]() mutable {
+      try {
+        if constexpr (std::is_void_v<R>) {
+          fn();
+          promise->set_value();
+        } else {
+          promise->set_value(fn());
+        }
+      } catch (...) {
+        promise->set_exception(std::current_exception());
+      }
+    });
+    return future;
+  }
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Tasks currently queued (diagnostic; racy by nature).
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Block until the queue is empty and all workers are idle.
+  void drain();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace apar::concurrency

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace apar::concurrency {
+
+/// Blocking multi-producer / multi-consumer queue.
+///
+/// This is the demand-driven channel behind the DynamicFarm strategy: the
+/// partition advice pushes work packs, worker loops pop them. close() wakes
+/// all consumers; pop() then drains remaining items before returning
+/// nullopt.
+template <class T>
+class WorkQueue {
+ public:
+  WorkQueue() = default;
+
+  WorkQueue(const WorkQueue&) = delete;
+  WorkQueue& operator=(const WorkQueue&) = delete;
+
+  /// Push an item; returns false (drops the item) if the queue is closed.
+  bool push(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available or the queue is closed and empty.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Close the queue: producers are refused, consumers drain then get
+  /// nullopt.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Close the queue AND withdraw everything still queued (crash
+  /// semantics): consumers get nullopt immediately, and the caller
+  /// receives the unprocessed items to dispose of.
+  std::deque<T> close_now() {
+    std::deque<T> dropped;
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+      dropped.swap(items_);
+    }
+    cv_.notify_all();
+    return dropped;
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace apar::concurrency

@@ -1,0 +1,49 @@
+#include "apar/concurrency/sync_registry.hpp"
+
+#include <functional>
+
+namespace apar::concurrency {
+
+SyncRegistry::SyncRegistry(std::size_t shards)
+    : shards_(shards == 0 ? 1 : shards) {}
+
+SyncRegistry::Shard& SyncRegistry::shard_for(const void* object) {
+  const std::size_t h = std::hash<const void*>{}(object);
+  return shards_[h % shards_.size()];
+}
+
+const SyncRegistry::Shard& SyncRegistry::shard_for(const void* object) const {
+  const std::size_t h = std::hash<const void*>{}(object);
+  return shards_[h % shards_.size()];
+}
+
+SyncRegistry::Guard SyncRegistry::acquire(const void* object) {
+  Shard& shard = shard_for(object);
+  std::recursive_mutex* monitor = nullptr;
+  {
+    std::lock_guard lock(shard.mutex);
+    auto& slot = shard.map[object];
+    if (!slot) slot = std::make_unique<std::recursive_mutex>();
+    monitor = slot.get();
+  }
+  // Lock outside the shard lock (CP.22: never hold one lock while taking an
+  // unrelated, potentially long-held one).
+  return Guard(*monitor);
+}
+
+void SyncRegistry::forget(const void* object) {
+  Shard& shard = shard_for(object);
+  std::lock_guard lock(shard.mutex);
+  shard.map.erase(object);
+}
+
+std::size_t SyncRegistry::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    n += shard.map.size();
+  }
+  return n;
+}
+
+}  // namespace apar::concurrency

@@ -1,0 +1,84 @@
+#include "apar/concurrency/task_group.hpp"
+
+#include "apar/concurrency/thread_pool.hpp"
+
+namespace apar::concurrency {
+
+TaskGroup::~TaskGroup() {
+  // A TaskGroup is a scoped container of threads (CP.23): joining here keeps
+  // destruction safe even if the owner forgot to wait().
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return outstanding_ == 0; });
+  reap_locked();
+}
+
+void TaskGroup::enter() {
+  std::lock_guard lock(mutex_);
+  ++outstanding_;
+}
+
+void TaskGroup::leave(std::exception_ptr error) { finish(std::move(error)); }
+
+void TaskGroup::spawn(std::function<void()> task) {
+  enter();
+  std::lock_guard lock(mutex_);
+  threads_.emplace_back([this, task = std::move(task)] {
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    finish(std::move(error));
+  });
+}
+
+void TaskGroup::run_on(ThreadPool& pool, std::function<void()> task) {
+  enter();
+  try {
+    pool.post([this, task = std::move(task)] {
+      std::exception_ptr error;
+      try {
+        task();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      finish(std::move(error));
+    });
+  } catch (...) {
+    finish(std::current_exception());
+    throw;
+  }
+}
+
+std::size_t TaskGroup::outstanding() const {
+  std::lock_guard lock(mutex_);
+  return outstanding_;
+}
+
+void TaskGroup::wait() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return outstanding_ == 0; });
+  reap_locked();
+  if (first_error_) {
+    auto error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void TaskGroup::finish(std::exception_ptr error) {
+  std::lock_guard lock(mutex_);
+  if (error && !first_error_) first_error_ = std::move(error);
+  if (--outstanding_ == 0) cv_.notify_all();
+}
+
+void TaskGroup::reap_locked() {
+  // Only safe once outstanding_ == 0: every thread in threads_ has executed
+  // its finish() and is about to return (or already has).
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+}
+
+}  // namespace apar::concurrency

@@ -1,0 +1,18 @@
+// archive.hpp is header-only; this translation unit exists to give the
+// library a compiled anchor and to force one full instantiation of the
+// templates under the library's own warning flags.
+#include "apar/serial/archive.hpp"
+
+namespace apar::serial {
+namespace {
+[[maybe_unused]] void instantiation_anchor() {
+  Writer w(Format::kVerbose);
+  w.value(std::int32_t{1});
+  w.value(std::string("x"));
+  w.value(std::vector<int>{1, 2, 3});
+  Reader r(w.bytes(), Format::kVerbose);
+  std::int32_t i{};
+  r.value(i);
+}
+}  // namespace
+}  // namespace apar::serial

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "apar/sieve/versions.hpp"
+
+namespace apar::sieve::handcoded {
+
+/// Hand-coded distributed prime sieve — the Figure 16 baseline ("Java"):
+/// the same pipeline-over-RMI computation as the woven PipeRMI version,
+/// written directly against the cluster middleware with explicit threads,
+/// no AOP engine anywhere in the call path. The difference between this
+/// and SieveHarness(kPipeRmi) is precisely the weaving overhead the paper
+/// claims is below 5%.
+SieveResult run_pipeline_rmi(const SieveConfig& config);
+
+/// Hand-coded shared-memory farm (threads, no middleware) — the unwoven
+/// counterpart of FarmThreads, used by the weaving-overhead ablation.
+SieveResult run_farm_threads(const SieveConfig& config);
+
+}  // namespace apar::sieve::handcoded

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apar/aop/signature.hpp"
+
+namespace apar::sieve {
+
+/// The paper's core functionality (§5.1): a prime filter holding the base
+/// primes of a range, able to remove their multiples from packs of
+/// candidate numbers. Deliberately sequential and NOT thread safe (the
+/// scratch buffer is shared across calls) — protecting it is the
+/// concurrency aspect's job, exactly as in the paper.
+///
+/// The third constructor argument is the *work model*: simulated
+/// nanoseconds charged per trial division actually performed. On the
+/// single-core reproduction host this calibrated sleep stands in for the
+/// paper's real Xeon compute so that concurrent filters overlap like real
+/// machines would (see DESIGN.md, "Substitutions"); 0 disables it.
+class PrimeFilter {
+ public:
+  /// Computes the base primes in [pmin, pmax] (inclusive).
+  PrimeFilter(long long pmin, long long pmax, double ns_per_op = 0.0);
+
+  /// Remove from `pack` every number divisible by one of this filter's
+  /// base primes. Candidates must exceed pmax (true for sieve packs, which
+  /// start above sqrt(max)).
+  void filter(std::vector<long long>& pack);
+
+  /// Full sequential semantics: filter the pack and retain the survivors
+  /// as results. What core functionality calls; what a farm worker runs.
+  void process(std::vector<long long>& pack);
+
+  /// Retain an already fully-filtered pack (pipeline exit).
+  void collect(const std::vector<long long>& pack);
+
+  /// Move the retained results out (empties the internal buffer).
+  std::vector<long long> take_results();
+
+  [[nodiscard]] const std::vector<long long>& primes() const {
+    return primes_;
+  }
+  [[nodiscard]] long long pmin() const { return pmin_; }
+  [[nodiscard]] long long pmax() const { return pmax_; }
+
+  /// Trial divisions performed so far (the work-model currency).
+  [[nodiscard]] std::uint64_t ops() const { return ops_; }
+
+ private:
+  void charge(std::uint64_t ops_delta);
+
+  long long pmin_;
+  long long pmax_;
+  double ns_per_op_;
+  std::vector<long long> primes_;
+  std::vector<long long> scratch_;  // shared across calls: NOT thread safe
+  std::vector<long long> found_;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace apar::sieve
+
+APAR_CLASS_NAME(apar::sieve::PrimeFilter, "PrimeFilter");
+APAR_METHOD_NAME(&apar::sieve::PrimeFilter::filter, "filter");
+APAR_METHOD_NAME(&apar::sieve::PrimeFilter::process, "process");
+APAR_METHOD_NAME(&apar::sieve::PrimeFilter::collect, "collect");
+APAR_METHOD_NAME(&apar::sieve::PrimeFilter::take_results, "take_results");

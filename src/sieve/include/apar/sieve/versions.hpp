@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apar/aop/aop.hpp"
+#include "apar/cluster/cluster.hpp"
+#include "apar/cluster/middleware.hpp"
+#include "apar/sieve/prime_filter.hpp"
+
+namespace apar::sieve {
+
+/// The module combinations of the paper's Table 1, plus the unwoven
+/// sequential core as the baseline every combination must reproduce.
+///
+///            | Partition    | Concurrency | Distribution
+///  ----------+--------------+-------------+--------------
+///  Sequential| —            | —           | —
+///  FarmThreads Farm         | yes         | no
+///  PipeRMI   | Pipeline     | yes         | RMI
+///  FarmRMI   | Farm         | yes         | RMI
+///  FarmDRMI  | Dynamic farm               | RMI
+///  FarmMPP   | Farm         | yes         | MPP
+enum class Version {
+  kSequential,
+  kFarmThreads,
+  kPipeRmi,
+  kFarmRmi,
+  kFarmDRmi,
+  kFarmMpp,
+  /// Extension beyond Table 1: the hybrid middleware of paper §5.3 —
+  /// MPP for the performance-critical filter traffic, RMI for control.
+  kFarmHybrid,
+};
+
+[[nodiscard]] std::string_view version_name(Version v);
+
+/// All Table 1 rows (without the sequential baseline).
+[[nodiscard]] const std::vector<Version>& table1_versions();
+
+/// Table 1 rows plus the §5.3 hybrid extension.
+[[nodiscard]] const std::vector<Version>& extended_versions();
+
+/// Workload and platform parameters shared by tests/examples/benches.
+struct SieveConfig {
+  long long max = 2'000'000;      ///< largest number to sieve
+  std::size_t filters = 2;        ///< duplicates (paper's x-axis, 1..16)
+  std::size_t pack_size = 20'000; ///< candidates per message (50 packs)
+  double ns_per_op = 0.0;         ///< simulated compute per trial division
+  std::size_t nodes = 7;          ///< simulated cluster size (paper: 7)
+  std::size_t node_executors = 4; ///< hw contexts per node (dual Xeon HT)
+  std::size_t local_cpu_slots = 4;///< hw contexts of the "local" machine
+  bool register_names = true;     ///< RMI PS<n> naming dance
+  /// Zero-cost transport (functional tests): keeps RMI/MPP semantics
+  /// (formats, one-way, registry) but drops the simulated delays.
+  bool loopback_costs = false;
+};
+
+/// One timed execution's outcome.
+struct SieveResult {
+  long long primes = 0;        ///< total primes found (base + survivors)
+  double seconds = 0.0;        ///< create + process + quiesce, wall clock
+  std::uint64_t sync_messages = 0;
+  std::uint64_t one_way_messages = 0;
+  std::uint64_t bytes_on_wire = 0;
+};
+
+/// Builds and owns one woven sieve configuration: simulated cluster,
+/// middleware, weaving context, and the plugged aspect set for the chosen
+/// Table 1 version. The core code executed by run() is IDENTICAL for every
+/// version — three lines, exactly the paper's §5.1 main:
+///
+///   auto p = ctx.create<PrimeFilter>(2, sqrt(max), work);
+///   ctx.call<&PrimeFilter::process>(p, candidates);
+///   ctx.quiesce();
+///
+/// Everything else is plugged aspects.
+class SieveHarness {
+ public:
+  SieveHarness(Version version, SieveConfig config);
+  ~SieveHarness();
+
+  SieveHarness(const SieveHarness&) = delete;
+  SieveHarness& operator=(const SieveHarness&) = delete;
+
+  /// Execute the sieve once; verifies nothing (see primes count in the
+  /// result — callers compare against the reference).
+  SieveResult run();
+
+  [[nodiscard]] Version version() const { return version_; }
+  [[nodiscard]] const SieveConfig& config() const { return config_; }
+  [[nodiscard]] aop::Context& context() { return *ctx_; }
+
+  /// Names of the aspects currently plugged (Table 1 evidence).
+  [[nodiscard]] std::vector<std::string> plugged_aspects() const;
+
+ private:
+  void build();
+
+  Version version_;
+  SieveConfig config_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  /// Backend middlewares owned by the harness (two for the hybrid).
+  std::vector<std::unique_ptr<cluster::Middleware>> backends_;
+  std::unique_ptr<cluster::Middleware> middleware_;
+  std::unique_ptr<aop::Context> ctx_;
+  std::function<std::vector<long long>(aop::Context&)> gather_;
+};
+
+/// Total trial divisions a sequential run performs for `max` — used to
+/// calibrate ns_per_op against a target sequential duration.
+std::uint64_t measure_total_ops(long long max);
+
+/// ns_per_op such that a sequential run's simulated compute is roughly
+/// `target_seconds`.
+double calibrate_ns_per_op(long long max, double target_seconds);
+
+}  // namespace apar::sieve

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+namespace apar::sieve {
+
+/// Integer square root (floor).
+long long isqrt(long long n);
+
+/// The base-prime bound the sieve decomposition uses: floor(sqrt(max)),
+/// clamped so that the even prime 2 is always in the base range when max
+/// itself admits primes (for max in {2,3}, isqrt(max) = 1 would otherwise
+/// lose the prime 2 — candidates are odd numbers only).
+long long sieve_root(long long max);
+
+/// Reference Eratosthenes sieve: all primes <= n, ascending. Used to
+/// verify every woven configuration and to build pipeline ctor partitions.
+std::vector<long long> primes_up_to(long long n);
+
+/// pi(n) via the reference sieve.
+long long count_primes_up_to(long long n);
+
+/// The paper's workload (§6): candidate numbers for the parallel sieve —
+/// the odd numbers in (sqrt(max), max]. Together with the base primes
+/// (<= sqrt(max)) their survivors are exactly the primes up to max.
+std::vector<long long> odd_candidates(long long max);
+
+/// Split the base prime range [2, sqrt(max)] into `k` contiguous value
+/// ranges holding roughly equal numbers of primes; returns k (lo, hi)
+/// pairs covering [2, sqrt(max)]. Used as the pipeline's ctor partitioner.
+std::vector<std::pair<long long, long long>> balanced_prime_ranges(
+    long long max, std::size_t k);
+
+}  // namespace apar::sieve

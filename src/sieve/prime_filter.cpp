@@ -1,0 +1,59 @@
+#include "apar/sieve/prime_filter.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "apar/sieve/workload.hpp"
+
+namespace apar::sieve {
+
+PrimeFilter::PrimeFilter(long long pmin, long long pmax, double ns_per_op)
+    : pmin_(pmin), pmax_(pmax), ns_per_op_(ns_per_op) {
+  for (long long p : primes_up_to(pmax)) {
+    if (p >= pmin) primes_.push_back(p);
+  }
+}
+
+void PrimeFilter::filter(std::vector<long long>& pack) {
+  std::uint64_t divisions = 0;
+  scratch_.clear();
+  for (const long long candidate : pack) {
+    bool composite = false;
+    for (const long long p : primes_) {
+      ++divisions;
+      if (candidate % p == 0) {
+        composite = true;
+        break;
+      }
+    }
+    if (!composite) scratch_.push_back(candidate);
+  }
+  pack = scratch_;
+  ops_ += divisions;
+  charge(divisions);
+}
+
+void PrimeFilter::process(std::vector<long long>& pack) {
+  filter(pack);
+  collect(pack);
+}
+
+void PrimeFilter::collect(const std::vector<long long>& pack) {
+  found_.insert(found_.end(), pack.begin(), pack.end());
+}
+
+std::vector<long long> PrimeFilter::take_results() {
+  std::vector<long long> out;
+  out.swap(found_);
+  return out;
+}
+
+void PrimeFilter::charge(std::uint64_t ops_delta) {
+  if (ns_per_op_ <= 0.0 || ops_delta == 0) return;
+  // Simulated compute: sleeping (rather than spinning) lets concurrent
+  // filters overlap on the single-core host the way real machines would.
+  std::this_thread::sleep_for(std::chrono::duration<double, std::nano>(
+      ns_per_op_ * static_cast<double>(ops_delta)));
+}
+
+}  // namespace apar::sieve

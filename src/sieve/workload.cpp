@@ -1,0 +1,73 @@
+#include "apar/sieve/workload.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+namespace apar::sieve {
+
+long long isqrt(long long n) {
+  if (n < 0) return 0;
+  long long r = 0;
+  while ((r + 1) * (r + 1) <= n) ++r;
+  return r;
+}
+
+long long sieve_root(long long max) {
+  if (max < 2) return isqrt(max);
+  return std::max<long long>(isqrt(max), 2);
+}
+
+std::vector<long long> primes_up_to(long long n) {
+  std::vector<long long> primes;
+  if (n < 2) return primes;
+  std::vector<bool> composite(static_cast<std::size_t>(n) + 1, false);
+  for (long long p = 2; p <= n; ++p) {
+    if (composite[static_cast<std::size_t>(p)]) continue;
+    primes.push_back(p);
+    for (long long m = p * p; m <= n; m += p)
+      composite[static_cast<std::size_t>(m)] = true;
+  }
+  return primes;
+}
+
+long long count_primes_up_to(long long n) {
+  return static_cast<long long>(primes_up_to(n).size());
+}
+
+std::vector<long long> odd_candidates(long long max) {
+  std::vector<long long> out;
+  const long long root = sieve_root(max);
+  long long first = root + 1;
+  if (first % 2 == 0) ++first;
+  if (first < 3) first = 3;
+  out.reserve(static_cast<std::size_t>((max - first) / 2 + 1));
+  for (long long x = first; x <= max; x += 2) out.push_back(x);
+  return out;
+}
+
+std::vector<std::pair<long long, long long>> balanced_prime_ranges(
+    long long max, std::size_t k) {
+  if (k == 0) k = 1;
+  const long long root = sieve_root(max);
+  const auto primes = primes_up_to(root);
+  std::vector<std::pair<long long, long long>> ranges;
+  ranges.reserve(k);
+  const std::size_t total = primes.size();
+  std::size_t begin = 0;
+  long long lo = 2;
+  for (std::size_t i = 0; i < k; ++i) {
+    // Primes are distributed as evenly as possible: the first (total % k)
+    // ranges get one extra.
+    const std::size_t share = total / k + (i < total % k ? 1 : 0);
+    const std::size_t end = begin + share;
+    const long long hi =
+        (i + 1 == k) ? root : (end > 0 && end <= total ? primes[end - 1] : lo);
+    ranges.emplace_back(lo, hi);
+    lo = hi + 1;
+    begin = end;
+  }
+  return ranges;
+}
+
+}  // namespace apar::sieve

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "apar/aop/aop.hpp"
+#include "apar/concurrency/sync_registry.hpp"
+#include "apar/concurrency/thread_pool.hpp"
+
+namespace apar::strategies {
+
+/// Runtime-reconfiguration interface for concurrency aspects; used by the
+/// ThreadPoolOptimisation aspect to swap thread-per-call execution for a
+/// pooled executor without touching the concurrency aspect's identity.
+class AsyncControl {
+ public:
+  virtual ~AsyncControl() = default;
+  /// Route asynchronous calls through a pool of `threads` workers.
+  virtual void use_pool(std::size_t threads) = 0;
+  /// Restore the paper's literal thread-per-call model.
+  virtual void use_thread_per_call() = 0;
+  [[nodiscard]] virtual bool pooled() const = 0;
+};
+
+/// The paper's Concurrency aspect (§4.2, Figure 12), generalised and
+/// reusable: makes selected void methods asynchronous (each call runs the
+/// rest of its advice chain on a new tracked thread, with arguments copied
+/// by value) and guards selected methods with a per-object monitor, since
+/// core classes are not thread safe.
+///
+/// Both halves can be toggled independently: unplugging the whole aspect
+/// (or set_enabled(false)) restores valid sequential execution — the
+/// paper's debugging story.
+template <class T>
+class ConcurrencyAspect : public aop::Aspect, public AsyncControl {
+ public:
+  explicit ConcurrencyAspect(std::string name = "Concurrency")
+      : Aspect(std::move(name)) {}
+
+  /// Make void method M asynchronous and monitor-guarded (the usual pair).
+  template <auto M>
+  ConcurrencyAspect& async_method() {
+    register_async<M>();
+    register_guard<M>();
+    return *this;
+  }
+
+  /// Monitor-guard method M without making it asynchronous (for result
+  /// collection methods called from many forwarding threads).
+  template <auto M>
+  ConcurrencyAspect& guarded_method() {
+    register_guard<M>();
+    return *this;
+  }
+
+  // --- AsyncControl -------------------------------------------------------
+
+  void use_pool(std::size_t threads) override {
+    std::lock_guard lock(pool_mutex_);
+    pool_ = std::make_unique<concurrency::ThreadPool>(threads);
+    pooled_.store(true, std::memory_order_release);
+  }
+
+  void use_thread_per_call() override {
+    pooled_.store(false, std::memory_order_release);
+    // The pool itself is retired lazily; in-flight pooled tasks finish.
+  }
+
+  [[nodiscard]] bool pooled() const override {
+    return pooled_.load(std::memory_order_acquire);
+  }
+
+  /// Calls spawned since construction (diagnostics / tests).
+  [[nodiscard]] std::uint64_t spawned() const {
+    return spawned_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  template <auto M>
+  void register_async() {
+    this->template around_method<M>(
+        aop::order::kConcurrencyAsync, aop::Scope::any(), [this](auto& inv) {
+          auto continuation = inv.continuation();
+          spawned_.fetch_add(1, std::memory_order_relaxed);
+          if (pooled()) {
+            std::lock_guard lock(pool_mutex_);
+            inv.context().tasks().run_on(*pool_, std::move(continuation));
+          } else {
+            // The paper's `new Thread() { run() { proceed(); } }.start()`.
+            inv.context().tasks().spawn(std::move(continuation));
+          }
+        });
+  }
+
+  template <auto M>
+  void register_guard() {
+    this->template around_method<M>(
+        aop::order::kConcurrencySync, aop::Scope::any(), [this](auto& inv) {
+          // `synchronized(target) { proceed(); }` — keyed on the Ref cell
+          // so it works identically for local and remote objects.
+          auto guard = monitors_.acquire(inv.target().identity());
+          return inv.proceed();
+        });
+  }
+
+  concurrency::SyncRegistry monitors_;
+  std::mutex pool_mutex_;
+  std::unique_ptr<concurrency::ThreadPool> pool_;
+  std::atomic<bool> pooled_{false};
+  std::atomic<std::uint64_t> spawned_{0};
+};
+
+}  // namespace apar::strategies

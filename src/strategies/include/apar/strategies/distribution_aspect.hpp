@@ -1,0 +1,205 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "apar/aop/aop.hpp"
+#include "apar/cluster/middleware.hpp"
+#include "apar/common/rng.hpp"
+#include "apar/serial/archive.hpp"
+
+namespace apar::strategies {
+
+/// Where the distribution aspect places each newly created object.
+enum class PlacementPolicy { kRoundRobin, kRandom };
+
+/// A Ref's remote binding: which middleware to speak and where the object
+/// lives. The aop layer treats this as opaque.
+class RemoteObjectBinding final : public aop::RemoteBinding {
+ public:
+  RemoteObjectBinding(cluster::RemoteHandle handle,
+                      cluster::Middleware& middleware, std::string class_name)
+      : handle_(handle),
+        middleware_(&middleware),
+        class_name_(std::move(class_name)) {}
+
+  [[nodiscard]] const cluster::RemoteHandle& handle() const { return handle_; }
+  [[nodiscard]] cluster::Middleware& middleware() const { return *middleware_; }
+
+  [[nodiscard]] std::string describe() const override {
+    return class_name_ + "@" + handle_.str() + " via " +
+           std::string(middleware_->name());
+  }
+
+ private:
+  cluster::RemoteHandle handle_;
+  cluster::Middleware* middleware_;
+  std::string class_name_;
+};
+
+namespace detail {
+/// Read one reply value per argument; write it back through non-const
+/// lvalue-reference parameters (RMI-ish copy-restore, so a remote
+/// `filter(pack&)` updates the caller's pack exactly like a local call).
+template <class Arg>
+void read_restore(serial::Reader& reader, Arg& arg) {
+  std::decay_t<Arg> tmp{};
+  reader.value(tmp);
+  arg = std::move(tmp);
+}
+template <class Arg>
+void read_restore(serial::Reader& reader, const Arg& arg) {
+  std::decay_t<Arg> tmp{};
+  reader.value(tmp);
+  (void)arg;  // const parameter: the echoed value is discarded
+}
+}  // namespace detail
+
+/// The paper's Distribution aspect (§4.3, Figure 13/14), reusable over any
+/// registered class: creations flowing through it are placed on simulated
+/// cluster nodes via a middleware, registered under generated names
+/// ("PS1", "PS2", ... — the paper's modification 2/3), and calls on remote
+/// references are redirected through the middleware with copy-restore
+/// semantics (modification 4). Local references pass through untouched, so
+/// the same application runs shared-memory by simply unplugging this
+/// aspect.
+template <class T, class... CtorArgs>
+class DistributionAspect : public aop::Aspect {
+ public:
+  struct Options {
+    PlacementPolicy placement = PlacementPolicy::kRoundRobin;
+    /// Bind each created object in the name server and look it up again,
+    /// like Figure 14's findRemoteObject (costs a registry round-trip).
+    bool register_names = true;
+    std::uint64_t seed = 7;  ///< for kRandom placement
+  };
+
+  DistributionAspect(std::string name, cluster::Cluster& cluster,
+                     cluster::Middleware& middleware, Options options = {})
+      : Aspect(std::move(name)),
+        cluster_(cluster),
+        middleware_(middleware),
+        options_(options),
+        rng_(options.seed) {
+    register_creation();
+  }
+
+  /// Redirect calls of method M on remote refs through the middleware.
+  /// `allow_one_way` lets void calls go fire-and-forget when the
+  /// middleware supports it (MPP); completion is awaited at quiesce.
+  template <auto M>
+  DistributionAspect& distribute_method(bool allow_one_way = false) {
+    using Traits = aop::detail::MemberFnTraits<decltype(M)>;
+    using R = typename Traits::Ret;
+    this->template around_method<M>(
+        aop::order::kDistribution, aop::Scope::any(),
+        [this, allow_one_way](auto& inv) -> R {
+          auto binding = std::dynamic_pointer_cast<RemoteObjectBinding>(
+              inv.target().remote_binding());
+          if (!binding) return inv.proceed();  // local object: dispatch here
+
+          const auto method_name = aop::method_name_of<M>();
+          // A hybrid middleware may carry this method on a different
+          // backend (paper §5.3); encode with the routed backend's format.
+          cluster::Middleware& mw = middleware_.route_for(method_name);
+          const auto format = mw.wire_format();
+          auto payload = std::apply(
+              [&](const auto&... args) {
+                return serial::encode(format, args...);
+              },
+              inv.args());
+
+          if constexpr (std::is_void_v<R>) {
+            if (allow_one_way && mw.supports_one_way()) {
+              mw.invoke_one_way(binding->handle(), method_name,
+                                std::move(payload));
+              return;
+            }
+            auto reply =
+                mw.invoke(binding->handle(), method_name, std::move(payload));
+            serial::Reader reader(reply, format);
+            std::apply(
+                [&](auto&... args) {
+                  (detail::read_restore(reader, args), ...);
+                },
+                inv.args());
+          } else {
+            auto reply =
+                mw.invoke(binding->handle(), method_name, std::move(payload));
+            serial::Reader reader(reply, format);
+            std::apply(
+                [&](auto&... args) {
+                  (detail::read_restore(reader, args), ...);
+                },
+                inv.args());
+            std::remove_cvref_t<R> result{};
+            reader.value(result);
+            return result;
+          }
+        });
+    return *this;
+  }
+
+  void on_quiesce(aop::Context&) override { cluster_.drain(); }
+
+  /// Objects placed so far.
+  [[nodiscard]] std::size_t placed() const {
+    return created_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void register_creation() {
+    this->template around_new<T, std::decay_t<CtorArgs>...>(
+        aop::order::kDistribution, aop::Scope::any(),
+        [this](aop::CtorInvocation<T, std::decay_t<CtorArgs>...>& inv) {
+          cluster::Middleware& mw = middleware_.route_for("new");
+          const auto format = mw.wire_format();
+          auto payload = std::apply(
+              [&](const auto&... args) {
+                return serial::encode(format, args...);
+              },
+              inv.args());
+          const cluster::NodeId node = pick_node();
+          const std::string class_name(aop::class_name_of<T>());
+          auto handle = mw.create(node, class_name, std::move(payload));
+          if (options_.register_names) {
+            // Figure 14: name "PS<instance number>", bind, then look the
+            // reference up again through the registry.
+            const auto n = created_.load(std::memory_order_relaxed) + 1;
+            const std::string bound_name = "PS" + std::to_string(n);
+            cluster_.name_server().bind(bound_name, handle);
+            auto resolved = mw.lookup(bound_name);
+            if (resolved) handle = *resolved;
+          }
+          created_.fetch_add(1, std::memory_order_relaxed);
+          return aop::Ref<T>::make_remote(std::make_shared<RemoteObjectBinding>(
+              handle, middleware_, class_name));
+        });
+  }
+
+  cluster::NodeId pick_node() {
+    const std::size_t n = cluster_.size();
+    if (options_.placement == PlacementPolicy::kRandom) {
+      std::lock_guard lock(rng_mutex_);
+      return static_cast<cluster::NodeId>(rng_.uniform(0, n - 1));
+    }
+    return static_cast<cluster::NodeId>(
+        next_node_.fetch_add(1, std::memory_order_relaxed) % n);
+  }
+
+  cluster::Cluster& cluster_;
+  cluster::Middleware& middleware_;
+  Options options_;
+  std::atomic<std::size_t> next_node_{0};
+  std::atomic<std::size_t> created_{0};
+  std::mutex rng_mutex_;
+  common::Rng rng_;
+};
+
+}  // namespace apar::strategies

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "apar/aop/aop.hpp"
+#include "apar/concurrency/future.hpp"
+
+namespace apar::strategies {
+
+/// The core-functionality shape the divide-and-conquer protocol weaves
+/// against. A solver computes `solve(problem) -> result` sequentially; to
+/// support the aspect it also exposes the problem algebra: when a problem
+/// is worth splitting, how to split it, and how to merge sub-results (in
+/// sub-problem order).
+///
+/// Problems and results must be serializable values so sub-solvers can be
+/// placed on remote nodes by the distribution aspect.
+template <class T, class P, class R>
+concept DivideConquerSolver = requires(T t, const P& p, const R& a,
+                                       const R& b) {
+  { t.solve(p) } -> std::same_as<R>;
+  { t.should_split(p) } -> std::same_as<bool>;
+  { t.split(p) } -> std::same_as<std::vector<P>>;
+  { t.merge(a, b) } -> std::same_as<R>;
+};
+
+/// Divide-and-conquer partition protocol (paper §4.1: "it is also possible
+/// to perform object creations when intercepting method calls (e.g., in
+/// divide and conquer algorithms)").
+///
+/// Around advice on `solve` splits large problems, CREATES a sub-solver
+/// per sub-problem through the weaving context — so the creations are
+/// join points the distribution aspect can place on nodes — solves the
+/// sub-problems through woven future calls (the recursion is simply this
+/// advice re-applying on the sub-calls), and merges the results. Problems
+/// below the solver's own threshold proceed to the plain sequential solve.
+/// The solver's `should_split` bounds the task tree.
+template <class T, class P, class R, class... CtorArgs>
+  requires DivideConquerSolver<T, P, R>
+class DivideAndConquerAspect : public aop::Aspect {
+ public:
+  explicit DivideAndConquerAspect(std::string name = "DivideAndConquer")
+      : Aspect(std::move(name)) {
+    register_solve();
+  }
+
+  /// Constructor arguments used when creating sub-solvers (defaults to
+  /// value-initialised arguments; solvers are usually stateless).
+  void set_sub_solver_args(std::decay_t<CtorArgs>... args) {
+    ctor_args_ = std::tuple<std::decay_t<CtorArgs>...>(std::move(args)...);
+  }
+
+  /// Sub-solvers created so far (across all recursion levels).
+  [[nodiscard]] std::uint64_t solvers_created() const {
+    return created_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void register_solve() {
+    this->template around_method<&T::solve>(
+        aop::order::kPartitionSplit, aop::Scope::any(),
+        [this](auto& inv) -> R {
+          const auto& [problem] = inv.args();
+          auto& ctx = inv.context();
+
+          T& algebra = local_algebra(inv);
+          if (!algebra.should_split(problem)) return inv.proceed();
+
+          const std::vector<P> parts = algebra.split(problem);
+          std::vector<concurrency::Future<R>> futures;
+          futures.reserve(parts.size());
+          for (const P& part : parts) {
+            // An object creation performed while intercepting a method
+            // call — exactly the paper's remark. It flows through
+            // downstream creation advice (e.g. distribution placement).
+            created_.fetch_add(1, std::memory_order_relaxed);
+            auto solver = std::apply(
+                [&ctx](const auto&... args) {
+                  return ctx.template create<T>(args...);
+                },
+                ctor_args_);
+            // The sub-solve is a fresh woven call: this advice applies to
+            // it again (recursion), and so do concurrency/distribution.
+            futures.push_back(
+                ctx.template call_future<&T::solve>(solver, part));
+          }
+
+          R merged = futures.front().get();
+          for (std::size_t i = 1; i < futures.size(); ++i)
+            merged = algebra.merge(merged, futures[i].get());
+          return merged;
+        });
+  }
+
+  /// The problem algebra is consulted on the client; for remote targets a
+  /// local scout instance stands in (solvers are assumed to carry no
+  /// per-instance problem state, which the concept's const-ness implies).
+  template <class Inv>
+  T& local_algebra(Inv& inv) {
+    if (T* local = inv.target().local()) return *local;
+    std::lock_guard lock(scout_mutex_);
+    if (!scout_) {
+      scout_ = std::apply(
+          [](const auto&... args) { return std::make_unique<T>(args...); },
+          ctor_args_);
+    }
+    return *scout_;
+  }
+
+  std::tuple<std::decay_t<CtorArgs>...> ctor_args_{};
+  std::atomic<std::uint64_t> created_{0};
+  std::mutex scout_mutex_;
+  std::unique_ptr<T> scout_;
+};
+
+}  // namespace apar::strategies

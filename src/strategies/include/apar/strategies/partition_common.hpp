@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <tuple>
+#include <vector>
+
+namespace apar::strategies {
+
+/// Split one large pack into sub-packs of at most `pack_size` elements —
+/// the default method-call splitter (paper §4.1, Figure 5).
+template <class E>
+std::vector<std::vector<E>> split_into_packs(const std::vector<E>& data,
+                                             std::size_t pack_size) {
+  std::vector<std::vector<E>> packs;
+  if (pack_size == 0) pack_size = 1;
+  packs.reserve((data.size() + pack_size - 1) / pack_size);
+  for (std::size_t begin = 0; begin < data.size(); begin += pack_size) {
+    const std::size_t end = std::min(begin + pack_size, data.size());
+    packs.emplace_back(data.begin() + static_cast<std::ptrdiff_t>(begin),
+                       data.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return packs;
+}
+
+/// How a partition aspect derives each duplicate's constructor arguments
+/// from the original creation (paper Figure 8: "create filter with specific
+/// parameters"). Receives the duplicate index, the duplicate count, and the
+/// original argument tuple.
+template <class... CtorArgs>
+using CtorPartitioner = std::function<std::tuple<CtorArgs...>(
+    std::size_t index, std::size_t count, const std::tuple<CtorArgs...>&)>;
+
+/// Broadcast partitioner: every duplicate gets the original arguments —
+/// the farm's behaviour (§5.2: "constructor parameters are broadcasted").
+template <class... CtorArgs>
+CtorPartitioner<CtorArgs...> broadcast_ctor_args() {
+  return [](std::size_t, std::size_t,
+            const std::tuple<CtorArgs...>& original) { return original; };
+}
+
+}  // namespace apar::strategies

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <concepts>
+#include <vector>
+
+namespace apar::strategies {
+
+/// The core-functionality shape the pipeline/farm partition protocols weave
+/// against — the design rule of paper §4: "classes from core functionality
+/// [must] provide method(s) to process a subset of the data".
+///
+/// For element type E, a stage class provides:
+///   - `filter(pack)`  — apply THIS stage's share of the work to a pack,
+///                       mutating it in place (partial work);
+///   - `process(pack)` — apply the FULL work to a pack and retain results
+///                       internally (what the sequential core calls);
+///   - `collect(pack)` — retain an already fully-processed pack;
+///   - `take_results()`— move the retained results out.
+///
+/// A sequential program is `stage.process(all_data)`. The partition aspects
+/// re-express that same call as a pipeline of filter() hops or a farm of
+/// process() calls without the class knowing.
+template <class T, class E>
+concept Stage = requires(T t, std::vector<E>& pack,
+                         const std::vector<E>& cpack) {
+  { t.filter(pack) } -> std::same_as<void>;
+  { t.process(pack) } -> std::same_as<void>;
+  { t.collect(cpack) } -> std::same_as<void>;
+  { t.take_results() } -> std::same_as<std::vector<E>>;
+};
+
+}  // namespace apar::strategies

@@ -1,0 +1,22 @@
+#pragma once
+
+/// Umbrella header for the reusable parallelisation aspects — the paper's
+/// four concern categories (§4) as pluggable modules:
+///
+///  - partition:   PipelineAspect, FarmAspect, DynamicFarmAspect,
+///                 HeartbeatAspect (merged with concurrency, like the
+///                 paper's dynamic farm)
+///  - concurrency: ConcurrencyAspect (async calls + per-object monitors)
+///  - distribution: DistributionAspect over a pluggable Middleware
+///  - optimisation: LocalCpuAspect, PackingAspect, ObjectCacheAspect,
+///                 ThreadPoolOptimisation
+#include "apar/strategies/concurrency_aspect.hpp"
+#include "apar/strategies/distribution_aspect.hpp"
+#include "apar/strategies/divide_conquer_aspect.hpp"
+#include "apar/strategies/dynamic_farm_aspect.hpp"
+#include "apar/strategies/farm_aspect.hpp"
+#include "apar/strategies/heartbeat_aspect.hpp"
+#include "apar/strategies/optimisation_aspects.hpp"
+#include "apar/strategies/partition_common.hpp"
+#include "apar/strategies/pipeline_aspect.hpp"
+#include "apar/strategies/stage_concept.hpp"

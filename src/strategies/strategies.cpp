@@ -1,0 +1,3 @@
+// The strategies library is header-only templates; this anchor keeps the
+// CMake target non-empty and compiles the umbrella under library flags.
+#include "apar/strategies/strategies.hpp"

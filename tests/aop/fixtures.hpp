@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apar/aop/aop.hpp"
+
+namespace apar::test {
+
+/// The paper's §3 running example.
+class Point {
+ public:
+  Point() = default;
+  Point(int x, int y) : x_(x), y_(y) {}
+
+  void moveX(int delta) { x_ += delta; }
+  void moveY(int delta) { y_ += delta; }
+  [[nodiscard]] int x() const { return x_; }
+  [[nodiscard]] int y() const { return y_; }
+
+ private:
+  int x_ = 0;
+  int y_ = 0;
+};
+
+/// A small server class for call-split / routing tests: `process` mutates
+/// the pack in place (like PrimeFilter::filter) and records what it saw.
+class Worker {
+ public:
+  explicit Worker(int id) : id_(id) {}
+
+  void process(std::vector<int>& pack) {
+    for (int& v : pack) v += id_;
+    packs_seen_.push_back(pack.size());
+  }
+
+  [[nodiscard]] int compute(int x) const { return x * 2 + id_; }
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] const std::vector<std::size_t>& packs_seen() const {
+    return packs_seen_;
+  }
+
+ private:
+  int id_;
+  std::vector<std::size_t> packs_seen_;
+};
+
+}  // namespace apar::test
+
+APAR_CLASS_NAME(apar::test::Point, "Point");
+APAR_METHOD_NAME(&apar::test::Point::moveX, "moveX");
+APAR_METHOD_NAME(&apar::test::Point::moveY, "moveY");
+
+APAR_CLASS_NAME(apar::test::Worker, "Worker");
+APAR_METHOD_NAME(&apar::test::Worker::process, "process");
+APAR_METHOD_NAME(&apar::test::Worker::compute, "compute");

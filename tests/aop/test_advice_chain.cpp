@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fixtures.hpp"
+
+namespace aop = apar::aop;
+using apar::test::Point;
+using apar::test::Worker;
+
+namespace {
+
+/// Helper: attach a fresh aspect with one piece of around advice on
+/// Worker::process.
+template <class Fn>
+std::shared_ptr<aop::Aspect> process_around(aop::Context& ctx,
+                                            const std::string& name,
+                                            int order, aop::Scope scope,
+                                            Fn fn) {
+  auto aspect = std::make_shared<aop::Aspect>(name);
+  aspect->around_method<&Worker::process>(order, std::move(scope),
+                                          std::move(fn));
+  ctx.attach(aspect);
+  return aspect;
+}
+
+}  // namespace
+
+TEST(AdviceChain, AroundWrapsCall) {
+  aop::Context ctx;
+  std::vector<std::string> trace;
+  process_around(ctx, "tracer", aop::order::kDefault, aop::Scope::any(),
+                 [&](auto& inv) {
+                   trace.push_back("before");
+                   inv.proceed();
+                   trace.push_back("after");
+                 });
+  auto w = ctx.create<Worker>(0);
+  std::vector<int> pack{1};
+  ctx.call<&Worker::process>(w, pack);
+  EXPECT_EQ(trace, (std::vector<std::string>{"before", "after"}));
+  EXPECT_EQ(w.local()->packs_seen().size(), 1u);
+}
+
+TEST(AdviceChain, AroundCanReplaceCallEntirely) {
+  aop::Context ctx;
+  process_around(ctx, "replacer", aop::order::kDefault, aop::Scope::any(),
+                 [](auto&) { /* never proceeds */ });
+  auto w = ctx.create<Worker>(0);
+  std::vector<int> pack{1};
+  ctx.call<&Worker::process>(w, pack);
+  EXPECT_TRUE(w.local()->packs_seen().empty());
+}
+
+TEST(AdviceChain, OrderingLowRunsOutermost) {
+  aop::Context ctx;
+  std::vector<int> trace;
+  process_around(ctx, "inner", 200, aop::Scope::any(), [&](auto& inv) {
+    trace.push_back(200);
+    inv.proceed();
+  });
+  process_around(ctx, "outer", 100, aop::Scope::any(), [&](auto& inv) {
+    trace.push_back(100);
+    inv.proceed();
+  });
+  auto w = ctx.create<Worker>(0);
+  std::vector<int> pack{1};
+  ctx.call<&Worker::process>(w, pack);
+  EXPECT_EQ(trace, (std::vector<int>{100, 200}));
+}
+
+TEST(AdviceChain, EqualOrderRunsInAttachOrder) {
+  aop::Context ctx;
+  std::vector<std::string> trace;
+  process_around(ctx, "first", 100, aop::Scope::any(), [&](auto& inv) {
+    trace.push_back("first");
+    inv.proceed();
+  });
+  process_around(ctx, "second", 100, aop::Scope::any(), [&](auto& inv) {
+    trace.push_back("second");
+    inv.proceed();
+  });
+  auto w = ctx.create<Worker>(0);
+  std::vector<int> pack{1};
+  ctx.call<&Worker::process>(w, pack);
+  EXPECT_EQ(trace, (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(AdviceChain, MultiProceedSplitsTheCall) {
+  // The paper's method call split (§4.1 Figure 5): one core call becomes
+  // several, each flowing through the rest of the chain independently.
+  aop::Context ctx;
+  process_around(ctx, "split", aop::order::kPartitionSplit,
+                 aop::Scope::core_only(), [](auto& inv) {
+                   auto& [pack] = inv.args();
+                   const std::size_t half = pack.size() / 2;
+                   std::vector<int> lo(pack.begin(),
+                                       pack.begin() + static_cast<long>(half));
+                   std::vector<int> hi(pack.begin() + static_cast<long>(half),
+                                       pack.end());
+                   inv.proceed_with(lo);
+                   inv.proceed_with(hi);
+                 });
+  auto w = ctx.create<Worker>(0);
+  std::vector<int> pack{1, 2, 3, 4, 5, 6};
+  ctx.call<&Worker::process>(w, pack);
+  ASSERT_EQ(w.local()->packs_seen().size(), 2u);
+  EXPECT_EQ(w.local()->packs_seen()[0], 3u);
+  EXPECT_EQ(w.local()->packs_seen()[1], 3u);
+}
+
+TEST(AdviceChain, RetargetRoutesToAnotherObject) {
+  // The farm's worker selection (§5.2): the call made to the "first"
+  // object is redirected to a chosen worker.
+  aop::Context ctx;
+  auto w1 = ctx.create<Worker>(1);
+  auto w2 = ctx.create<Worker>(2);
+  process_around(ctx, "route", aop::order::kPartitionForward,
+                 aop::Scope::any(), [w2](auto& inv) {
+                   inv.retarget(w2);
+                   inv.proceed();
+                 });
+  std::vector<int> pack{0};
+  ctx.call<&Worker::process>(w1, pack);
+  EXPECT_TRUE(w1.local()->packs_seen().empty());
+  ASSERT_EQ(w2.local()->packs_seen().size(), 1u);
+  EXPECT_EQ(pack[0], 2);  // mutated by worker 2 (id added in place)
+}
+
+TEST(AdviceChain, CtorAroundDuplicatesObjects) {
+  // Object duplication (§4.1 Figure 4): one core `new` yields a set of
+  // aspect-managed instances; the client receives the first.
+  aop::Context ctx;
+  std::vector<aop::Ref<Worker>> managed;
+  auto aspect = std::make_shared<aop::Aspect>("duplication");
+  aspect->around_new<Worker, int>(
+      aop::order::kPartitionSplit, aop::Scope::core_only(),
+      [&managed](aop::CtorInvocation<Worker, int>& inv) {
+        aop::Ref<Worker> first;
+        for (int i = 0; i < 3; ++i) {
+          auto ref = inv.proceed_with(100 + i);
+          if (!first.valid()) first = ref;
+          managed.push_back(ref);
+        }
+        return first;
+      });
+  ctx.attach(aspect);
+  auto ref = ctx.create<Worker>(0);
+  ASSERT_EQ(managed.size(), 3u);
+  EXPECT_EQ(ref.local()->id(), 100);  // client got the first duplicate
+  EXPECT_EQ(managed[1].local()->id(), 101);
+  EXPECT_EQ(managed[2].local()->id(), 102);
+}
+
+TEST(AdviceChain, CtorProceedPreservesOriginalArgs) {
+  aop::Context ctx;
+  auto aspect = std::make_shared<aop::Aspect>("dup2");
+  std::vector<aop::Ref<Worker>> refs;
+  aspect->around_new<Worker, int>(
+      aop::order::kDefault, aop::Scope::any(),
+      [&refs](aop::CtorInvocation<Worker, int>& inv) {
+        refs.push_back(inv.proceed());
+        refs.push_back(inv.proceed());  // same args, twice
+        return refs.front();
+      });
+  ctx.attach(aspect);
+  ctx.create<Worker>(7);
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0].local()->id(), 7);
+  EXPECT_EQ(refs[1].local()->id(), 7);
+  EXPECT_NE(refs[0].identity(), refs[1].identity());
+}
+
+TEST(AdviceChain, BeforeAndAfterSugar) {
+  aop::Context ctx;
+  std::vector<std::string> trace;
+  auto aspect = std::make_shared<aop::Aspect>("sugar");
+  aspect->before_method<&Worker::compute>(
+      aop::order::kDefault, aop::Scope::any(),
+      [&](auto&) { trace.push_back("before"); });
+  aspect->after_method<&Worker::compute>(
+      aop::order::kDefault, aop::Scope::any(),
+      [&](auto&) { trace.push_back("after"); });
+  ctx.attach(aspect);
+  auto w = ctx.create<Worker>(0);
+  EXPECT_EQ(ctx.call<&Worker::compute>(w, 5), 10);
+  EXPECT_EQ(trace, (std::vector<std::string>{"before", "after"}));
+}
+
+TEST(AdviceChain, AroundCanRewriteResult) {
+  aop::Context ctx;
+  auto aspect = std::make_shared<aop::Aspect>("negate");
+  aspect->around_method<&Worker::compute>(
+      aop::order::kDefault, aop::Scope::any(),
+      [](auto& inv) { return -inv.proceed(); });
+  ctx.attach(aspect);
+  auto w = ctx.create<Worker>(0);
+  EXPECT_EQ(ctx.call<&Worker::compute>(w, 5), -10);
+}
+
+TEST(AdviceChain, WildcardPatternInterceptsMultipleMethods) {
+  // The paper's logging aspect (Figure 3): `void Point.move*()`.
+  aop::Context ctx;
+  std::atomic<int> moves{0};
+  auto aspect = std::make_shared<aop::Aspect>("logging");
+  aspect->around_call<Point, void, int>(
+      aop::Pattern("Point.move*"), aop::order::kDefault, aop::Scope::any(),
+      [&moves](aop::CallInvocation<Point, void, int>& inv) {
+        ++moves;
+        inv.proceed();
+      });
+  ctx.attach(aspect);
+  auto p = ctx.create<Point>(0, 0);
+  ctx.call<&Point::moveX>(p, 10);
+  ctx.call<&Point::moveY>(p, 5);
+  EXPECT_EQ(moves.load(), 2);
+  EXPECT_EQ(p.local()->x(), 10);
+  EXPECT_EQ(p.local()->y(), 5);
+}
+
+TEST(AdviceChain, ContinuationRunsRestOfChainOnAnotherThread) {
+  // The concurrency aspect's mechanism (Figure 12): around advice captures
+  // proceed() as a closure and runs it on a new tracked thread.
+  aop::Context ctx;
+  std::atomic<int> advice_thread_ran{0};
+  process_around(ctx, "async", aop::order::kConcurrencyAsync,
+                 aop::Scope::any(), [&](auto& inv) {
+                   auto k = inv.continuation();
+                   inv.context().tasks().spawn([k, &advice_thread_ran] {
+                     k();
+                     ++advice_thread_ran;
+                   });
+                 });
+  auto w = ctx.create<Worker>(1);
+  std::vector<int> pack{1, 2, 3};
+  ctx.call<&Worker::process>(w, pack);
+  ctx.quiesce();
+  EXPECT_EQ(advice_thread_ran.load(), 1);
+  ASSERT_EQ(w.local()->packs_seen().size(), 1u);
+  // Asynchronous calls copy arguments by value: the caller's pack must be
+  // untouched even though Worker::process mutates its parameter.
+  EXPECT_EQ(pack, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(AdviceChain, ContinuationSeesDownstreamAdvice) {
+  aop::Context ctx;
+  std::vector<int> trace;
+  std::mutex trace_mutex;
+  process_around(ctx, "async", 100, aop::Scope::any(), [&](auto& inv) {
+    auto k = inv.continuation();
+    inv.context().tasks().spawn(k);
+  });
+  process_around(ctx, "downstream", 200, aop::Scope::any(), [&](auto& inv) {
+    {
+      std::lock_guard lock(trace_mutex);
+      trace.push_back(1);
+    }
+    inv.proceed();
+  });
+  auto w = ctx.create<Worker>(0);
+  std::vector<int> pack{1};
+  ctx.call<&Worker::process>(w, pack);
+  ctx.quiesce();
+  EXPECT_EQ(trace, (std::vector<int>{1}));
+  EXPECT_EQ(w.local()->packs_seen().size(), 1u);
+}
+
+TEST(AdviceChain, SplitThenPerCallAdviceComposition) {
+  // Composition of split (outer) and per-call advice (inner): the inner
+  // advice must run once per split call — the structural core of Figure 11.
+  aop::Context ctx;
+  std::atomic<int> inner_calls{0};
+  process_around(ctx, "split", 100, aop::Scope::core_only(), [](auto& inv) {
+    auto& [pack] = inv.args();
+    for (int v : pack) {
+      std::vector<int> single{v};
+      inv.proceed_with(single);
+    }
+  });
+  process_around(ctx, "counter", 200, aop::Scope::any(), [&](auto& inv) {
+    ++inner_calls;
+    inv.proceed();
+  });
+  auto w = ctx.create<Worker>(0);
+  std::vector<int> pack{1, 2, 3, 4};
+  ctx.call<&Worker::process>(w, pack);
+  EXPECT_EQ(inner_calls.load(), 4);
+  EXPECT_EQ(w.local()->packs_seen().size(), 4u);
+}

@@ -1,0 +1,168 @@
+// Exception behaviour across woven call chains: errors thrown by core
+// methods or advice must propagate through proceed() like ordinary calls,
+// and asynchronous continuations must surface them at quiesce().
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
+#include "fixtures.hpp"
+
+namespace aop = apar::aop;
+using apar::test::Worker;
+
+namespace {
+
+class Throwy {
+ public:
+  explicit Throwy(bool armed) : armed_(armed) {}
+
+  void touch(int x) {
+    ++touches_;
+    if (armed_) throw std::runtime_error("core method failed");
+    value_ += x;
+  }
+
+  [[nodiscard]] int value() const { return value_; }
+  [[nodiscard]] int touches() const { return touches_; }
+
+ private:
+  bool armed_;
+  int value_ = 0;
+  int touches_ = 0;
+};
+
+}  // namespace
+
+APAR_CLASS_NAME(Throwy, "Throwy");
+APAR_METHOD_NAME(&Throwy::touch, "touch");
+
+TEST(AdviceExceptions, CoreExceptionPropagatesThroughAdvice) {
+  aop::Context ctx;
+  std::atomic<int> unwound{0};
+  auto aspect = std::make_shared<aop::Aspect>("wrapper");
+  aspect->around_method<&Throwy::touch>(
+      aop::order::kDefault, aop::Scope::any(), [&unwound](auto& inv) {
+        try {
+          inv.proceed();
+        } catch (...) {
+          ++unwound;
+          throw;  // advice sees it, rethrows
+        }
+      });
+  ctx.attach(aspect);
+  auto t = ctx.create<Throwy>(true);
+  EXPECT_THROW(ctx.call<&Throwy::touch>(t, 1), std::runtime_error);
+  EXPECT_EQ(unwound.load(), 1);
+}
+
+TEST(AdviceExceptions, AdviceExceptionReplacesCall) {
+  aop::Context ctx;
+  auto aspect = std::make_shared<aop::Aspect>("guard");
+  aspect->around_method<&Throwy::touch>(
+      aop::order::kDefault, aop::Scope::any(), [](auto&) -> void {
+        throw std::logic_error("advice vetoed the call");
+      });
+  ctx.attach(aspect);
+  auto t = ctx.create<Throwy>(false);
+  EXPECT_THROW(ctx.call<&Throwy::touch>(t, 1), std::logic_error);
+  EXPECT_EQ(t.local()->touches(), 0);  // the core method never ran
+}
+
+TEST(AdviceExceptions, AfterAdviceSkippedOnThrowLikeAfterReturning) {
+  // after_method implements AspectJ's `after returning`: it must NOT run
+  // when the call unwinds.
+  aop::Context ctx;
+  std::atomic<int> after_runs{0};
+  auto aspect = std::make_shared<aop::Aspect>("after");
+  aspect->after_method<&Throwy::touch>(aop::order::kDefault,
+                                       aop::Scope::any(),
+                                       [&](auto&) { ++after_runs; });
+  ctx.attach(aspect);
+  auto t = ctx.create<Throwy>(true);
+  EXPECT_THROW(ctx.call<&Throwy::touch>(t, 1), std::runtime_error);
+  EXPECT_EQ(after_runs.load(), 0);
+}
+
+TEST(AdviceExceptions, CtorAdviceExceptionPropagates) {
+  aop::Context ctx;
+  auto aspect = std::make_shared<aop::Aspect>("ctor-guard");
+  aspect->around_new<Throwy, bool>(
+      aop::order::kDefault, aop::Scope::any(),
+      [](aop::CtorInvocation<Throwy, bool>&) -> aop::Ref<Throwy> {
+        throw std::runtime_error("creation vetoed");
+      });
+  ctx.attach(aspect);
+  EXPECT_THROW(ctx.create<Throwy>(false), std::runtime_error);
+}
+
+TEST(AdviceExceptions, AsyncContinuationErrorSurfacesAtQuiesce) {
+  aop::Context ctx;
+  auto aspect = std::make_shared<aop::Aspect>("async");
+  aspect->around_method<&Throwy::touch>(
+      aop::order::kConcurrencyAsync, aop::Scope::any(), [](auto& inv) {
+        auto k = inv.continuation();
+        inv.context().tasks().spawn(k);
+      });
+  ctx.attach(aspect);
+  auto t = ctx.create<Throwy>(true);
+  EXPECT_NO_THROW(ctx.call<&Throwy::touch>(t, 1));  // async: returns at once
+  EXPECT_THROW(ctx.quiesce(), std::runtime_error);  // surfaces here
+  EXPECT_NO_THROW(ctx.quiesce());                   // consumed
+}
+
+TEST(AdviceExceptions, SplitStopsAtFirstFailure) {
+  // Multi-proceed runs downstream chains sequentially; a failure in pack 2
+  // aborts pack 3 (exceptions are not swallowed by the split).
+  aop::Context ctx;
+  auto aspect = std::make_shared<aop::Aspect>("split");
+  aspect->around_method<&Throwy::touch>(
+      aop::order::kPartitionSplit, aop::Scope::core_only(), [](auto& inv) {
+        inv.proceed_with(1);
+        inv.proceed_with(2);  // will throw
+        inv.proceed_with(3);  // never reached
+      });
+  ctx.attach(aspect);
+  auto t = ctx.create<Throwy>(true);
+  EXPECT_THROW(ctx.call<&Throwy::touch>(t, 0), std::runtime_error);
+  EXPECT_EQ(t.local()->touches(), 1);
+}
+
+TEST(AdviceExceptions, CallFutureCapturesError) {
+  aop::Context ctx;
+  auto t = ctx.create<Throwy>(true);
+  auto f = ctx.call_future<&Throwy::touch>(t, 1);
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // call_future routed the error into the future; the task group saw a
+  // clean task.
+  EXPECT_NO_THROW(ctx.quiesce());
+}
+
+TEST(AdviceExceptions, ThrowingAdviceLeavesScopeStackBalanced) {
+  // After an exception unwinds through advice frames, within-scoping must
+  // still work (the thread-local stack may not leak frames).
+  aop::Context ctx;
+  auto thrower = std::make_shared<aop::Aspect>("thrower");
+  thrower->around_method<&Worker::process>(
+      aop::order::kDefault, aop::Scope::any(),
+      [](auto&) -> void { throw std::runtime_error("x"); });
+  ctx.attach(thrower);
+  auto w = ctx.create<Worker>(1);
+  std::vector<int> pack{1};
+  EXPECT_THROW(ctx.call<&Worker::process>(w, pack), std::runtime_error);
+  ctx.detach("thrower");
+
+  // A core_only advice must now fire: if a frame leaked, the stack would
+  // not be empty and core_only would reject the call.
+  std::atomic<int> core_hits{0};
+  auto probe = std::make_shared<aop::Aspect>("probe");
+  probe->around_method<&Worker::process>(
+      aop::order::kDefault, aop::Scope::core_only(), [&core_hits](auto& inv) {
+        ++core_hits;
+        inv.proceed();
+      });
+  ctx.attach(probe);
+  ctx.call<&Worker::process>(w, pack);
+  EXPECT_EQ(core_hits.load(), 1);
+}

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "apar/aop/signature.hpp"
+
+namespace aop = apar::aop;
+
+TEST(Glob, ExactMatch) {
+  EXPECT_TRUE(aop::Pattern::glob_match("filter", "filter"));
+  EXPECT_FALSE(aop::Pattern::glob_match("filter", "filters"));
+  EXPECT_FALSE(aop::Pattern::glob_match("filters", "filter"));
+}
+
+TEST(Glob, TrailingStar) {
+  EXPECT_TRUE(aop::Pattern::glob_match("move*", "moveX"));
+  EXPECT_TRUE(aop::Pattern::glob_match("move*", "move"));
+  EXPECT_FALSE(aop::Pattern::glob_match("move*", "mov"));
+}
+
+TEST(Glob, LeadingStar) {
+  EXPECT_TRUE(aop::Pattern::glob_match("*Filter", "PrimeFilter"));
+  EXPECT_FALSE(aop::Pattern::glob_match("*Filter", "PrimeFilters"));
+}
+
+TEST(Glob, InnerStar) {
+  EXPECT_TRUE(aop::Pattern::glob_match("get*Value", "getIntValue"));
+  EXPECT_TRUE(aop::Pattern::glob_match("get*Value", "getValue"));
+  EXPECT_FALSE(aop::Pattern::glob_match("get*Value", "getValues"));
+}
+
+TEST(Glob, MultipleStars) {
+  EXPECT_TRUE(aop::Pattern::glob_match("*e*t*", "element"));
+  EXPECT_TRUE(aop::Pattern::glob_match("**", "anything"));
+  EXPECT_TRUE(aop::Pattern::glob_match("*", ""));
+}
+
+TEST(Glob, StarRequiresRemainingSuffix) {
+  EXPECT_FALSE(aop::Pattern::glob_match("a*b", "a"));
+  EXPECT_TRUE(aop::Pattern::glob_match("a*b", "ab"));
+  EXPECT_TRUE(aop::Pattern::glob_match("a*b", "axxxb"));
+  EXPECT_FALSE(aop::Pattern::glob_match("a*b", "axxxbc"));
+}
+
+TEST(Pattern, ParsesClassAndMethod) {
+  const aop::Pattern p("PrimeFilter.filter");
+  EXPECT_EQ(p.class_pattern(), "PrimeFilter");
+  EXPECT_EQ(p.method_pattern(), "filter");
+}
+
+TEST(Pattern, ClassOnlyMatchesAnyMethod) {
+  const aop::Pattern p("PrimeFilter");
+  const aop::Signature sig{"PrimeFilter", "filter",
+                           aop::JoinPointKind::kMethodCall};
+  const aop::Signature ctor{"PrimeFilter", "new",
+                            aop::JoinPointKind::kConstructorCall};
+  EXPECT_TRUE(p.matches(sig));
+  EXPECT_TRUE(p.matches(ctor));
+}
+
+TEST(Pattern, WildcardMethod) {
+  const aop::Pattern p("Point.move*");
+  EXPECT_TRUE(p.matches({"Point", "moveX", aop::JoinPointKind::kMethodCall}));
+  EXPECT_TRUE(p.matches({"Point", "moveY", aop::JoinPointKind::kMethodCall}));
+  EXPECT_FALSE(p.matches({"Point", "reset", aop::JoinPointKind::kMethodCall}));
+  EXPECT_FALSE(
+      p.matches({"Line", "moveX", aop::JoinPointKind::kMethodCall}));
+}
+
+TEST(Pattern, WildcardClass) {
+  const aop::Pattern p("*.filter");
+  EXPECT_TRUE(
+      p.matches({"PrimeFilter", "filter", aop::JoinPointKind::kMethodCall}));
+  EXPECT_TRUE(p.matches({"Other", "filter", aop::JoinPointKind::kMethodCall}));
+}
+
+TEST(Pattern, DefaultMatchesEverything) {
+  const aop::Pattern p;
+  EXPECT_TRUE(p.matches({"A", "b", aop::JoinPointKind::kMethodCall}));
+  EXPECT_TRUE(p.matches({"C", "new", aop::JoinPointKind::kConstructorCall}));
+}
+
+TEST(Pattern, EmptySegmentsBecomeWildcards) {
+  const aop::Pattern p(".");
+  EXPECT_TRUE(p.matches({"A", "b", aop::JoinPointKind::kMethodCall}));
+}
+
+TEST(Signature, StrFormatsClassDotMethod) {
+  const aop::Signature sig{"PrimeFilter", "filter",
+                           aop::JoinPointKind::kMethodCall};
+  EXPECT_EQ(sig.str(), "PrimeFilter.filter");
+}

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "fixtures.hpp"
+
+namespace aop = apar::aop;
+using apar::test::Worker;
+
+TEST(Scope, CoreOnlyAdviceSkipsAspectMadeCalls) {
+  // Paper block 2 vs block 3: the split advice must apply only to calls
+  // from core functionality, or it would re-split its own calls forever.
+  aop::Context ctx;
+  std::atomic<int> split_entries{0};
+  auto splitter = std::make_shared<aop::Aspect>("split");
+  splitter->around_method<&Worker::process>(
+      aop::order::kPartitionSplit, aop::Scope::core_only(),
+      [&split_entries](auto& inv) {
+        ++split_entries;
+        auto& [pack] = inv.args();
+        // Re-issue the call through the context: a NEW top-level call from
+        // within aspect code. core_only must not intercept it again.
+        std::vector<int> copy = pack;
+        inv.context().template call<&Worker::process>(inv.target(), copy);
+      });
+  ctx.attach(splitter);
+  auto w = ctx.create<Worker>(0);
+  std::vector<int> pack{1};
+  ctx.call<&Worker::process>(w, pack);
+  EXPECT_EQ(split_entries.load(), 1);
+  EXPECT_EQ(w.local()->packs_seen().size(), 1u);
+}
+
+TEST(Scope, AnyScopedAdviceAppliesRecursively) {
+  // Paper block 3 (forward): applies to aspect-made calls too, terminating
+  // through its own data (the `next` map).
+  aop::Context ctx;
+  auto w1 = ctx.create<Worker>(1);
+  auto w2 = ctx.create<Worker>(2);
+  auto w3 = ctx.create<Worker>(3);
+  std::map<const void*, aop::Ref<Worker>> next;
+  next[w1.identity()] = w2;
+  next[w2.identity()] = w3;
+
+  auto forward = std::make_shared<aop::Aspect>("forward");
+  forward->around_method<&Worker::process>(
+      aop::order::kPartitionForward, aop::Scope::any(),
+      [&next](auto& inv) {
+        inv.proceed();
+        auto it = next.find(inv.target().identity());
+        if (it != next.end()) {
+          auto& [pack] = inv.args();
+          inv.context().template call<&Worker::process>(it->second, pack);
+        }
+      });
+  ctx.attach(forward);
+
+  std::vector<int> pack{0};
+  ctx.call<&Worker::process>(w1, pack);
+  // The call propagated down the whole chain, each stage mutating in place.
+  EXPECT_EQ(w1.local()->packs_seen().size(), 1u);
+  EXPECT_EQ(w2.local()->packs_seen().size(), 1u);
+  EXPECT_EQ(w3.local()->packs_seen().size(), 1u);
+  EXPECT_EQ(pack[0], 1 + 2 + 3);
+}
+
+TEST(Scope, WithinMatchesOnlyInsideNamedAspect) {
+  aop::Context ctx;
+  std::atomic<int> inside_calls{0};
+
+  auto outer = std::make_shared<aop::Aspect>("outer");
+  outer->around_method<&Worker::process>(
+      100, aop::Scope::core_only(), [](auto& inv) {
+        auto& [pack] = inv.args();
+        std::vector<int> copy = pack;
+        inv.context().template call<&Worker::process>(inv.target(), copy);
+      });
+
+  auto probe = std::make_shared<aop::Aspect>("probe");
+  probe->around_method<&Worker::process>(
+      200, aop::Scope::within("outer"), [&inside_calls](auto& inv) {
+        ++inside_calls;
+        inv.proceed();
+      });
+
+  ctx.attach(outer);
+  ctx.attach(probe);
+  auto w = ctx.create<Worker>(0);
+  std::vector<int> pack{1};
+  ctx.call<&Worker::process>(w, pack);
+  // probe fires only for the call initiated inside `outer`, not for the
+  // original core call.
+  EXPECT_EQ(inside_calls.load(), 1);
+}
+
+TEST(Scope, NotWithinExcludesOwnCalls) {
+  aop::Context ctx;
+  std::atomic<int> entries{0};
+  auto aspect = std::make_shared<aop::Aspect>("selfguard");
+  aspect->around_method<&Worker::process>(
+      aop::order::kDefault, aop::Scope::not_within("selfguard"),
+      [&entries](auto& inv) {
+        ++entries;
+        auto& [pack] = inv.args();
+        std::vector<int> copy = pack;
+        // Would recurse forever without the not_within scope.
+        inv.context().template call<&Worker::process>(inv.target(), copy);
+      });
+  ctx.attach(aspect);
+  auto w = ctx.create<Worker>(0);
+  std::vector<int> pack{1};
+  ctx.call<&Worker::process>(w, pack);
+  EXPECT_EQ(entries.load(), 1);
+  EXPECT_EQ(w.local()->packs_seen().size(), 1u);
+}
+
+TEST(Scope, ScopeIsEvaluatedAtCallInitiation) {
+  // An advice chain in flight keeps its initiation-time scoping even if it
+  // proceeds through several advice frames.
+  aop::Context ctx;
+  std::vector<std::string> trace;
+  auto a = std::make_shared<aop::Aspect>("A");
+  a->around_method<&Worker::process>(100, aop::Scope::core_only(),
+                                     [&trace](auto& inv) {
+                                       trace.push_back("A");
+                                       inv.proceed();
+                                     });
+  auto b = std::make_shared<aop::Aspect>("B");
+  b->around_method<&Worker::process>(200, aop::Scope::core_only(),
+                                     [&trace](auto& inv) {
+                                       trace.push_back("B");
+                                       inv.proceed();
+                                     });
+  ctx.attach(a);
+  ctx.attach(b);
+  auto w = ctx.create<Worker>(0);
+  std::vector<int> pack{1};
+  ctx.call<&Worker::process>(w, pack);
+  // B is core_only and the call was initiated in core, so B runs even
+  // though by the time the chain reaches it, frame A is on the stack.
+  EXPECT_EQ(trace, (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(Scope, ContinuationPreservesInitiationScope) {
+  // A detached (async) continuation must carry the aspect stack with it so
+  // downstream within()-scoping still sees the spawning aspect.
+  aop::Context ctx;
+  std::atomic<int> within_hits{0};
+  auto async = std::make_shared<aop::Aspect>("async");
+  async->around_method<&Worker::process>(
+      100, aop::Scope::core_only(), [](auto& inv) {
+        auto k = inv.continuation();
+        inv.context().tasks().spawn(k);
+      });
+  auto probe = std::make_shared<aop::Aspect>("probe");
+  probe->around_method<&Worker::process>(
+      200, aop::Scope::any(), [&within_hits](auto& inv) {
+        ++within_hits;
+        inv.proceed();
+      });
+  ctx.attach(async);
+  ctx.attach(probe);
+  auto w = ctx.create<Worker>(0);
+  std::vector<int> pack{1};
+  ctx.call<&Worker::process>(w, pack);
+  ctx.quiesce();
+  EXPECT_EQ(within_hits.load(), 1);
+  EXPECT_EQ(w.local()->packs_seen().size(), 1u);
+}
+
+TEST(Scope, CtorAdviceRespectsCoreOnly) {
+  aop::Context ctx;
+  std::atomic<int> duplications{0};
+  auto dup = std::make_shared<aop::Aspect>("dup");
+  dup->around_new<Worker, int>(
+      aop::order::kPartitionSplit, aop::Scope::core_only(),
+      [&duplications](aop::CtorInvocation<Worker, int>& inv) {
+        ++duplications;
+        // Creating more workers from aspect code must not re-trigger this
+        // same core_only advice.
+        auto extra = inv.context().create<Worker>(99);
+        (void)extra;
+        return inv.proceed();
+      });
+  ctx.attach(dup);
+  auto w = ctx.create<Worker>(1);
+  EXPECT_EQ(duplications.load(), 1);
+  EXPECT_EQ(w.local()->id(), 1);
+}

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fixtures.hpp"
+
+namespace ct = apar::aop::ct;
+using apar::test::Point;
+using apar::test::Worker;
+
+namespace {
+
+std::vector<std::string>& trace() {
+  static std::vector<std::string> t;
+  return t;
+}
+
+template <char Tag>
+struct Tracer {
+  template <class Next, class T, class... A>
+  static decltype(auto) around(Next&& next, T&, A&&... args) {
+    trace().push_back(std::string{Tag} + ":before");
+    if constexpr (std::is_void_v<decltype(next(std::forward<A>(args)...))>) {
+      next(std::forward<A>(args)...);
+      trace().push_back(std::string{Tag} + ":after");
+    } else {
+      decltype(auto) r = next(std::forward<A>(args)...);
+      trace().push_back(std::string{Tag} + ":after");
+      return r;
+    }
+  }
+};
+
+using TraceA = Tracer<'A'>;
+using TraceB = Tracer<'B'>;
+
+struct Doubler {
+  template <class Next, class T, class... A>
+  static auto around(Next&& next, T&, A&&... args) {
+    return 2 * next(std::forward<A>(args)...);
+  }
+};
+
+template <class Self>
+struct Migratable {
+  std::string last_migration;
+  void migrate(const std::string& node) { last_migration = node; }
+};
+
+}  // namespace
+
+TEST(StaticWeave, NoAspectsIsDirectCall) {
+  ct::Woven<Worker> woven(3);
+  EXPECT_EQ(woven.call<&Worker::compute>(10), 23);
+}
+
+TEST(StaticWeave, SingleAspectWraps) {
+  trace().clear();
+  ct::Woven<Worker, TraceA> woven(0);
+  EXPECT_EQ(woven.call<&Worker::compute>(5), 10);
+  EXPECT_EQ(trace(), (std::vector<std::string>{"A:before", "A:after"}));
+}
+
+TEST(StaticWeave, FirstListedAspectIsOutermost) {
+  trace().clear();
+  ct::Woven<Worker, TraceA, TraceB> woven(0);
+  woven.call<&Worker::compute>(1);
+  EXPECT_EQ(trace(), (std::vector<std::string>{"A:before", "B:before",
+                                               "B:after", "A:after"}));
+}
+
+TEST(StaticWeave, AspectCanTransformResult) {
+  ct::Woven<Worker, Doubler> woven(1);
+  EXPECT_EQ(woven.call<&Worker::compute>(10), 42);  // 2 * (10*2+1)
+}
+
+TEST(StaticWeave, VoidMethodsSupported) {
+  ct::Woven<Point, TraceA> woven(0, 0);
+  trace().clear();
+  woven.call<&Point::moveX>(4);
+  EXPECT_EQ(woven.object().x(), 4);
+  EXPECT_EQ(trace().size(), 2u);
+}
+
+TEST(StaticWeave, ReferenceArgumentsPassThrough) {
+  ct::Woven<Worker, TraceA> woven(5);
+  std::vector<int> pack{1, 2};
+  woven.call<&Worker::process>(pack);
+  EXPECT_EQ(pack, (std::vector<int>{6, 7}));
+}
+
+TEST(StaticWeave, IntroduceAddsMembers) {
+  // The paper's static crosscutting (Figure 2): add migrate() to Point
+  // without editing Point.
+  ct::Introduce<Point, Migratable> p(1, 2);
+  p.moveX(1);
+  p.migrate("node-3");
+  EXPECT_EQ(p.x(), 2);
+  EXPECT_EQ(p.last_migration, "node-3");
+}

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "apar/apps/heat_band.hpp"
+
+using apar::apps::HeatBand;
+
+TEST(HeatBand, StartsCold) {
+  HeatBand band(4, 4, 0, 4, 0.0);
+  for (double v : band.snapshot()) EXPECT_EQ(v, 0.0);
+  EXPECT_EQ(band.residual(), 0.0);
+}
+
+TEST(HeatBand, HeatFlowsInFromTheHotTopEdge) {
+  HeatBand band(4, 4, 0, 4, 0.0);
+  band.step();
+  const auto cells = band.snapshot();
+  // After one sweep only the top row is warm (0.25 * 1.0 from the halo).
+  EXPECT_DOUBLE_EQ(cells[0], 0.25);
+  EXPECT_DOUBLE_EQ(cells[5], 0.0);  // second row untouched yet
+  EXPECT_GT(band.residual(), 0.0);
+}
+
+TEST(HeatBand, InteriorBandHasColdDefaultHalos) {
+  HeatBand band(4, 4, /*row_offset=*/2, /*total_rows=*/8, 0.0);
+  band.step();
+  for (double v : band.snapshot()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(HeatBand, ConvergesTowardLinearProfile) {
+  HeatBand band(8, 3, 0, 8, 0.0);
+  band.run(2000);
+  const auto cells = band.snapshot();
+  // Steady state: temperature decreases monotonically away from the hot
+  // edge (middle column, away from the cold side walls).
+  for (long long r = 1; r < 8; ++r)
+    EXPECT_LT(cells[static_cast<std::size_t>(r * 3 + 1)],
+              cells[static_cast<std::size_t>((r - 1) * 3 + 1)]);
+  EXPECT_LT(band.residual(), 1e-4);
+}
+
+TEST(HeatBand, HaloSettersFeedNextStep) {
+  HeatBand band(2, 2, 4, 8, 0.0);  // interior band: cold halos
+  band.set_halo_above({1.0, 1.0});
+  band.step();
+  const auto cells = band.snapshot();
+  EXPECT_DOUBLE_EQ(cells[0], 0.25);
+  EXPECT_DOUBLE_EQ(cells[1], 0.25);
+  EXPECT_DOUBLE_EQ(cells[2], 0.0);
+}
+
+TEST(HeatBand, TopAndBottomRowAccessors) {
+  HeatBand band(3, 2, 0, 3, 0.0);
+  band.step();
+  const auto top = band.top_row();
+  const auto bottom = band.bottom_row();
+  ASSERT_EQ(top.size(), 2u);
+  ASSERT_EQ(bottom.size(), 2u);
+  EXPECT_DOUBLE_EQ(top[0], 0.25);
+  EXPECT_DOUBLE_EQ(bottom[0], 0.0);
+}
+
+TEST(HeatBand, RunEqualsRepeatedSteps) {
+  HeatBand a(5, 5, 0, 5, 0.0), b(5, 5, 0, 5, 0.0);
+  a.run(10);
+  for (int i = 0; i < 10; ++i) b.step();
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+}

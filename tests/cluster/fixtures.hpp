@@ -1,0 +1,46 @@
+#pragma once
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "apar/cluster/cluster.hpp"
+#include "apar/cluster/middleware.hpp"
+
+namespace apar::test {
+
+/// A small distributable class for cluster tests.
+class Counter {
+ public:
+  Counter() = default;
+  explicit Counter(long long start) : value_(start) {}
+
+  void add(long long delta) { value_ += delta; }
+  [[nodiscard]] long long get() const { return value_; }
+
+  /// Mutates its argument in place (exercises copy-restore replies) and
+  /// accumulates the sum (exercises server-side state).
+  void absorb(std::vector<long long>& pack) {
+    value_ += std::accumulate(pack.begin(), pack.end(), 0LL);
+    for (auto& v : pack) v = 0;
+  }
+
+  [[nodiscard]] std::string greet(const std::string& who) const {
+    return "hello " + who;
+  }
+
+ private:
+  long long value_ = 0;
+};
+
+/// Register Counter with a cluster's RPC registry.
+inline void register_counter(apar::cluster::rpc::Registry& registry) {
+  registry.bind<Counter>("Counter")
+      .ctor<long long>()
+      .method<&Counter::add>("add")
+      .method<&Counter::get>("get")
+      .method<&Counter::absorb>("absorb")
+      .method<&Counter::greet>("greet");
+}
+
+}  // namespace apar::test

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "apar/common/stopwatch.hpp"
+#include "fixtures.hpp"
+
+namespace ac = apar::cluster;
+namespace as = apar::serial;
+using apar::test::Counter;
+using apar::test::register_counter;
+
+TEST(NodeEdge, RouteToUnknownNodeThrows) {
+  ac::Cluster cluster(ac::Cluster::Options{2, 1});
+  ac::Message msg;
+  msg.dst = 99;
+  EXPECT_THROW(cluster.route(std::move(msg)), std::out_of_range);
+}
+
+TEST(NodeEdge, ExecutedCallsCountCreatesAndCalls) {
+  ac::Cluster cluster(ac::Cluster::Options{1, 2});
+  register_counter(cluster.registry());
+  ac::MppMiddleware mpp(cluster, ac::CostModel::loopback());
+  const auto h = mpp.create(0, "Counter", as::encode(mpp.wire_format(), 0LL));
+  mpp.invoke(h, "add", as::encode(mpp.wire_format(), 1LL));
+  mpp.invoke(h, "get", as::encode(mpp.wire_format()));
+  EXPECT_EQ(cluster.node(0).executed_calls(), 3u);
+}
+
+TEST(NodeEdge, ObjectAccessorExposesHostedInstance) {
+  ac::Cluster cluster(ac::Cluster::Options{1, 1});
+  register_counter(cluster.registry());
+  ac::MppMiddleware mpp(cluster, ac::CostModel::loopback());
+  const auto h = mpp.create(0, "Counter", as::encode(mpp.wire_format(), 9LL));
+  auto instance = cluster.node(0).object(h.object);
+  ASSERT_NE(instance, nullptr);
+  EXPECT_EQ(static_cast<Counter*>(instance.get())->get(), 9);
+  EXPECT_EQ(cluster.node(0).object(424242), nullptr);
+}
+
+TEST(NodeEdge, ShutdownIsIdempotent) {
+  ac::Cluster cluster(ac::Cluster::Options{1, 1});
+  cluster.node(0).shutdown();
+  EXPECT_NO_THROW(cluster.node(0).shutdown());
+  EXPECT_NO_THROW(cluster.shutdown());
+}
+
+TEST(NodeEdge, CrashAfterShutdownIsHarmless) {
+  ac::Cluster cluster(ac::Cluster::Options{1, 1});
+  cluster.node(0).shutdown();
+  EXPECT_NO_THROW(cluster.node(0).crash());
+}
+
+TEST(NodeEdge, ZeroNodesClampedToOne) {
+  ac::Cluster cluster(ac::Cluster::Options{0, 0});
+  EXPECT_EQ(cluster.size(), 1u);
+}
+
+TEST(CostModelEdge, MessageCostScalesWithBytes) {
+  const auto rmi = ac::CostModel::rmi();
+  EXPECT_GT(rmi.message_cost_us(1 << 20), rmi.message_cost_us(1024));
+  EXPECT_DOUBLE_EQ(ac::CostModel::loopback().message_cost_us(1 << 20), 0.0);
+}
+
+TEST(CostModelEdge, ChargeZeroReturnsInstantly) {
+  apar::common::Stopwatch sw;
+  ac::charge_us(0.0);
+  ac::charge_us(-5.0);
+  EXPECT_LT(sw.millis(), 5.0);
+}

@@ -1,0 +1,73 @@
+#include "apar/common/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ac = apar::common;
+
+namespace {
+ac::Config parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ac::Config(static_cast<int>(argv.size()), argv.data());
+}
+}  // namespace
+
+TEST(Config, SpaceSeparatedValue) {
+  const auto c = parse({"--filters", "16"});
+  EXPECT_EQ(c.get_int("filters", 0), 16);
+}
+
+TEST(Config, EqualsSeparatedValue) {
+  const auto c = parse({"--strategy=farm"});
+  EXPECT_EQ(c.get("strategy"), "farm");
+}
+
+TEST(Config, BareFlagIsTrue) {
+  const auto c = parse({"--verbose"});
+  EXPECT_TRUE(c.get_bool("verbose", false));
+  EXPECT_TRUE(c.has("verbose"));
+}
+
+TEST(Config, MissingKeyUsesFallback) {
+  const auto c = parse({});
+  EXPECT_EQ(c.get_int("filters", 7), 7);
+  EXPECT_EQ(c.get("strategy", "pipeline"), "pipeline");
+  EXPECT_FALSE(c.has("filters"));
+}
+
+TEST(Config, PositionalArguments) {
+  const auto c = parse({"input.txt", "--n", "3", "output.txt"});
+  ASSERT_EQ(c.positional().size(), 2u);
+  EXPECT_EQ(c.positional()[0], "input.txt");
+  EXPECT_EQ(c.positional()[1], "output.txt");
+}
+
+TEST(Config, DoubleParsing) {
+  const auto c = parse({"--latency-us=12.5"});
+  EXPECT_DOUBLE_EQ(c.get_double("latency-us", 0.0), 12.5);
+}
+
+TEST(Config, BoolSpellings) {
+  EXPECT_TRUE(parse({"--a=1"}).get_bool("a", false));
+  EXPECT_TRUE(parse({"--a=yes"}).get_bool("a", false));
+  EXPECT_TRUE(parse({"--a=on"}).get_bool("a", false));
+  EXPECT_FALSE(parse({"--a=0"}).get_bool("a", true));
+  EXPECT_FALSE(parse({"--a=no"}).get_bool("a", true));
+}
+
+TEST(Config, MalformedNumberFallsBack) {
+  const auto c = parse({"--n=notanumber"});
+  EXPECT_EQ(c.get_int("n", 42), 42);
+}
+
+TEST(Config, ProgrammaticSetOverrides) {
+  auto c = parse({"--n=1"});
+  c.set("n", "2");
+  EXPECT_EQ(c.get_int("n", 0), 2);
+}
+
+TEST(Config, FlagFollowedByFlag) {
+  const auto c = parse({"--a", "--b", "3"});
+  EXPECT_TRUE(c.get_bool("a", false));
+  EXPECT_EQ(c.get_int("b", 0), 3);
+}

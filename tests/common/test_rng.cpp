@@ -1,0 +1,71 @@
+#include "apar/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ac = apar::common;
+
+TEST(Rng, DeterministicForSameSeed) {
+  ac::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  ac::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestoresSequence) {
+  ac::Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a());
+  a.reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), first[static_cast<size_t>(i)]);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  ac::Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  ac::Rng r(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform(5, 5), 5u);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  ac::Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01CoversRangeRoughly) {
+  ac::Rng r(13);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform01();
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, ProducesDistinctValues) {
+  ac::Rng r(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r());
+  EXPECT_EQ(seen.size(), 1000u);
+}

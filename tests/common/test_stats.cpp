@@ -1,0 +1,72 @@
+#include "apar/common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ac = apar::common;
+
+TEST(Stats, MedianOddCount) {
+  EXPECT_DOUBLE_EQ(ac::median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Stats, MedianEvenCountAveragesMiddlePair) {
+  EXPECT_DOUBLE_EQ(ac::median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, MedianSingleElement) { EXPECT_DOUBLE_EQ(ac::median({7.5}), 7.5); }
+
+TEST(Stats, MedianEmptyIsZero) { EXPECT_DOUBLE_EQ(ac::median({}), 0.0); }
+
+TEST(Stats, MedianOfFiveMatchesPaperAggregation) {
+  // The paper reports "median of five executions".
+  EXPECT_DOUBLE_EQ(ac::median({5.0, 4.0, 1.0, 2.0, 3.0}), 3.0);
+}
+
+TEST(Stats, SummaryBasics) {
+  const auto s = ac::summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+}
+
+TEST(Stats, SummaryEmpty) {
+  const auto s = ac::summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(ac::percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(ac::percentile(v, 100), 40.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(ac::percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(ac::percentile(v, 25), 2.5);
+}
+
+TEST(Stats, AccumulatorMatchesSummary) {
+  ac::Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.stddev(), 2.13809, 1e-4);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Stats, AccumulatorSingleObservationHasZeroVariance) {
+  ac::Accumulator acc;
+  acc.add(42.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Stats, MedianDoesNotRequireSortedInput) {
+  EXPECT_DOUBLE_EQ(ac::median({9.0, 1.0, 8.0, 2.0, 7.0, 3.0, 5.0}), 5.0);
+}

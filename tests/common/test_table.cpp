@@ -1,0 +1,59 @@
+#include "apar/common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ac = apar::common;
+
+TEST(Table, AlignsColumns) {
+  ac::Table t({"Filters", "Time"});
+  t.add_row({"1", "6.10"});
+  t.add_row({"16", "1.25"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("Filters  Time"), std::string::npos);
+  EXPECT_NE(out.find("-------  ----"), std::string::npos);
+  EXPECT_NE(out.find("16       1.25"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  ac::Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_NO_THROW(t.str());
+}
+
+TEST(Table, LongRowExtendsColumnCount) {
+  ac::Table t({"a"});
+  t.add_row({"x", "y"});
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  ac::Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, IndentPrefixesEveryLine) {
+  ac::Table t({"h"});
+  t.add_row({"v"});
+  const std::string out = t.str(2);
+  EXPECT_EQ(out.rfind("  h", 0), 0u);
+  EXPECT_NE(out.find("\n  -"), std::string::npos);
+  EXPECT_NE(out.find("\n  v"), std::string::npos);
+}
+
+TEST(TableFormat, Seconds) { EXPECT_EQ(ac::fmt_seconds(3.14159), "3.142"); }
+
+TEST(TableFormat, Millis) { EXPECT_EQ(ac::fmt_millis(12.345), "12.35 ms"); }
+
+TEST(TableFormat, RatioAboveOne) { EXPECT_EQ(ac::fmt_ratio(1.042), "+4.2%"); }
+
+TEST(TableFormat, RatioBelowOne) { EXPECT_EQ(ac::fmt_ratio(0.958), "-4.2%"); }
+
+TEST(TableFormat, CountThousandsSeparators) {
+  EXPECT_EQ(ac::fmt_count(10000000), "10,000,000");
+  EXPECT_EQ(ac::fmt_count(999), "999");
+  EXPECT_EQ(ac::fmt_count(1000), "1,000");
+  EXPECT_EQ(ac::fmt_count(-1234567), "-1,234,567");
+  EXPECT_EQ(ac::fmt_count(0), "0");
+}

@@ -1,0 +1,57 @@
+#include "apar/concurrency/active_object.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace acc = apar::concurrency;
+
+TEST(ActiveObject, TasksRunInFifoOrder) {
+  acc::ThreadPool pool(4);
+  acc::ActiveObject active(pool);
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i)
+    active.enqueue([&order, i] { order.push_back(i); });  // no lock needed
+  pool.drain();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ActiveObject, NeverRunsTwoTasksConcurrently) {
+  acc::ThreadPool pool(4);
+  acc::ActiveObject active(pool);
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlap{false};
+  for (int i = 0; i < 200; ++i)
+    active.enqueue([&] {
+      if (++inside > 1) overlap = true;
+      --inside;
+    });
+  pool.drain();
+  EXPECT_FALSE(overlap.load());
+}
+
+TEST(ActiveObject, IndependentObjectsRunConcurrently) {
+  acc::ThreadPool pool(4);
+  acc::ActiveObject a(pool), b(pool);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    a.enqueue([&] { ++done; });
+    b.enqueue([&] { ++done; });
+  }
+  pool.drain();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ActiveObject, EnqueueFromWithinTask) {
+  acc::ThreadPool pool(2);
+  acc::ActiveObject active(pool);
+  std::atomic<int> count{0};
+  active.enqueue([&] {
+    ++count;
+    active.enqueue([&] { ++count; });
+  });
+  pool.drain();
+  EXPECT_EQ(count.load(), 2);
+}

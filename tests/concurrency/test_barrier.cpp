@@ -1,0 +1,89 @@
+#include "apar/concurrency/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace acc = apar::concurrency;
+
+TEST(CyclicBarrier, AllPartiesProceedTogether) {
+  constexpr std::size_t kParties = 4;
+  acc::CyclicBarrier barrier(kParties);
+  std::atomic<int> before{0};
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kParties; ++t)
+    threads.emplace_back([&] {
+      ++before;
+      barrier.arrive_and_wait();
+      if (before.load() != static_cast<int>(kParties)) violation = true;
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(CyclicBarrier, ReusableAcrossGenerations) {
+  constexpr std::size_t kParties = 3;
+  constexpr std::size_t kIterations = 50;
+  acc::CyclicBarrier barrier(kParties);
+  std::atomic<long> total{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kParties; ++t)
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < kIterations; ++i) {
+        ++total;
+        const std::size_t gen = barrier.arrive_and_wait();
+        EXPECT_EQ(gen, i);
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(total.load(), static_cast<long>(kParties * kIterations));
+  EXPECT_EQ(barrier.generation(), kIterations);
+}
+
+TEST(CyclicBarrier, SinglePartyNeverBlocks) {
+  acc::CyclicBarrier barrier(1);
+  EXPECT_EQ(barrier.arrive_and_wait(), 0u);
+  EXPECT_EQ(barrier.arrive_and_wait(), 1u);
+}
+
+TEST(CyclicBarrier, ZeroPartiesClampedToOne) {
+  acc::CyclicBarrier barrier(0);
+  EXPECT_EQ(barrier.parties(), 1u);
+}
+
+TEST(ParallelismLimiter, CapsConcurrency) {
+  acc::ParallelismLimiter limiter(2);
+  std::atomic<int> inside{0};
+  std::atomic<int> peak{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&] {
+      auto permit = limiter.permit();
+      const int now = ++inside;
+      int expected = peak.load();
+      while (expected < now && !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      --inside;
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_LE(peak.load(), 2);
+  EXPECT_GE(peak.load(), 1);
+}
+
+TEST(ParallelismLimiter, PermitMoveTransfersOwnership) {
+  acc::ParallelismLimiter limiter(1);
+  {
+    auto p1 = limiter.permit();
+    auto p2 = std::move(p1);
+    // p1 must not release on destruction; p2 holds the permit until scope
+    // end. If double-released, the next permit() would not block when it
+    // should — checked indirectly by CapsConcurrency.
+  }
+  auto p3 = limiter.permit();  // must not deadlock
+  EXPECT_EQ(limiter.limit(), 1u);
+}

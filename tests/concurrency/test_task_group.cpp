@@ -1,0 +1,118 @@
+#include "apar/concurrency/task_group.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "apar/concurrency/thread_pool.hpp"
+
+namespace acc = apar::concurrency;
+
+TEST(TaskGroup, WaitJoinsSpawnedThreads) {
+  acc::TaskGroup group;
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i)
+    group.spawn([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ++count;
+    });
+  group.wait();
+  EXPECT_EQ(count.load(), 20);
+  EXPECT_EQ(group.outstanding(), 0u);
+}
+
+TEST(TaskGroup, TasksMaySpawnTasks) {
+  acc::TaskGroup group;
+  std::atomic<int> count{0};
+  group.spawn([&] {
+    ++count;
+    group.spawn([&] {
+      ++count;
+      group.spawn([&] { ++count; });
+    });
+  });
+  group.wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(TaskGroup, WaitRethrowsFirstException) {
+  acc::TaskGroup group;
+  group.spawn([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(TaskGroup, ReusableAfterWait) {
+  acc::TaskGroup group;
+  std::atomic<int> count{0};
+  group.spawn([&] { ++count; });
+  group.wait();
+  group.spawn([&] { ++count; });
+  group.wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(TaskGroup, ErrorClearedAfterRethrow) {
+  acc::TaskGroup group;
+  group.spawn([] { throw std::runtime_error("once"); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  group.spawn([] {});
+  EXPECT_NO_THROW(group.wait());
+}
+
+TEST(TaskGroup, RunOnPoolIsTracked) {
+  acc::ThreadPool pool(2);
+  acc::TaskGroup group;
+  std::atomic<int> count{0};
+  for (int i = 0; i < 30; ++i)
+    group.run_on(pool, [&] { ++count; });
+  group.wait();
+  EXPECT_EQ(count.load(), 30);
+}
+
+TEST(TaskGroup, RunOnPropagatesException) {
+  acc::ThreadPool pool(1);
+  acc::TaskGroup group;
+  group.run_on(pool, [] { throw std::logic_error("pool task failed"); });
+  EXPECT_THROW(group.wait(), std::logic_error);
+}
+
+TEST(TaskGroup, ManualEnterLeave) {
+  acc::TaskGroup group;
+  group.enter();
+  EXPECT_EQ(group.outstanding(), 1u);
+  std::thread t([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    group.leave();
+  });
+  group.wait();
+  EXPECT_EQ(group.outstanding(), 0u);
+  t.join();
+}
+
+TEST(TaskGroup, ManualLeaveWithError) {
+  acc::TaskGroup group;
+  group.enter();
+  group.leave(std::make_exception_ptr(std::runtime_error("manual")));
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(TaskGroup, WaitOnEmptyGroupReturnsImmediately) {
+  acc::TaskGroup group;
+  EXPECT_NO_THROW(group.wait());
+}
+
+TEST(TaskGroup, DestructorJoinsOutstandingWork) {
+  std::atomic<int> count{0};
+  {
+    acc::TaskGroup group;
+    for (int i = 0; i < 5; ++i)
+      group.spawn([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        ++count;
+      });
+  }
+  EXPECT_EQ(count.load(), 5);
+}

@@ -1,0 +1,101 @@
+#include "apar/concurrency/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace acc = apar::concurrency;
+
+TEST(ThreadPool, RunsPostedTasks) {
+  acc::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.post([&] { ++count; });
+  pool.drain();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  acc::ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitVoid) {
+  acc::ThreadPool pool(2);
+  std::atomic<bool> ran{false};
+  auto f = pool.submit([&] { ran = true; });
+  f.get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  acc::ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  acc::ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    acc::ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      pool.post([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++count;
+      });
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, TasksRunConcurrently) {
+  acc::ThreadPool pool(4);
+  std::atomic<int> inside{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 4; ++i)
+    pool.post([&] {
+      const int now = ++inside;
+      int expected = peak.load();
+      while (expected < now &&
+             !peak.compare_exchange_weak(expected, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      --inside;
+    });
+  pool.drain();
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(ThreadPool, DrainWaitsForRunningTasks) {
+  acc::ThreadPool pool(2);
+  std::atomic<bool> done{false};
+  pool.post([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    done = true;
+  });
+  pool.drain();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(ThreadPool, PendingReportsQueueDepth) {
+  acc::ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  pool.post([&] {
+    while (!release) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  // Give the worker time to pick up the blocker, then stack tasks behind it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  for (int i = 0; i < 5; ++i) pool.post([] {});
+  EXPECT_GE(pool.pending(), 4u);
+  release = true;
+  pool.drain();
+  EXPECT_EQ(pool.pending(), 0u);
+}

@@ -1,0 +1,148 @@
+#include "apar/serial/archive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace as = apar::serial;
+
+/// Roundtrip tests are parameterized over both wire formats: every value
+/// must survive either encoding unchanged.
+class ArchiveRoundtrip : public ::testing::TestWithParam<as::Format> {};
+
+INSTANTIATE_TEST_SUITE_P(Formats, ArchiveRoundtrip,
+                         ::testing::Values(as::Format::kCompact,
+                                           as::Format::kVerbose),
+                         [](const auto& info) {
+                           return info.param == as::Format::kCompact
+                                      ? "Compact"
+                                      : "Verbose";
+                         });
+
+TEST_P(ArchiveRoundtrip, Scalars) {
+  const auto buf = as::encode(GetParam(), std::int32_t{-5}, std::uint64_t{99},
+                              3.25, true, std::int8_t{-1});
+  const auto [i, u, d, b, c] =
+      as::decode<std::int32_t, std::uint64_t, double, bool, std::int8_t>(
+          buf, GetParam());
+  EXPECT_EQ(i, -5);
+  EXPECT_EQ(u, 99u);
+  EXPECT_DOUBLE_EQ(d, 3.25);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(c, -1);
+}
+
+TEST_P(ArchiveRoundtrip, Strings) {
+  const auto buf =
+      as::encode(GetParam(), std::string("hello"), std::string(""),
+                 std::string(1000, 'x'));
+  const auto [a, b, c] =
+      as::decode<std::string, std::string, std::string>(buf, GetParam());
+  EXPECT_EQ(a, "hello");
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.size(), 1000u);
+}
+
+TEST_P(ArchiveRoundtrip, ArithmeticVectorBulk) {
+  std::vector<long long> v;
+  for (long long i = 0; i < 10000; ++i) v.push_back(i * i);
+  const auto buf = as::encode(GetParam(), v);
+  const auto [out] = as::decode<std::vector<long long>>(buf, GetParam());
+  EXPECT_EQ(out, v);
+}
+
+TEST_P(ArchiveRoundtrip, EmptyVector) {
+  const std::vector<int> v;
+  const auto buf = as::encode(GetParam(), v);
+  const auto [out] = as::decode<std::vector<int>>(buf, GetParam());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(ArchiveRoundtrip, NestedVectors) {
+  const std::vector<std::vector<int>> v{{1, 2}, {}, {3}};
+  const auto buf = as::encode(GetParam(), v);
+  const auto [out] =
+      as::decode<std::vector<std::vector<int>>>(buf, GetParam());
+  EXPECT_EQ(out, v);
+}
+
+TEST_P(ArchiveRoundtrip, PairsAndTuples) {
+  const std::pair<int, std::string> p{7, "seven"};
+  const std::tuple<double, bool, std::string> t{1.5, false, "t"};
+  const auto buf = as::encode(GetParam(), p, t);
+  const auto [po, to] =
+      as::decode<std::pair<int, std::string>,
+                 std::tuple<double, bool, std::string>>(buf, GetParam());
+  EXPECT_EQ(po, p);
+  EXPECT_EQ(to, t);
+}
+
+TEST_P(ArchiveRoundtrip, Optionals) {
+  const std::optional<int> some = 42;
+  const std::optional<int> none;
+  const auto buf = as::encode(GetParam(), some, none);
+  const auto [a, b] =
+      as::decode<std::optional<int>, std::optional<int>>(buf, GetParam());
+  EXPECT_EQ(a, some);
+  EXPECT_EQ(b, none);
+}
+
+TEST_P(ArchiveRoundtrip, Maps) {
+  const std::map<std::string, int> m{{"one", 1}, {"two", 2}};
+  const auto buf = as::encode(GetParam(), m);
+  const auto [out] =
+      as::decode<std::map<std::string, int>>(buf, GetParam());
+  EXPECT_EQ(out, m);
+}
+
+TEST_P(ArchiveRoundtrip, Enums) {
+  enum class Color : std::uint8_t { kRed = 1, kBlue = 2 };
+  as::Writer w(GetParam());
+  w.value(Color::kBlue);
+  as::Reader r(w.bytes(), GetParam());
+  Color c{};
+  r.value(c);
+  EXPECT_EQ(c, Color::kBlue);
+}
+
+TEST_P(ArchiveRoundtrip, TruncatedInputThrows) {
+  auto buf = as::encode(GetParam(), std::string("hello world"));
+  buf.resize(buf.size() / 2);
+  EXPECT_THROW((as::decode<std::string>(buf, GetParam())),
+               as::SerialError);
+}
+
+TEST_P(ArchiveRoundtrip, TrailingBytesDetected) {
+  auto buf = as::encode(GetParam(), std::int32_t{1});
+  buf.push_back(std::byte{0});
+  EXPECT_THROW((as::decode<std::int32_t>(buf, GetParam())), as::SerialError);
+}
+
+TEST(ArchiveVarint, LengthBoundaries) {
+  as::Writer w;
+  for (std::size_t n : {std::size_t{0}, std::size_t{127}, std::size_t{128},
+                        std::size_t{16383}, std::size_t{16384},
+                        std::size_t{1} << 40}) {
+    w.length(n);
+  }
+  as::Reader r(w.bytes());
+  EXPECT_EQ(r.length(), 0u);
+  EXPECT_EQ(r.length(), 127u);
+  EXPECT_EQ(r.length(), 128u);
+  EXPECT_EQ(r.length(), 16383u);
+  EXPECT_EQ(r.length(), 16384u);
+  EXPECT_EQ(r.length(), std::size_t{1} << 40);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ArchiveVarint, SingleByteFor127) {
+  as::Writer w;
+  w.length(127);
+  EXPECT_EQ(w.size(), 1u);
+  w.length(128);
+  EXPECT_EQ(w.size(), 3u);  // +2 bytes
+}

@@ -1,0 +1,95 @@
+#include "apar/serial/archive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace as = apar::serial;
+
+// The verbose (RMI-like) format must be self-describing and strictly larger
+// than the compact (MPP-like) format for the same data — this size gap is
+// one of the two mechanisms behind FarmMPP < FarmRMI in Figure 17 (the
+// other being the per-call handshake).
+
+TEST(Formats, VerboseLargerThanCompactForScalars) {
+  const auto compact = as::encode(as::Format::kCompact, 1, 2.0, true);
+  const auto verbose = as::encode(as::Format::kVerbose, 1, 2.0, true);
+  EXPECT_GT(verbose.size(), compact.size());
+}
+
+TEST(Formats, VerboseOverheadShrinksForBulkData) {
+  // Element tags are hoisted for arithmetic vectors, so the relative
+  // overhead must approach 1 as payloads grow.
+  std::vector<long long> small(4, 1), big(100000, 1);
+  const double small_ratio = as::verbose_overhead(small);
+  const double big_ratio = as::verbose_overhead(big);
+  EXPECT_GT(small_ratio, 1.0);
+  EXPECT_LT(big_ratio, small_ratio);
+  EXPECT_LT(big_ratio, 1.01);
+}
+
+TEST(Formats, CompactScalarIsExactlyPayloadSized) {
+  const auto buf = as::encode(as::Format::kCompact, std::int64_t{5});
+  EXPECT_EQ(buf.size(), sizeof(std::int64_t));
+}
+
+TEST(Formats, VerboseScalarCarriesTag) {
+  const auto buf = as::encode(as::Format::kVerbose, std::int64_t{5});
+  EXPECT_EQ(buf.size(), sizeof(std::int64_t) + 1);
+}
+
+TEST(Formats, VerboseDetectsTypeConfusion) {
+  // Writing an int32 and reading a double must fail loudly in verbose mode.
+  const auto buf = as::encode(as::Format::kVerbose, std::int32_t{1234});
+  as::Reader r(buf, as::Format::kVerbose);
+  double wrong = 0;
+  EXPECT_THROW(r.value(wrong), as::SerialError);
+}
+
+TEST(Formats, VerboseDetectsSequenceElementConfusion) {
+  const auto buf =
+      as::encode(as::Format::kVerbose, std::vector<double>{1.0, 2.0});
+  as::Reader r(buf, as::Format::kVerbose);
+  std::vector<std::string> wrong;
+  EXPECT_THROW(r.value(wrong), as::SerialError);
+}
+
+TEST(Formats, CompactDoesNotDetectTypeConfusion) {
+  // Documented trade-off: compact trusts the endpoints (like MPP / raw MPI
+  // buffers); same-width reinterpretation succeeds.
+  const auto buf = as::encode(as::Format::kCompact, std::uint64_t{7});
+  as::Reader r(buf, as::Format::kCompact);
+  std::int64_t reinterpreted = 0;
+  EXPECT_NO_THROW(r.value(reinterpreted));
+  EXPECT_EQ(reinterpreted, 7);
+}
+
+TEST(Formats, ObjectHeaderTravelsOnlyInVerbose) {
+  as::Writer wc(as::Format::kCompact);
+  wc.begin_object("PrimeFilter");
+  EXPECT_EQ(wc.size(), 0u);
+
+  as::Writer wv(as::Format::kVerbose);
+  wv.begin_object("PrimeFilter");
+  EXPECT_GT(wv.size(), std::string("PrimeFilter").size());
+
+  as::Reader rv(wv.bytes(), as::Format::kVerbose);
+  EXPECT_EQ(rv.begin_object(), "PrimeFilter");
+}
+
+TEST(Formats, FormatMismatchFailsLoudlyOrHarmlessly) {
+  // Verbose reader on compact bytes must throw (bad tags), never crash.
+  const auto compact = as::encode(as::Format::kCompact, std::string("abc"));
+  as::Reader r(compact, as::Format::kVerbose);
+  std::string s;
+  EXPECT_THROW(r.value(s), as::SerialError);
+}
+
+TEST(Formats, WriterTakeMovesBufferOut) {
+  as::Writer w;
+  w.value(std::int32_t{1});
+  auto buf = w.take();
+  EXPECT_EQ(buf.size(), sizeof(std::int32_t));
+  EXPECT_EQ(w.size(), 0u);
+}

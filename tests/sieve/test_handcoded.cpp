@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "apar/sieve/handcoded.hpp"
+#include "apar/sieve/workload.hpp"
+
+namespace sv = apar::sieve;
+
+namespace {
+sv::SieveConfig small_config(std::size_t filters) {
+  sv::SieveConfig cfg;
+  cfg.max = 30'000;
+  cfg.filters = filters;
+  cfg.pack_size = 2'000;
+  cfg.ns_per_op = 0.0;
+  cfg.nodes = 3;
+  cfg.node_executors = 2;
+  return cfg;
+}
+}  // namespace
+
+TEST(Handcoded, PipelineRmiFindsReferencePrimes) {
+  for (std::size_t filters : {std::size_t{1}, std::size_t{3}}) {
+    const auto result =
+        sv::handcoded::run_pipeline_rmi(small_config(filters));
+    EXPECT_EQ(result.primes, sv::count_primes_up_to(30'000))
+        << filters << " filters";
+    EXPECT_GT(result.sync_messages, 0u);
+  }
+}
+
+TEST(Handcoded, FarmThreadsFindsReferencePrimes) {
+  for (std::size_t filters : {std::size_t{1}, std::size_t{4}}) {
+    const auto result =
+        sv::handcoded::run_farm_threads(small_config(filters));
+    EXPECT_EQ(result.primes, sv::count_primes_up_to(30'000))
+        << filters << " filters";
+  }
+}
+
+TEST(Handcoded, PipelineMessageCountMatchesWovenTopology) {
+  // The hand-coded baseline must exercise the same communication pattern
+  // as the woven PipeRMI version, or the Figure 16 comparison is unfair:
+  // packs x filters filter-calls + packs collect-calls + creations.
+  auto cfg = small_config(3);
+  const std::size_t packs =
+      (sv::odd_candidates(cfg.max).size() + cfg.pack_size - 1) /
+      cfg.pack_size;
+  const auto result = sv::handcoded::run_pipeline_rmi(cfg);
+  EXPECT_GE(result.sync_messages, packs * 3 + packs + 3);
+}

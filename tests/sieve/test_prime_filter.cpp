@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apar/common/stopwatch.hpp"
+#include "apar/sieve/prime_filter.hpp"
+#include "apar/sieve/workload.hpp"
+
+using apar::sieve::PrimeFilter;
+namespace sv = apar::sieve;
+
+TEST(Workload, Isqrt) {
+  EXPECT_EQ(sv::isqrt(0), 0);
+  EXPECT_EQ(sv::isqrt(1), 1);
+  EXPECT_EQ(sv::isqrt(3), 1);
+  EXPECT_EQ(sv::isqrt(4), 2);
+  EXPECT_EQ(sv::isqrt(99), 9);
+  EXPECT_EQ(sv::isqrt(100), 10);
+  EXPECT_EQ(sv::isqrt(10'000'000), 3162);
+}
+
+TEST(Workload, PrimesUpToKnownValues) {
+  EXPECT_EQ(sv::primes_up_to(1).size(), 0u);
+  EXPECT_EQ(sv::primes_up_to(2), (std::vector<long long>{2}));
+  EXPECT_EQ(sv::primes_up_to(20),
+            (std::vector<long long>{2, 3, 5, 7, 11, 13, 17, 19}));
+  // pi(10^4) = 1229, pi(10^5) = 9592 (classic table values).
+  EXPECT_EQ(sv::count_primes_up_to(10'000), 1229);
+  EXPECT_EQ(sv::count_primes_up_to(100'000), 9592);
+}
+
+TEST(Workload, OddCandidatesRange) {
+  const auto cands = sv::odd_candidates(100);  // root = 10
+  ASSERT_FALSE(cands.empty());
+  EXPECT_EQ(cands.front(), 11);
+  EXPECT_EQ(cands.back(), 99);
+  for (long long c : cands) EXPECT_EQ(c % 2, 1);
+  EXPECT_EQ(cands.size(), 45u);
+}
+
+TEST(Workload, BalancedRangesCoverBasePrimes) {
+  const auto ranges = sv::balanced_prime_ranges(10'000, 4);
+  ASSERT_EQ(ranges.size(), 4u);
+  EXPECT_EQ(ranges.front().first, 2);
+  EXPECT_EQ(ranges.back().second, 100);
+  for (std::size_t i = 1; i < ranges.size(); ++i)
+    EXPECT_EQ(ranges[i].first, ranges[i - 1].second + 1);
+  // Every base prime falls in exactly one range; shares are balanced.
+  const auto primes = sv::primes_up_to(100);  // 25 primes
+  std::vector<std::size_t> counts(4, 0);
+  for (long long p : primes)
+    for (std::size_t i = 0; i < 4; ++i)
+      if (p >= ranges[i].first && p <= ranges[i].second) ++counts[i];
+  EXPECT_EQ(counts[0] + counts[1] + counts[2] + counts[3], 25u);
+  for (auto c : counts) {
+    EXPECT_GE(c, 6u);
+    EXPECT_LE(c, 7u);
+  }
+}
+
+TEST(Workload, MoreRangesThanPrimesYieldsEmptyTail) {
+  const auto ranges = sv::balanced_prime_ranges(9, 5);  // primes <= 3: {2,3}
+  ASSERT_EQ(ranges.size(), 5u);
+  EXPECT_EQ(ranges.front().first, 2);
+  EXPECT_EQ(ranges.back().second, 3);
+}
+
+TEST(PrimeFilterTest, CtorComputesPrimesInRange) {
+  PrimeFilter f(5, 20);
+  EXPECT_EQ(f.primes(), (std::vector<long long>{5, 7, 11, 13, 17, 19}));
+  EXPECT_EQ(f.pmin(), 5);
+  EXPECT_EQ(f.pmax(), 20);
+}
+
+TEST(PrimeFilterTest, EmptyRangeFiltersNothing) {
+  PrimeFilter f(8, 10);  // no primes in [8, 10]
+  EXPECT_TRUE(f.primes().empty());
+  std::vector<long long> pack{12, 15, 21};
+  f.filter(pack);
+  EXPECT_EQ(pack, (std::vector<long long>{12, 15, 21}));
+}
+
+TEST(PrimeFilterTest, FilterRemovesMultiples) {
+  PrimeFilter f(2, 10);  // primes 2,3,5,7
+  std::vector<long long> pack{11, 12, 13, 14, 15, 49, 121, 127};
+  f.filter(pack);
+  // 121 = 11^2 survives (11 not in filter range); 49 = 7^2 removed.
+  EXPECT_EQ(pack, (std::vector<long long>{11, 13, 121, 127}));
+}
+
+TEST(PrimeFilterTest, TwoStageFilteringEqualsOneStage) {
+  // The pipeline identity: filtering by [2,5] then [6,10] equals
+  // filtering by [2,10].
+  std::vector<long long> pack = sv::odd_candidates(400);
+  auto staged = pack;
+  PrimeFilter lo(2, 5), hi(6, 10), all(2, 10);
+  lo.filter(staged);
+  hi.filter(staged);
+  all.filter(pack);
+  EXPECT_EQ(staged, pack);
+}
+
+TEST(PrimeFilterTest, ProcessCollectsSurvivors) {
+  PrimeFilter f(2, 10);
+  std::vector<long long> pack{11, 12, 13};
+  f.process(pack);
+  EXPECT_EQ(f.take_results(), (std::vector<long long>{11, 13}));
+  EXPECT_TRUE(f.take_results().empty());  // drained
+}
+
+TEST(PrimeFilterTest, CollectAppends) {
+  PrimeFilter f(2, 10);
+  f.collect({3, 5});
+  f.collect({7});
+  EXPECT_EQ(f.take_results(), (std::vector<long long>{3, 5, 7}));
+}
+
+TEST(PrimeFilterTest, OpsCountTrialDivisions) {
+  PrimeFilter f(2, 10);  // 4 primes
+  std::vector<long long> pack{13};  // survivor: tries all 4 primes
+  f.filter(pack);
+  EXPECT_EQ(f.ops(), 4u);
+  std::vector<long long> even{14};  // divisible by 2: 1 division
+  f.filter(even);
+  EXPECT_EQ(f.ops(), 5u);
+}
+
+TEST(PrimeFilterTest, FullSieveMatchesReference) {
+  const long long kMax = 50'000;
+  PrimeFilter f(2, sv::isqrt(kMax));
+  auto candidates = sv::odd_candidates(kMax);
+  f.process(candidates);
+  const long long total = sv::count_primes_up_to(sv::isqrt(kMax)) +
+                          static_cast<long long>(f.take_results().size());
+  EXPECT_EQ(total, sv::count_primes_up_to(kMax));
+}
+
+TEST(PrimeFilterTest, WorkModelSleepsProportionally) {
+  PrimeFilter slow(2, 100, 50'000.0);  // 50 us per division
+  std::vector<long long> pack{101};    // survivor: 25 divisions
+  apar::common::Stopwatch sw;
+  slow.filter(pack);
+  EXPECT_GE(sw.millis(), 1.0);  // 25 x 50us = 1.25 ms
+}

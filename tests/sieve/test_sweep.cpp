@@ -1,0 +1,97 @@
+// Wider property sweeps over the woven sieve: odd pack sizes, more
+// filters than cluster capacity, tiny workloads, degenerate configs —
+// every combination must still produce exactly the reference primes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "apar/sieve/versions.hpp"
+#include "apar/sieve/workload.hpp"
+
+namespace sv = apar::sieve;
+
+namespace {
+sv::SieveConfig config_for(long long max, std::size_t filters,
+                           std::size_t pack) {
+  sv::SieveConfig cfg;
+  cfg.max = max;
+  cfg.filters = filters;
+  cfg.pack_size = pack;
+  cfg.nodes = 2;
+  cfg.node_executors = 2;
+  cfg.loopback_costs = true;  // semantics under test, not timing
+  return cfg;
+}
+}  // namespace
+
+/// pack_size x filters property sweep on the two structurally riskiest
+/// versions (pipeline: forwarding chains; MPP farm: one-way ordering).
+class PackSweep
+    : public ::testing::TestWithParam<
+          std::tuple<sv::Version, std::size_t, std::size_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PackSweep,
+    ::testing::Combine(::testing::Values(sv::Version::kPipeRmi,
+                                         sv::Version::kFarmMpp),
+                       ::testing::Values(std::size_t{1}, std::size_t{3},
+                                         std::size_t{8}),
+                       ::testing::Values(std::size_t{37}, std::size_t{1000},
+                                         std::size_t{100000})),
+    [](const auto& info) {
+      return std::string(sv::version_name(std::get<0>(info.param))) + "_f" +
+             std::to_string(std::get<1>(info.param)) + "_p" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST_P(PackSweep, ExactPrimesForEveryShape) {
+  const auto [version, filters, pack] = GetParam();
+  // Small max keeps the sweep fast; pack sizes range from 1 element per
+  // message to one message for everything.
+  const long long max = 10'000;
+  sv::SieveHarness harness(version, config_for(max, filters, pack));
+  EXPECT_EQ(harness.run().primes, sv::count_primes_up_to(max));
+}
+
+TEST(SieveSweepEdges, MoreFiltersThanClusterCapacity) {
+  // 12 filters on a 2-node / 2-executor cluster: heavy oversubscription.
+  const long long max = 20'000;
+  sv::SieveHarness harness(sv::Version::kFarmRmi,
+                           config_for(max, 12, 1'000));
+  EXPECT_EQ(harness.run().primes, sv::count_primes_up_to(max));
+}
+
+TEST(SieveSweepEdges, TinyMaxWithNoCandidates) {
+  // max=9: root=3, candidates are odd numbers in (3,9] = {5,7,9};
+  // primes up to 9 are {2,3,5,7}.
+  sv::SieveHarness harness(sv::Version::kFarmThreads, config_for(9, 2, 10));
+  EXPECT_EQ(harness.run().primes, 4);
+}
+
+TEST(SieveSweepEdges, MaxSmallerThanFirstCandidate) {
+  // max=3: no candidates at all; primes {2,3}.
+  sv::SieveHarness harness(sv::Version::kSequential, config_for(3, 1, 10));
+  EXPECT_EQ(harness.run().primes, 2);
+}
+
+TEST(SieveSweepEdges, SingleElementPacksThroughPipeline) {
+  const long long max = 2'000;
+  sv::SieveHarness harness(sv::Version::kPipeRmi, config_for(max, 2, 1));
+  EXPECT_EQ(harness.run().primes, sv::count_primes_up_to(max));
+}
+
+TEST(SieveSweepEdges, DynamicFarmWithMoreWorkersThanPacks) {
+  const long long max = 10'000;
+  // pack = whole candidate set -> 1 pack, 6 workers (5 idle).
+  sv::SieveHarness harness(sv::Version::kFarmDRmi,
+                           config_for(max, 6, 100'000));
+  EXPECT_EQ(harness.run().primes, sv::count_primes_up_to(max));
+}
+
+TEST(SieveSweepEdges, HarnessSurvivesManyRebuilds) {
+  for (int i = 0; i < 5; ++i) {
+    sv::SieveHarness harness(sv::Version::kFarmMpp, config_for(5'000, 3, 500));
+    EXPECT_EQ(harness.run().primes, sv::count_primes_up_to(5'000));
+  }
+}

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+#include "apar/sieve/versions.hpp"
+#include "apar/sieve/workload.hpp"
+
+namespace sv = apar::sieve;
+
+namespace {
+
+sv::SieveConfig small_config(std::size_t filters) {
+  sv::SieveConfig cfg;
+  cfg.max = 30'000;       // small but non-trivial: pi = 3245
+  cfg.filters = filters;
+  cfg.pack_size = 2'000;  // ~7 packs
+  cfg.ns_per_op = 0.0;
+  cfg.nodes = 3;
+  cfg.node_executors = 2;
+  return cfg;
+}
+
+long long reference_primes(long long max) {
+  return sv::count_primes_up_to(max);
+}
+
+}  // namespace
+
+/// THE central property: every Table 1 module combination computes exactly
+/// the primes the sequential core computes, for several filter counts.
+class SieveVersionSweep
+    : public ::testing::TestWithParam<std::tuple<sv::Version, std::size_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, SieveVersionSweep,
+    ::testing::Combine(
+        ::testing::Values(sv::Version::kSequential, sv::Version::kFarmThreads,
+                          sv::Version::kPipeRmi, sv::Version::kFarmRmi,
+                          sv::Version::kFarmDRmi, sv::Version::kFarmMpp,
+                          sv::Version::kFarmHybrid),
+        ::testing::Values(std::size_t{1}, std::size_t{2}, std::size_t{5})),
+    [](const auto& info) {
+      return std::string(sv::version_name(std::get<0>(info.param))) + "_f" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(SieveVersionSweep, FindsExactlyTheReferencePrimes) {
+  const auto [version, filters] = GetParam();
+  sv::SieveHarness harness(version, small_config(filters));
+  const auto result = harness.run();
+  EXPECT_EQ(result.primes, reference_primes(30'000));
+  EXPECT_GT(result.seconds, 0.0);
+}
+
+TEST(SieveVersions, RepeatedRunsAreIndependent) {
+  sv::SieveHarness harness(sv::Version::kFarmRmi, small_config(3));
+  for (int i = 0; i < 3; ++i) {
+    const auto result = harness.run();
+    EXPECT_EQ(result.primes, reference_primes(30'000)) << "run " << i;
+  }
+}
+
+TEST(SieveVersions, Table1AspectSetsMatchThePaper) {
+  using V = sv::Version;
+  auto plugged = [&](V v) {
+    sv::SieveHarness h(v, small_config(2));
+    auto names = h.plugged_aspects();
+    std::sort(names.begin(), names.end());
+    return names;
+  };
+  EXPECT_EQ(plugged(V::kSequential), (std::vector<std::string>{}));
+  EXPECT_EQ(plugged(V::kFarmThreads),
+            (std::vector<std::string>{"Concurrency", "LocalCpu", "Partition"}));
+  EXPECT_EQ(plugged(V::kPipeRmi),
+            (std::vector<std::string>{"Concurrency", "Distribution",
+                                      "Partition"}));
+  EXPECT_EQ(plugged(V::kFarmRmi),
+            (std::vector<std::string>{"Concurrency", "Distribution",
+                                      "Partition"}));
+  // Dynamic farm: no separate concurrency aspect (paper: "we were not able
+  // yet to separate partition from concurrency issues").
+  EXPECT_EQ(plugged(V::kFarmDRmi),
+            (std::vector<std::string>{"Distribution", "Partition"}));
+  EXPECT_EQ(plugged(V::kFarmMpp),
+            (std::vector<std::string>{"Concurrency", "Distribution",
+                                      "Partition"}));
+}
+
+TEST(SieveVersions, MessageTrafficMatchesTopology) {
+  const std::size_t filters = 4;
+  auto cfg = small_config(filters);
+  const std::size_t packs =
+      (sv::odd_candidates(cfg.max).size() + cfg.pack_size - 1) /
+      cfg.pack_size;
+
+  {
+    sv::SieveHarness pipe(sv::Version::kPipeRmi, cfg);
+    const auto r = pipe.run();
+    // Pipeline: every pack crosses every stage (+ a collect at the end,
+    // + k creations). All synchronous under RMI.
+    EXPECT_GE(r.sync_messages, packs * filters + packs);
+    EXPECT_EQ(r.one_way_messages, 0u);
+  }
+  {
+    sv::SieveHarness farm(sv::Version::kFarmRmi, cfg);
+    const auto r = farm.run();
+    // Farm: one process call per pack (+ creations).
+    EXPECT_GE(r.sync_messages, packs + filters);
+    EXPECT_LT(r.sync_messages, packs * filters);
+    EXPECT_EQ(r.one_way_messages, 0u);
+  }
+  {
+    sv::SieveHarness mpp(sv::Version::kFarmMpp, cfg);
+    const auto r = mpp.run();
+    // MPP farm: the process calls go one-way.
+    EXPECT_EQ(r.one_way_messages, packs);
+  }
+}
+
+TEST(SieveVersions, VerboseRmiMovesMoreBytesThanCompactMpp) {
+  auto cfg = small_config(3);
+  sv::SieveHarness rmi(sv::Version::kFarmRmi, cfg);
+  sv::SieveHarness mpp(sv::Version::kFarmMpp, cfg);
+  const auto r_rmi = rmi.run();
+  const auto r_mpp = mpp.run();
+  EXPECT_GT(r_rmi.bytes_on_wire, r_mpp.bytes_on_wire);
+}
+
+TEST(SieveVersions, HybridSplitsControlAndDataTraffic) {
+  // Paper §5.3 extension: MPP carries the filter traffic one-way, RMI the
+  // creations and result gathering.
+  sv::SieveHarness hybrid(sv::Version::kFarmHybrid, small_config(4));
+  const auto r = hybrid.run();
+  EXPECT_EQ(r.primes, reference_primes(30'000));
+  EXPECT_GT(r.one_way_messages, 0u);  // MPP data plane
+  EXPECT_GT(r.sync_messages, 0u);     // RMI control plane (creations)
+}
+
+TEST(SieveVersions, ExtendedVersionsIncludeHybrid) {
+  const auto& extended = sv::extended_versions();
+  EXPECT_EQ(extended.size(), 6u);
+  EXPECT_EQ(extended.back(), sv::Version::kFarmHybrid);
+  EXPECT_EQ(sv::version_name(sv::Version::kFarmHybrid), "FarmHybrid");
+}
+
+TEST(SieveVersions, VersionNamesAreStable) {
+  EXPECT_EQ(sv::version_name(sv::Version::kSequential), "Sequential");
+  EXPECT_EQ(sv::version_name(sv::Version::kFarmThreads), "FarmThreads");
+  EXPECT_EQ(sv::version_name(sv::Version::kPipeRmi), "PipeRMI");
+  EXPECT_EQ(sv::version_name(sv::Version::kFarmRmi), "FarmRMI");
+  EXPECT_EQ(sv::version_name(sv::Version::kFarmDRmi), "FarmDRMI");
+  EXPECT_EQ(sv::version_name(sv::Version::kFarmMpp), "FarmMPP");
+  EXPECT_EQ(sv::table1_versions().size(), 5u);
+}
+
+TEST(SieveVersions, CalibrationScalesWithTarget) {
+  const auto ops = sv::measure_total_ops(30'000);
+  EXPECT_GT(ops, 0u);
+  const double ns1 = sv::calibrate_ns_per_op(30'000, 1.0);
+  const double ns2 = sv::calibrate_ns_per_op(30'000, 2.0);
+  EXPECT_NEAR(ns2 / ns1, 2.0, 1e-9);
+  EXPECT_NEAR(ns1 * static_cast<double>(ops), 1e9, 1.0);
+}

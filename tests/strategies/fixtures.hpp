@@ -1,0 +1,80 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "apar/aop/aop.hpp"
+
+namespace apar::test {
+
+/// A Stage<long long> whose process() takes measurable time and detects
+/// concurrent entry — the instrument for concurrency-aspect tests.
+class SlowStage {
+ public:
+  explicit SlowStage(long long id, long long delay_us = 0)
+      : id_(id), delay_us_(delay_us) {}
+
+  void filter(std::vector<long long>& pack) {
+    enter();
+    for (long long& v : pack) v += id_;
+    if (delay_us_ > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us_));
+    leave();
+  }
+
+  void process(std::vector<long long>& pack) {
+    filter(pack);
+    collect(pack);
+  }
+
+  void collect(const std::vector<long long>& pack) {
+    enter();
+    results_.insert(results_.end(), pack.begin(), pack.end());
+    leave();
+  }
+
+  std::vector<long long> take_results() {
+    std::vector<long long> out;
+    out.swap(results_);
+    return out;
+  }
+
+  /// Value-returning query with the stage's latency — the target for
+  /// replicated-computation tests.
+  long long query(long long x) {
+    enter();
+    if (delay_us_ > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us_));
+    leave();
+    return id_ + x;
+  }
+
+  [[nodiscard]] long long id() const { return id_; }
+  [[nodiscard]] bool overlapped() const { return overlapped_.load(); }
+  [[nodiscard]] int calls() const { return calls_.load(); }
+
+ private:
+  void enter() {
+    ++calls_;
+    if (++inside_ > 1) overlapped_ = true;
+  }
+  void leave() { --inside_; }
+
+  long long id_;
+  long long delay_us_;
+  std::vector<long long> results_;
+  std::atomic<int> inside_{0};
+  std::atomic<int> calls_{0};
+  std::atomic<bool> overlapped_{false};
+};
+
+}  // namespace apar::test
+
+APAR_CLASS_NAME(apar::test::SlowStage, "SlowStage");
+APAR_METHOD_NAME(&apar::test::SlowStage::filter, "filter");
+APAR_METHOD_NAME(&apar::test::SlowStage::process, "process");
+APAR_METHOD_NAME(&apar::test::SlowStage::collect, "collect");
+APAR_METHOD_NAME(&apar::test::SlowStage::take_results, "take_results");
+APAR_METHOD_NAME(&apar::test::SlowStage::query, "query");

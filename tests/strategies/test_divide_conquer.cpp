@@ -1,0 +1,142 @@
+// Divide-and-conquer protocol (paper §4.1's remark about object creation
+// inside method-call advice): sorting through a woven recursion tree must
+// equal the sequential core, with sub-solver creations flowing through
+// the distribution aspect when plugged.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "apar/apps/sort_solver.hpp"
+#include "apar/cluster/middleware.hpp"
+#include "apar/common/rng.hpp"
+#include "apar/strategies/distribution_aspect.hpp"
+#include "apar/strategies/divide_conquer_aspect.hpp"
+
+namespace aop = apar::aop;
+namespace ac = apar::cluster;
+namespace st = apar::strategies;
+using apar::apps::SortSolver;
+
+using Dnc = st::DivideAndConquerAspect<SortSolver, std::vector<long long>,
+                                       std::vector<long long>, long long,
+                                       double>;
+using Dist = st::DistributionAspect<SortSolver, long long, double>;
+
+namespace {
+
+std::vector<long long> random_problem(std::size_t n, std::uint64_t seed) {
+  apar::common::Rng rng(seed);
+  std::vector<long long> v(n);
+  for (auto& x : v)
+    x = static_cast<long long>(rng.uniform(0, 1'000'000));
+  return v;
+}
+
+std::vector<long long> sorted_copy(std::vector<long long> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+void register_solver(ac::rpc::Registry& registry) {
+  registry.bind<SortSolver>("SortSolver")
+      .ctor<long long, double>()
+      .method<&SortSolver::solve>("solve")
+      .method<&SortSolver::merge>("merge");
+}
+
+}  // namespace
+
+TEST(DivideAndConquer, SmallProblemProceedsSequentially) {
+  aop::Context ctx;
+  auto dnc = std::make_shared<Dnc>();
+  dnc->set_sub_solver_args(100, 0.0);
+  ctx.attach(dnc);
+  auto solver = ctx.create<SortSolver>(100LL, 0.0);
+  const auto problem = random_problem(50, 1);
+  EXPECT_EQ(ctx.call<&SortSolver::solve>(solver, problem),
+            sorted_copy(problem));
+  EXPECT_EQ(dnc->solvers_created(), 0u);
+  ctx.quiesce();
+}
+
+TEST(DivideAndConquer, LargeProblemSplitsRecursively) {
+  aop::Context ctx;
+  auto dnc = std::make_shared<Dnc>();
+  dnc->set_sub_solver_args(64, 0.0);
+  ctx.attach(dnc);
+  auto solver = ctx.create<SortSolver>(64LL, 0.0);
+  const auto problem = random_problem(1000, 2);
+  EXPECT_EQ(ctx.call<&SortSolver::solve>(solver, problem),
+            sorted_copy(problem));
+  // 1000 elements with threshold 64: ceil-log2 recursion, 2 children per
+  // split; at minimum the first split created 2 solvers.
+  EXPECT_GE(dnc->solvers_created(), 2u);
+  ctx.quiesce();
+}
+
+TEST(DivideAndConquer, StableUnderDuplicatesAndSortedInput) {
+  aop::Context ctx;
+  auto dnc = std::make_shared<Dnc>();
+  dnc->set_sub_solver_args(16, 0.0);
+  ctx.attach(dnc);
+  auto solver = ctx.create<SortSolver>(16LL, 0.0);
+  std::vector<long long> problem(200, 7);  // all duplicates
+  EXPECT_EQ(ctx.call<&SortSolver::solve>(solver, problem), problem);
+  auto ascending = random_problem(200, 3);
+  std::sort(ascending.begin(), ascending.end());
+  EXPECT_EQ(ctx.call<&SortSolver::solve>(solver, ascending), ascending);
+  ctx.quiesce();
+}
+
+TEST(DivideAndConquer, EmptyAndSingletonProblems) {
+  aop::Context ctx;
+  auto dnc = std::make_shared<Dnc>();
+  dnc->set_sub_solver_args(4, 0.0);
+  ctx.attach(dnc);
+  auto solver = ctx.create<SortSolver>(4LL, 0.0);
+  EXPECT_TRUE(ctx.call<&SortSolver::solve>(solver,
+                                           std::vector<long long>{})
+                  .empty());
+  EXPECT_EQ(ctx.call<&SortSolver::solve>(solver,
+                                         std::vector<long long>{5}),
+            (std::vector<long long>{5}));
+  ctx.quiesce();
+}
+
+TEST(DivideAndConquer, UnpluggedIsPlainSequentialSolve) {
+  aop::Context ctx;
+  auto solver = ctx.create<SortSolver>(8LL, 0.0);
+  const auto problem = random_problem(500, 4);
+  EXPECT_EQ(ctx.call<&SortSolver::solve>(solver, problem),
+            sorted_copy(problem));
+}
+
+TEST(DivideAndConquer, SubSolversPlacedOnClusterNodes) {
+  // The §4.1 point: creations made INSIDE method-call advice are join
+  // points too — plugging distribution places every sub-solver remotely.
+  ac::Cluster cluster(ac::Cluster::Options{3, 2});
+  register_solver(cluster.registry());
+  ac::RmiMiddleware rmi(cluster, ac::CostModel::loopback());
+
+  aop::Context ctx;
+  auto dnc = std::make_shared<Dnc>();
+  dnc->set_sub_solver_args(128, 0.0);
+  ctx.attach(dnc);
+  auto dist = std::make_shared<Dist>("Distribution", cluster, rmi);
+  dist->distribute_method<&SortSolver::solve>();
+  ctx.attach(dist);
+
+  auto root = ctx.create<SortSolver>(128LL, 0.0);
+  EXPECT_TRUE(root.is_remote());
+  const auto problem = random_problem(1000, 5);
+  EXPECT_EQ(ctx.call<&SortSolver::solve>(root, problem),
+            sorted_copy(problem));
+  EXPECT_GE(dnc->solvers_created(), 2u);
+  std::size_t hosted = 0;
+  for (ac::NodeId n = 0; n < 3; ++n)
+    hosted += cluster.node(n).object_count();
+  EXPECT_EQ(hosted, 1u + dnc->solvers_created());  // root + sub-solvers
+  ctx.detach("Distribution");
+  ctx.quiesce();
+}

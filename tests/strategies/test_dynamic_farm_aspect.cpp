@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "apar/strategies/dynamic_farm_aspect.hpp"
+#include "fixtures.hpp"
+
+namespace aop = apar::aop;
+namespace st = apar::strategies;
+using apar::test::SlowStage;
+
+using DFarm = st::DynamicFarmAspect<SlowStage, long long, long long, long long>;
+
+namespace {
+DFarm::Options dfarm_options(std::size_t workers, std::size_t pack_size) {
+  DFarm::Options opts;
+  opts.duplicates = workers;
+  opts.pack_size = pack_size;
+  return opts;
+}
+
+std::vector<long long> iota_data(std::size_t n) {
+  std::vector<long long> data(n);
+  std::iota(data.begin(), data.end(), 0);
+  return data;
+}
+}  // namespace
+
+TEST(DynamicFarmAspect, ProcessesEveryPackExactlyOnce) {
+  aop::Context ctx;
+  auto dfarm = std::make_shared<DFarm>(dfarm_options(3, 10));
+  ctx.attach(dfarm);
+  auto first = ctx.create<SlowStage>(0LL, 0LL);
+  auto data = iota_data(100);
+  ctx.call<&SlowStage::process>(first, data);
+  ctx.quiesce();
+  auto results = dfarm->gather_results(ctx);
+  std::sort(results.begin(), results.end());
+  EXPECT_EQ(results, iota_data(100));
+  const auto loads = dfarm->packs_per_worker();
+  EXPECT_EQ(std::accumulate(loads.begin(), loads.end(), std::size_t{0}), 10u);
+}
+
+TEST(DynamicFarmAspect, WorkersNeverOverlapOnTheirOwnObject) {
+  // One worker loop per object: no monitor needed, by construction.
+  aop::Context ctx;
+  auto dfarm = std::make_shared<DFarm>(dfarm_options(4, 2));
+  ctx.attach(dfarm);
+  auto first = ctx.create<SlowStage>(0LL, 200LL);
+  auto data = iota_data(60);
+  ctx.call<&SlowStage::process>(first, data);
+  ctx.quiesce();
+  for (const auto& w : dfarm->workers())
+    EXPECT_FALSE(w.local()->overlapped());
+}
+
+TEST(DynamicFarmAspect, DemandDrivenBalancingUnderSkew) {
+  // With one deliberately slow worker, the fast workers should pick up
+  // more packs — the dynamic farm's whole point.
+  aop::Context ctx;
+  DFarm::Options opts = dfarm_options(2, 1);
+  opts.ctor_args = [](std::size_t i, std::size_t,
+                      const std::tuple<long long, long long>& original) {
+    // Worker 0 is 50x slower per call.
+    return std::make_tuple(std::get<0>(original),
+                           i == 0 ? 5'000LL : 100LL);
+  };
+  auto dfarm = std::make_shared<DFarm>("DynamicFarm", opts);
+  ctx.attach(dfarm);
+  auto first = ctx.create<SlowStage>(0LL, 0LL);
+  auto data = iota_data(40);  // 40 single-element packs
+  ctx.call<&SlowStage::process>(first, data);
+  ctx.quiesce();
+  const auto loads = dfarm->packs_per_worker();
+  ASSERT_EQ(loads.size(), 2u);
+  EXPECT_GT(loads[1], loads[0]);  // the fast worker did more
+  EXPECT_EQ(loads[0] + loads[1], 40u);
+}
+
+TEST(DynamicFarmAspect, QuiesceWaitsForQueueDrain) {
+  aop::Context ctx;
+  auto dfarm = std::make_shared<DFarm>(dfarm_options(2, 5));
+  ctx.attach(dfarm);
+  auto first = ctx.create<SlowStage>(0LL, 500LL);
+  auto data = iota_data(50);
+  ctx.call<&SlowStage::process>(first, data);  // returns after enqueue
+  ctx.quiesce();                               // must wait for all 10 packs
+  EXPECT_EQ(dfarm->gather_results(ctx).size(), 50u);
+}
+
+TEST(DynamicFarmAspect, DetachStopsWorkersCleanly) {
+  aop::Context ctx;
+  auto dfarm = std::make_shared<DFarm>(dfarm_options(2, 10));
+  ctx.attach(dfarm);
+  auto first = ctx.create<SlowStage>(0LL, 0LL);
+  auto data = iota_data(20);
+  ctx.call<&SlowStage::process>(first, data);
+  ctx.quiesce();
+  EXPECT_NO_THROW(ctx.detach("DynamicFarm"));
+  // After detach the same core lines behave sequentially.
+  auto plain = ctx.create<SlowStage>(1LL, 0LL);
+  auto more = iota_data(5);
+  ctx.call<&SlowStage::process>(plain, more);
+  EXPECT_EQ(plain.local()->take_results().size(), 5u);
+}
+
+TEST(DynamicFarmAspect, SecondRunAfterRecreation) {
+  aop::Context ctx;
+  auto dfarm = std::make_shared<DFarm>(dfarm_options(2, 10));
+  ctx.attach(dfarm);
+  for (int round = 0; round < 2; ++round) {
+    auto first = ctx.create<SlowStage>(0LL, 0LL);
+    auto data = iota_data(30);
+    ctx.call<&SlowStage::process>(first, data);
+    ctx.quiesce();
+    EXPECT_EQ(dfarm->gather_results(ctx).size(), 30u) << "round " << round;
+  }
+}

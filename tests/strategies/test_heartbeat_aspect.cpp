@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "apar/apps/heat_band.hpp"
+#include "apar/strategies/heartbeat_aspect.hpp"
+
+namespace aop = apar::aop;
+namespace st = apar::strategies;
+using apar::apps::HeatBand;
+
+using Heart = st::HeartbeatAspect<HeatBand, long long, long long, long long,
+                                  long long, double>;
+
+namespace {
+
+/// Band i gets a contiguous slab of rows; offsets partition [0, total).
+Heart::Options heart_options(std::size_t bands, bool parallel = true) {
+  Heart::Options opts;
+  opts.bands = bands;
+  opts.parallel_step = parallel;
+  opts.ctor_args =
+      [](std::size_t i, std::size_t k,
+         const std::tuple<long long, long long, long long, long long,
+                          double>& original) {
+        const auto [rows, cols, offset, total, ns] = original;
+        (void)offset;
+        const long long share = rows / static_cast<long long>(k);
+        const long long extra = rows % static_cast<long long>(k);
+        const long long my_rows =
+            share + (static_cast<long long>(i) < extra ? 1 : 0);
+        long long my_offset = 0;
+        for (std::size_t j = 0; j < i; ++j)
+          my_offset += share + (static_cast<long long>(j) < extra ? 1 : 0);
+        return std::make_tuple(my_rows, cols, my_offset, total, ns);
+      };
+  return opts;
+}
+
+/// Reference: one band covering the whole domain, stepped sequentially.
+std::vector<double> sequential_heat(long long rows, long long cols,
+                                    int iters) {
+  HeatBand band(rows, cols, 0, rows, 0.0);
+  band.run(iters);
+  return band.snapshot();
+}
+
+}  // namespace
+
+TEST(HeartbeatAspect, DuplicationPartitionsRows) {
+  aop::Context ctx;
+  auto heart = std::make_shared<Heart>(heart_options(3));
+  ctx.attach(heart);
+  ctx.create<HeatBand>(10LL, 8LL, 0LL, 10LL, 0.0);
+  ASSERT_EQ(heart->bands().size(), 3u);
+  EXPECT_EQ(heart->bands()[0].local()->rows(), 4);
+  EXPECT_EQ(heart->bands()[1].local()->rows(), 3);
+  EXPECT_EQ(heart->bands()[2].local()->rows(), 3);
+  EXPECT_EQ(heart->bands()[1].local()->row_offset(), 4);
+  EXPECT_EQ(heart->bands()[2].local()->row_offset(), 7);
+}
+
+class HeartbeatEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::size_t, bool>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    BandsAndModes, HeartbeatEquivalence,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{3}, std::size_t{5}),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return "bands" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_parallel" : "_sequentialstep");
+    });
+
+TEST_P(HeartbeatEquivalence, PartitionedSolverMatchesSequentialExactly) {
+  const auto [bands, parallel] = GetParam();
+  constexpr long long kRows = 12, kCols = 6;
+  constexpr int kIters = 25;
+
+  aop::Context ctx;
+  auto heart = std::make_shared<Heart>(heart_options(bands, parallel));
+  ctx.attach(heart);
+  auto first = ctx.create<HeatBand>(kRows, kCols, 0LL, kRows, 0.0);
+  ctx.call<&HeatBand::run>(first, kIters);
+  ctx.quiesce();
+
+  // Stitch the bands' snapshots together and compare bit-for-bit with the
+  // sequential core — synchronous Jacobi is deterministic.
+  std::vector<double> stitched;
+  for (auto& band : heart->bands()) {
+    auto part = band.local()->snapshot();
+    stitched.insert(stitched.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(stitched, sequential_heat(kRows, kCols, kIters));
+  EXPECT_EQ(heart->beats(), static_cast<std::size_t>(kIters));
+}
+
+TEST(HeartbeatAspect, ResidualDecreasesTowardSteadyState) {
+  aop::Context ctx;
+  auto heart = std::make_shared<Heart>(heart_options(2));
+  ctx.attach(heart);
+  auto first = ctx.create<HeatBand>(10LL, 10LL, 0LL, 10LL, 0.0);
+  ctx.call<&HeatBand::run>(first, 5);
+  ctx.quiesce();
+  const double early = heart->residual(ctx);
+  ctx.call<&HeatBand::run>(first, 100);
+  ctx.quiesce();
+  const double late = heart->residual(ctx);
+  EXPECT_LT(late, early);
+  EXPECT_GT(early, 0.0);
+}
+
+TEST(HeartbeatAspect, UnpluggedSequentialRunStillWorks) {
+  aop::Context ctx;
+  auto heart = std::make_shared<Heart>(heart_options(4));
+  ctx.attach(heart);
+  ctx.detach("Heartbeat");
+  auto band = ctx.create<HeatBand>(8LL, 8LL, 0LL, 8LL, 0.0);
+  ctx.call<&HeatBand::run>(band, 10);
+  EXPECT_EQ(band.local()->snapshot(), sequential_heat(8, 8, 10));
+}

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "apar/common/stopwatch.hpp"
+#include "apar/strategies/concurrency_aspect.hpp"
+#include "apar/strategies/farm_aspect.hpp"
+#include "apar/strategies/optimisation_aspects.hpp"
+#include "fixtures.hpp"
+
+namespace aop = apar::aop;
+namespace st = apar::strategies;
+namespace opt = apar::strategies::optimisation;
+using apar::test::SlowStage;
+
+TEST(LocalCpuAspect, CapsConcurrentLocalExecution) {
+  aop::Context ctx;
+  auto conc = std::make_shared<st::ConcurrencyAspect<SlowStage>>("Concurrency");
+  conc->async_method<&SlowStage::process>();
+  ctx.attach(conc);
+  auto cpu = std::make_shared<opt::LocalCpuAspect<SlowStage>>("LocalCpu", 2);
+  cpu->limit_method<&SlowStage::process>();
+  ctx.attach(cpu);
+
+  // 8 independent objects: the monitor never serializes them, only the
+  // CPU permit can. Measure wall time: 8 x 20ms at 2 slots >= ~80ms.
+  std::vector<aop::Ref<SlowStage>> stages;
+  for (int i = 0; i < 8; ++i)
+    stages.push_back(ctx.create<SlowStage>(0LL, 20'000LL));
+  apar::common::Stopwatch sw;
+  std::vector<long long> pack{1};
+  for (auto& s : stages) ctx.call<&SlowStage::process>(s, pack);
+  ctx.quiesce();
+  EXPECT_GE(sw.millis(), 70.0);
+  EXPECT_EQ(cpu->hardware_contexts(), 2u);
+}
+
+TEST(LocalCpuAspect, UnpluggedRemovesTheCap) {
+  aop::Context ctx;
+  auto conc = std::make_shared<st::ConcurrencyAspect<SlowStage>>("Concurrency");
+  conc->async_method<&SlowStage::process>();
+  ctx.attach(conc);
+
+  std::vector<aop::Ref<SlowStage>> stages;
+  for (int i = 0; i < 8; ++i)
+    stages.push_back(ctx.create<SlowStage>(0LL, 20'000LL));
+  apar::common::Stopwatch sw;
+  std::vector<long long> pack{1};
+  for (auto& s : stages) ctx.call<&SlowStage::process>(s, pack);
+  ctx.quiesce();
+  // All 8 sleeps overlap: well under the serialized 160 ms.
+  EXPECT_LT(sw.millis(), 80.0);
+}
+
+TEST(PackingAspect, CoalescesPacksPerTarget) {
+  aop::Context ctx;
+  using Pack = opt::PackingAspect<SlowStage, long long>;
+  Pack::Options popts;
+  popts.batch_packs = 2;
+  auto packing = std::make_shared<Pack>(popts);
+  ctx.attach(packing);
+
+  auto stage = ctx.create<SlowStage>(0LL, 0LL);
+  std::vector<long long> p1{1, 2}, p2{3, 4}, p3{5, 6}, p4{7, 8};
+  ctx.call<&SlowStage::process>(stage, p1);
+  ctx.call<&SlowStage::process>(stage, p2);
+  ctx.call<&SlowStage::process>(stage, p3);
+  ctx.call<&SlowStage::process>(stage, p4);
+  ctx.quiesce();
+  // 4 packs, batch=2: the object saw 2 coalesced calls.
+  EXPECT_EQ(packing->coalesced_calls(), 2u);
+  EXPECT_EQ(stage.local()->calls(), 4);  // 2 filter + 2 collect entries
+  auto results = stage.local()->take_results();
+  std::sort(results.begin(), results.end());
+  EXPECT_EQ(results, (std::vector<long long>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(PackingAspect, QuiesceFlushesStragglers) {
+  aop::Context ctx;
+  using Pack = opt::PackingAspect<SlowStage, long long>;
+  Pack::Options popts;
+  popts.batch_packs = 4;
+  auto packing = std::make_shared<Pack>(popts);
+  ctx.attach(packing);
+
+  auto stage = ctx.create<SlowStage>(0LL, 0LL);
+  std::vector<long long> p1{1};
+  ctx.call<&SlowStage::process>(stage, p1);  // buffered, not yet executed
+  EXPECT_EQ(stage.local()->calls(), 0);
+  ctx.quiesce();  // flush
+  EXPECT_EQ(stage.local()->take_results(), (std::vector<long long>{1}));
+}
+
+TEST(PackingAspect, NoLossAcrossManyTargets) {
+  aop::Context ctx;
+  using Pack = opt::PackingAspect<SlowStage, long long>;
+  Pack::Options popts;
+  popts.batch_packs = 3;
+  auto packing = std::make_shared<Pack>(popts);
+  ctx.attach(packing);
+
+  auto a = ctx.create<SlowStage>(0LL, 0LL);
+  auto b = ctx.create<SlowStage>(0LL, 0LL);
+  for (long long i = 0; i < 10; ++i) {
+    std::vector<long long> p{i};
+    ctx.call<&SlowStage::process>(i % 2 ? a : b, p);
+  }
+  ctx.quiesce();
+  auto all = a.local()->take_results();
+  auto more = b.local()->take_results();
+  all.insert(all.end(), more.begin(), more.end());
+  std::sort(all.begin(), all.end());
+  std::vector<long long> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(all, expected);
+}
+
+TEST(ObjectCacheAspect, RepeatCreationsHitTheCache) {
+  aop::Context ctx;
+  using Cache = opt::ObjectCacheAspect<SlowStage, long long, long long>;
+  auto cache = std::make_shared<Cache>();
+  ctx.attach(cache);
+
+  auto a = ctx.create<SlowStage>(1LL, 0LL);
+  auto b = ctx.create<SlowStage>(1LL, 0LL);
+  auto c = ctx.create<SlowStage>(2LL, 0LL);
+  EXPECT_EQ(a.identity(), b.identity());
+  EXPECT_NE(a.identity(), c.identity());
+  EXPECT_EQ(cache->hits(), 1u);
+  EXPECT_EQ(cache->misses(), 2u);
+}
+
+TEST(ObjectCacheAspect, UnpluggedCreatesFreshObjects) {
+  aop::Context ctx;
+  using Cache = opt::ObjectCacheAspect<SlowStage, long long, long long>;
+  ctx.attach(std::make_shared<Cache>());
+  ctx.detach("ObjectCache");
+  auto a = ctx.create<SlowStage>(1LL, 0LL);
+  auto b = ctx.create<SlowStage>(1LL, 0LL);
+  EXPECT_NE(a.identity(), b.identity());
+}

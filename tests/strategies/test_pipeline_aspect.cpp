@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "apar/apps/signal_stage.hpp"
+#include "apar/strategies/concurrency_aspect.hpp"
+#include "apar/strategies/pipeline_aspect.hpp"
+
+namespace aop = apar::aop;
+namespace st = apar::strategies;
+using apar::apps::SignalStage;
+namespace sig = apar::apps::signal;
+
+using Pipe = st::PipelineAspect<SignalStage, long long, long long, double>;
+
+namespace {
+
+/// Stage i applies transform bit i (gain, clip, quantize in order).
+Pipe::Options pipe_options(std::size_t stages, std::size_t pack_size) {
+  Pipe::Options opts;
+  opts.duplicates = stages;
+  opts.pack_size = pack_size;
+  opts.ctor_args = [](std::size_t i, std::size_t,
+                      const std::tuple<long long, double>& original) {
+    return std::make_tuple(1LL << i, std::get<1>(original));
+  };
+  return opts;
+}
+
+std::vector<long long> test_signal() {
+  std::vector<long long> data;
+  for (long long i = -600; i < 600; ++i) data.push_back(i * 7);
+  return data;
+}
+
+std::vector<long long> sequential_reference() {
+  SignalStage all(sig::kAll);
+  auto data = test_signal();
+  all.process(data);
+  return all.take_results();
+}
+
+}  // namespace
+
+TEST(PipelineAspect, DuplicationCreatesRequestedStages) {
+  aop::Context ctx;
+  auto pipe = std::make_shared<Pipe>(pipe_options(3, 100));
+  ctx.attach(pipe);
+  auto first = ctx.create<SignalStage>(sig::kAll, 0.0);
+  ASSERT_EQ(pipe->stages().size(), 3u);
+  EXPECT_EQ(first.identity(), pipe->stages().front().identity());
+  EXPECT_EQ(pipe->stages()[0].local()->mask(), sig::kGain);
+  EXPECT_EQ(pipe->stages()[1].local()->mask(), sig::kClip);
+  EXPECT_EQ(pipe->stages()[2].local()->mask(), sig::kQuantize);
+}
+
+TEST(PipelineAspect, SequentialPipelineMatchesCoreExactly) {
+  // Partition plugged, concurrency NOT plugged: still valid, still exact
+  // (paper §4.2's debugging configuration).
+  aop::Context ctx;
+  auto pipe = std::make_shared<Pipe>(pipe_options(3, 128));
+  ctx.attach(pipe);
+  auto first = ctx.create<SignalStage>(sig::kAll, 0.0);
+  auto data = test_signal();
+  ctx.call<&SignalStage::process>(first, data);
+  ctx.quiesce();
+  auto results = pipe->gather_results(ctx);
+  std::sort(results.begin(), results.end());
+  auto expected = sequential_reference();
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(results, expected);
+}
+
+TEST(PipelineAspect, ConcurrentPipelineMatchesCore) {
+  aop::Context ctx;
+  auto pipe = std::make_shared<Pipe>(pipe_options(3, 64));
+  ctx.attach(pipe);
+  auto conc =
+      std::make_shared<st::ConcurrencyAspect<SignalStage>>("Concurrency");
+  conc->async_method<&SignalStage::filter>()
+      .async_method<&SignalStage::process>()
+      .guarded_method<&SignalStage::collect>();
+  ctx.attach(conc);
+
+  auto first = ctx.create<SignalStage>(sig::kAll, 0.0);
+  auto data = test_signal();
+  ctx.call<&SignalStage::process>(first, data);
+  ctx.quiesce();
+  auto results = pipe->gather_results(ctx);
+  std::sort(results.begin(), results.end());
+  auto expected = sequential_reference();
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(results, expected);
+}
+
+TEST(PipelineAspect, OnlyLastStageRetainsResults) {
+  aop::Context ctx;
+  auto pipe = std::make_shared<Pipe>(pipe_options(3, 100));
+  ctx.attach(pipe);
+  auto first = ctx.create<SignalStage>(sig::kAll, 0.0);
+  auto data = test_signal();
+  ctx.call<&SignalStage::process>(first, data);
+  ctx.quiesce();
+  EXPECT_TRUE(pipe->stages()[0].local()->take_results().empty());
+  EXPECT_TRUE(pipe->stages()[1].local()->take_results().empty());
+  EXPECT_EQ(pipe->stages()[2].local()->take_results().size(),
+            test_signal().size());
+}
+
+TEST(PipelineAspect, SplitHonoursPackSize) {
+  aop::Context ctx;
+  auto pipe = std::make_shared<Pipe>(pipe_options(1, 100));
+  ctx.attach(pipe);
+  auto first = ctx.create<SignalStage>(sig::kAll, 0.0);
+  std::vector<long long> data(250, 1);
+  ctx.call<&SignalStage::process>(first, data);
+  ctx.quiesce();
+  // 250 elements in packs of 100 -> 3 filter calls on the single stage.
+  EXPECT_EQ(pipe->gather_results(ctx).size(), 250u);
+}
+
+TEST(PipelineAspect, SingleStagePipelineEqualsCore) {
+  aop::Context ctx;
+  Pipe::Options opts = pipe_options(1, 1000);
+  opts.ctor_args = [](std::size_t, std::size_t,
+                      const std::tuple<long long, double>& original) {
+    return original;  // one stage keeps the full mask
+  };
+  auto pipe = std::make_shared<Pipe>(opts);
+  ctx.attach(pipe);
+  auto first = ctx.create<SignalStage>(sig::kAll, 0.0);
+  auto data = test_signal();
+  ctx.call<&SignalStage::process>(first, data);
+  ctx.quiesce();
+  auto results = pipe->gather_results(ctx);
+  std::sort(results.begin(), results.end());
+  auto expected = sequential_reference();
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(results, expected);
+}
+
+TEST(PipelineAspect, UnpluggedRestoresCoreSemantics) {
+  aop::Context ctx;
+  auto pipe = std::make_shared<Pipe>(pipe_options(3, 100));
+  ctx.attach(pipe);
+  ctx.detach("Pipeline");
+  auto stage = ctx.create<SignalStage>(sig::kAll, 0.0);
+  auto data = test_signal();
+  ctx.call<&SignalStage::process>(stage, data);
+  EXPECT_EQ(stage.local()->take_results(), sequential_reference());
+}
+
+TEST(PipelineAspect, RewovenAfterSecondCreation) {
+  // A second core creation rebuilds the stage set (fresh run).
+  aop::Context ctx;
+  auto pipe = std::make_shared<Pipe>(pipe_options(2, 100));
+  ctx.attach(pipe);
+  auto a = ctx.create<SignalStage>(sig::kAll, 0.0);
+  const void* first_stage_a = pipe->stages()[0].identity();
+  auto b = ctx.create<SignalStage>(sig::kAll, 0.0);
+  EXPECT_EQ(pipe->stages().size(), 2u);
+  EXPECT_NE(pipe->stages()[0].identity(), first_stage_a);
+  EXPECT_EQ(b.identity(), pipe->stages()[0].identity());
+}

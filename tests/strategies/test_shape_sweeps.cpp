@@ -1,0 +1,140 @@
+// Property sweeps over strategy configuration shapes: grid geometries for
+// the heartbeat, worker/pack combinations for the farm. Every shape must
+// be exact — these are the configurations users actually vary.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <tuple>
+
+#include "apar/apps/heat_band.hpp"
+#include "apar/strategies/concurrency_aspect.hpp"
+#include "apar/strategies/farm_aspect.hpp"
+#include "apar/strategies/heartbeat_aspect.hpp"
+#include "fixtures.hpp"
+
+namespace aop = apar::aop;
+namespace st = apar::strategies;
+using apar::apps::HeatBand;
+using apar::test::SlowStage;
+
+namespace {
+
+using Heart = st::HeartbeatAspect<HeatBand, long long, long long, long long,
+                                  long long, double>;
+
+Heart::Options band_split(std::size_t bands) {
+  Heart::Options opts;
+  opts.bands = bands;
+  opts.ctor_args =
+      [](std::size_t i, std::size_t k,
+         const std::tuple<long long, long long, long long, long long,
+                          double>& original) {
+        const auto [rows, cols, offset, total, ns] = original;
+        (void)offset;
+        const long long share = rows / static_cast<long long>(k);
+        const long long extra = rows % static_cast<long long>(k);
+        const long long my_rows =
+            share + (static_cast<long long>(i) < extra ? 1 : 0);
+        long long my_offset = 0;
+        for (std::size_t j = 0; j < i; ++j)
+          my_offset += share + (static_cast<long long>(j) < extra ? 1 : 0);
+        return std::make_tuple(my_rows, cols, my_offset, total, ns);
+      };
+  return opts;
+}
+
+}  // namespace
+
+/// rows x cols x bands x iterations — including bands == rows (1-row
+/// bands, halos only) and non-divisible splits.
+class HeatShapeSweep
+    : public ::testing::TestWithParam<
+          std::tuple<long long, long long, std::size_t, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, HeatShapeSweep,
+    ::testing::Values(
+        std::make_tuple(7LL, 3LL, std::size_t{7}, 9),    // 1-row bands
+        std::make_tuple(9LL, 4LL, std::size_t{4}, 11),   // uneven split
+        std::make_tuple(16LL, 1LL, std::size_t{3}, 8),   // 1-column grid
+        std::make_tuple(1LL, 8LL, std::size_t{1}, 5),    // single row
+        std::make_tuple(13LL, 5LL, std::size_t{2}, 40)), // long run
+    [](const auto& info) {
+      return "r" + std::to_string(std::get<0>(info.param)) + "c" +
+             std::to_string(std::get<1>(info.param)) + "b" +
+             std::to_string(std::get<2>(info.param)) + "i" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+TEST_P(HeatShapeSweep, BitExactForEveryGeometry) {
+  const auto [rows, cols, bands, iters] = GetParam();
+
+  HeatBand reference(rows, cols, 0, rows, 0.0);
+  reference.run(iters);
+
+  aop::Context ctx;
+  auto heart = std::make_shared<Heart>(band_split(bands));
+  ctx.attach(heart);
+  auto first = ctx.create<HeatBand>(rows, cols, 0LL, rows, 0.0);
+  ctx.call<&HeatBand::run>(first, iters);
+  ctx.quiesce();
+
+  std::vector<double> stitched;
+  for (auto& band : heart->bands()) {
+    auto part = band.local()->snapshot();
+    stitched.insert(stitched.end(), part.begin(), part.end());
+  }
+  EXPECT_EQ(stitched, reference.snapshot());
+}
+
+/// workers x pack-size x routing sweep on the farm.
+class FarmShapeSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, st::RoutingPolicy>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, FarmShapeSweep,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{7}),
+                       ::testing::Values(std::size_t{1}, std::size_t{13},
+                                         std::size_t{500}),
+                       ::testing::Values(st::RoutingPolicy::kRoundRobin,
+                                         st::RoutingPolicy::kRandom)),
+    [](const auto& info) {
+      return "w" + std::to_string(std::get<0>(info.param)) + "_p" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) == st::RoutingPolicy::kRoundRobin
+                  ? "_rr"
+                  : "_rand");
+    });
+
+TEST_P(FarmShapeSweep, EveryElementProcessedExactlyOnce) {
+  const auto [workers, pack, routing] = GetParam();
+  using Farm = st::FarmAspect<SlowStage, long long, long long, long long>;
+  Farm::Options opts;
+  opts.duplicates = workers;
+  opts.pack_size = pack;
+  opts.routing = routing;
+
+  aop::Context ctx;
+  auto farm = std::make_shared<Farm>(opts);
+  ctx.attach(farm);
+  auto conc = std::make_shared<st::ConcurrencyAspect<SlowStage>>(
+      "Concurrency");
+  conc->async_method<&SlowStage::process>();
+  ctx.attach(conc);
+
+  auto first = ctx.create<SlowStage>(1000LL, 0LL);
+  std::vector<long long> data(97);  // prime count: never divides evenly
+  std::iota(data.begin(), data.end(), 0);
+  ctx.call<&SlowStage::process>(first, data);
+  ctx.quiesce();
+
+  auto results = farm->gather_results(ctx);
+  std::sort(results.begin(), results.end());
+  std::vector<long long> expected(97);
+  std::iota(expected.begin(), expected.end(), 1000);
+  EXPECT_EQ(results, expected);
+}

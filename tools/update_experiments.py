@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Refresh the measured-output snapshot at the end of EXPERIMENTS.md.
+
+Usage:  python3 tools/update_experiments.py [bench_output.txt]
+
+Everything after the `<!-- MEASURED-SNAPSHOT -->` marker is replaced with
+the key tables extracted from the given bench output (default:
+bench_output.txt in the repository root).
+"""
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+MARKER = "<!-- MEASURED-SNAPSHOT -->"
+
+
+def extract_sections(text: str) -> str:
+    """Pull the human-readable tables out of the bench output."""
+    out = []
+
+    def grab(start: str, end_patterns, title: str):
+        i = text.find(start)
+        if i < 0:
+            return
+        end = len(text)
+        for pat in end_patterns:
+            j = text.find(pat, i + len(start))
+            if 0 <= j < end:
+                end = j
+        out.append(f"### {title}\n\n```\n{text[i:end].rstrip()}\n```\n")
+
+    grab("=== Figure 16", ["=== Table 1"], "Figure 16 (hand-coded vs woven)")
+    grab("=== Table 1", ["=== Figure 17"], "Table 1 (module combinations)")
+    grab("=== Figure 17", ["=== Heartbeat"], "Figure 17 (version sweep)")
+    grab("=== Heartbeat", ["=== Optimisation"], "Heartbeat strategy")
+    grab("=== Dynamic vs static farm", ["=== Figure 16"],
+         "Dynamic vs static farm")
+    grab("=== Optimisation aspects", ["=== wire-format"],
+         "Optimisation aspects")
+    # google-benchmark output starts with an ISO timestamp line.
+    stamp = re.search(r"^\d{4}-\d{2}-\d{2}T", text, re.M)
+    grab("=== wire-format sizes",
+         [stamp.group(0) if stamp else "Running"],
+         "Wire-format sizes and cost models")
+
+    # google-benchmark tables: keep only the result rows.
+    micro = re.findall(r"^BM_\S+\s+[\d.]+ ns.*$", text, re.M)
+    if micro:
+        out.append("### Weaving microbenchmarks (ns/call)\n\n```\n" +
+                   "\n".join(micro) + "\n```\n")
+    transport = re.findall(r"^BM_(?:Rmi|Mpp)\S+\s+\d+ ns.*$", text, re.M)
+    if transport:
+        out.append("### Transport microbenchmarks\n\n```\n" +
+                   "\n".join(transport) + "\n```\n")
+    return "\n".join(out)
+
+
+def main() -> int:
+    bench = ROOT / (sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt")
+    experiments = ROOT / "EXPERIMENTS.md"
+    text = bench.read_text()
+    doc = experiments.read_text()
+    head, _, _ = doc.partition(MARKER)
+    experiments.write_text(head + MARKER + "\n\n" + extract_sections(text))
+    print(f"updated {experiments} from {bench}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
