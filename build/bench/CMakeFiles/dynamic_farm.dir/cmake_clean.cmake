@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_farm.dir/dynamic_farm.cpp.o"
+  "CMakeFiles/dynamic_farm.dir/dynamic_farm.cpp.o.d"
+  "dynamic_farm"
+  "dynamic_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_versions.dir/fig17_versions.cpp.o"
+  "CMakeFiles/fig17_versions.dir/fig17_versions.cpp.o.d"
+  "fig17_versions"
+  "fig17_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

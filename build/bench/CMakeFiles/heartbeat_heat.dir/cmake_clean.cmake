@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heartbeat_heat.dir/heartbeat_heat.cpp.o"
+  "CMakeFiles/heartbeat_heat.dir/heartbeat_heat.cpp.o.d"
+  "heartbeat_heat"
+  "heartbeat_heat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heartbeat_heat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

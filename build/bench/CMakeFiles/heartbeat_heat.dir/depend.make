@@ -1,0 +1,2 @@
+# Empty dependencies file for heartbeat_heat.
+# This may be replaced when dependencies are built.

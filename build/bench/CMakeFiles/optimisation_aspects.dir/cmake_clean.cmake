@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimisation_aspects.dir/optimisation_aspects.cpp.o"
+  "CMakeFiles/optimisation_aspects.dir/optimisation_aspects.cpp.o.d"
+  "optimisation_aspects"
+  "optimisation_aspects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimisation_aspects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for optimisation_aspects.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_costs.dir/transport_costs.cpp.o"
+  "CMakeFiles/transport_costs.dir/transport_costs.cpp.o.d"
+  "transport_costs"
+  "transport_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/weaving_micro.cpp" "bench/CMakeFiles/weaving_micro.dir/weaving_micro.cpp.o" "gcc" "bench/CMakeFiles/weaving_micro.dir/weaving_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sieve/CMakeFiles/apar_sieve.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/apar_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategies/CMakeFiles/apar_strategies.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/apar_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/apar_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/aop/CMakeFiles/apar_aop.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/apar_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/apar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

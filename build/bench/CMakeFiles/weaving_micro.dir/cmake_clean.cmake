@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weaving_micro.dir/weaving_micro.cpp.o"
+  "CMakeFiles/weaving_micro.dir/weaving_micro.cpp.o.d"
+  "weaving_micro"
+  "weaving_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weaving_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_heartbeat.dir/heat_heartbeat.cpp.o"
+  "CMakeFiles/heat_heartbeat.dir/heat_heartbeat.cpp.o.d"
+  "heat_heartbeat"
+  "heat_heartbeat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_heartbeat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

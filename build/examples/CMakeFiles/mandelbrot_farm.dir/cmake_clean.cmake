@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mandelbrot_farm.dir/mandelbrot_farm.cpp.o"
+  "CMakeFiles/mandelbrot_farm.dir/mandelbrot_farm.cpp.o.d"
+  "mandelbrot_farm"
+  "mandelbrot_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mandelbrot_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

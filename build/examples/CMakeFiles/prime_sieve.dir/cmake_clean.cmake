@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prime_sieve.dir/prime_sieve.cpp.o"
+  "CMakeFiles/prime_sieve.dir/prime_sieve.cpp.o.d"
+  "prime_sieve"
+  "prime_sieve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prime_sieve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aop/aspect.cpp" "src/aop/CMakeFiles/apar_aop.dir/aspect.cpp.o" "gcc" "src/aop/CMakeFiles/apar_aop.dir/aspect.cpp.o.d"
+  "/root/repo/src/aop/context.cpp" "src/aop/CMakeFiles/apar_aop.dir/context.cpp.o" "gcc" "src/aop/CMakeFiles/apar_aop.dir/context.cpp.o.d"
+  "/root/repo/src/aop/signature.cpp" "src/aop/CMakeFiles/apar_aop.dir/signature.cpp.o" "gcc" "src/aop/CMakeFiles/apar_aop.dir/signature.cpp.o.d"
+  "/root/repo/src/aop/trace.cpp" "src/aop/CMakeFiles/apar_aop.dir/trace.cpp.o" "gcc" "src/aop/CMakeFiles/apar_aop.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/apar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/apar_concurrency.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

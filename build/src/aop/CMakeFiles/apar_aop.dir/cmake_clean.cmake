@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apar_aop.dir/aspect.cpp.o"
+  "CMakeFiles/apar_aop.dir/aspect.cpp.o.d"
+  "CMakeFiles/apar_aop.dir/context.cpp.o"
+  "CMakeFiles/apar_aop.dir/context.cpp.o.d"
+  "CMakeFiles/apar_aop.dir/signature.cpp.o"
+  "CMakeFiles/apar_aop.dir/signature.cpp.o.d"
+  "CMakeFiles/apar_aop.dir/trace.cpp.o"
+  "CMakeFiles/apar_aop.dir/trace.cpp.o.d"
+  "libapar_aop.a"
+  "libapar_aop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apar_aop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

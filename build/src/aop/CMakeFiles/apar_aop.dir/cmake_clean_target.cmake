@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libapar_aop.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/heat_band.cpp" "src/apps/CMakeFiles/apar_apps.dir/heat_band.cpp.o" "gcc" "src/apps/CMakeFiles/apar_apps.dir/heat_band.cpp.o.d"
+  "/root/repo/src/apps/mandel_worker.cpp" "src/apps/CMakeFiles/apar_apps.dir/mandel_worker.cpp.o" "gcc" "src/apps/CMakeFiles/apar_apps.dir/mandel_worker.cpp.o.d"
+  "/root/repo/src/apps/signal_stage.cpp" "src/apps/CMakeFiles/apar_apps.dir/signal_stage.cpp.o" "gcc" "src/apps/CMakeFiles/apar_apps.dir/signal_stage.cpp.o.d"
+  "/root/repo/src/apps/sort_solver.cpp" "src/apps/CMakeFiles/apar_apps.dir/sort_solver.cpp.o" "gcc" "src/apps/CMakeFiles/apar_apps.dir/sort_solver.cpp.o.d"
+  "/root/repo/src/apps/word_counter.cpp" "src/apps/CMakeFiles/apar_apps.dir/word_counter.cpp.o" "gcc" "src/apps/CMakeFiles/apar_apps.dir/word_counter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/strategies/CMakeFiles/apar_strategies.dir/DependInfo.cmake"
+  "/root/repo/build/src/aop/CMakeFiles/apar_aop.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/apar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/apar_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/apar_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/apar_serial.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

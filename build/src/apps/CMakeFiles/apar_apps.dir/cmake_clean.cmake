@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apar_apps.dir/heat_band.cpp.o"
+  "CMakeFiles/apar_apps.dir/heat_band.cpp.o.d"
+  "CMakeFiles/apar_apps.dir/mandel_worker.cpp.o"
+  "CMakeFiles/apar_apps.dir/mandel_worker.cpp.o.d"
+  "CMakeFiles/apar_apps.dir/signal_stage.cpp.o"
+  "CMakeFiles/apar_apps.dir/signal_stage.cpp.o.d"
+  "CMakeFiles/apar_apps.dir/sort_solver.cpp.o"
+  "CMakeFiles/apar_apps.dir/sort_solver.cpp.o.d"
+  "CMakeFiles/apar_apps.dir/word_counter.cpp.o"
+  "CMakeFiles/apar_apps.dir/word_counter.cpp.o.d"
+  "libapar_apps.a"
+  "libapar_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apar_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/apar_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/apar_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/middleware.cpp" "src/cluster/CMakeFiles/apar_cluster.dir/middleware.cpp.o" "gcc" "src/cluster/CMakeFiles/apar_cluster.dir/middleware.cpp.o.d"
+  "/root/repo/src/cluster/name_server.cpp" "src/cluster/CMakeFiles/apar_cluster.dir/name_server.cpp.o" "gcc" "src/cluster/CMakeFiles/apar_cluster.dir/name_server.cpp.o.d"
+  "/root/repo/src/cluster/node.cpp" "src/cluster/CMakeFiles/apar_cluster.dir/node.cpp.o" "gcc" "src/cluster/CMakeFiles/apar_cluster.dir/node.cpp.o.d"
+  "/root/repo/src/cluster/rpc.cpp" "src/cluster/CMakeFiles/apar_cluster.dir/rpc.cpp.o" "gcc" "src/cluster/CMakeFiles/apar_cluster.dir/rpc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/apar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/apar_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/apar_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/aop/CMakeFiles/apar_aop.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apar_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/apar_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/apar_cluster.dir/middleware.cpp.o"
+  "CMakeFiles/apar_cluster.dir/middleware.cpp.o.d"
+  "CMakeFiles/apar_cluster.dir/name_server.cpp.o"
+  "CMakeFiles/apar_cluster.dir/name_server.cpp.o.d"
+  "CMakeFiles/apar_cluster.dir/node.cpp.o"
+  "CMakeFiles/apar_cluster.dir/node.cpp.o.d"
+  "CMakeFiles/apar_cluster.dir/rpc.cpp.o"
+  "CMakeFiles/apar_cluster.dir/rpc.cpp.o.d"
+  "libapar_cluster.a"
+  "libapar_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apar_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apar_common.dir/config.cpp.o"
+  "CMakeFiles/apar_common.dir/config.cpp.o.d"
+  "CMakeFiles/apar_common.dir/log.cpp.o"
+  "CMakeFiles/apar_common.dir/log.cpp.o.d"
+  "CMakeFiles/apar_common.dir/stats.cpp.o"
+  "CMakeFiles/apar_common.dir/stats.cpp.o.d"
+  "CMakeFiles/apar_common.dir/table.cpp.o"
+  "CMakeFiles/apar_common.dir/table.cpp.o.d"
+  "libapar_common.a"
+  "libapar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apar_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/concurrency/sync_registry.cpp" "src/concurrency/CMakeFiles/apar_concurrency.dir/sync_registry.cpp.o" "gcc" "src/concurrency/CMakeFiles/apar_concurrency.dir/sync_registry.cpp.o.d"
+  "/root/repo/src/concurrency/task_group.cpp" "src/concurrency/CMakeFiles/apar_concurrency.dir/task_group.cpp.o" "gcc" "src/concurrency/CMakeFiles/apar_concurrency.dir/task_group.cpp.o.d"
+  "/root/repo/src/concurrency/thread_pool.cpp" "src/concurrency/CMakeFiles/apar_concurrency.dir/thread_pool.cpp.o" "gcc" "src/concurrency/CMakeFiles/apar_concurrency.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/apar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

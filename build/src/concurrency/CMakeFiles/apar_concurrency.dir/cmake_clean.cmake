@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apar_concurrency.dir/sync_registry.cpp.o"
+  "CMakeFiles/apar_concurrency.dir/sync_registry.cpp.o.d"
+  "CMakeFiles/apar_concurrency.dir/task_group.cpp.o"
+  "CMakeFiles/apar_concurrency.dir/task_group.cpp.o.d"
+  "CMakeFiles/apar_concurrency.dir/thread_pool.cpp.o"
+  "CMakeFiles/apar_concurrency.dir/thread_pool.cpp.o.d"
+  "libapar_concurrency.a"
+  "libapar_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apar_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apar_serial.dir/archive.cpp.o"
+  "CMakeFiles/apar_serial.dir/archive.cpp.o.d"
+  "libapar_serial.a"
+  "libapar_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apar_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apar_sieve.dir/handcoded.cpp.o"
+  "CMakeFiles/apar_sieve.dir/handcoded.cpp.o.d"
+  "CMakeFiles/apar_sieve.dir/prime_filter.cpp.o"
+  "CMakeFiles/apar_sieve.dir/prime_filter.cpp.o.d"
+  "CMakeFiles/apar_sieve.dir/versions.cpp.o"
+  "CMakeFiles/apar_sieve.dir/versions.cpp.o.d"
+  "CMakeFiles/apar_sieve.dir/workload.cpp.o"
+  "CMakeFiles/apar_sieve.dir/workload.cpp.o.d"
+  "libapar_sieve.a"
+  "libapar_sieve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apar_sieve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apar_strategies.dir/strategies.cpp.o"
+  "CMakeFiles/apar_strategies.dir/strategies.cpp.o.d"
+  "libapar_strategies.a"
+  "libapar_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apar_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

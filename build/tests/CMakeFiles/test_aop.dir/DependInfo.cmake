@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aop/test_advice_chain.cpp" "tests/CMakeFiles/test_aop.dir/aop/test_advice_chain.cpp.o" "gcc" "tests/CMakeFiles/test_aop.dir/aop/test_advice_chain.cpp.o.d"
+  "/root/repo/tests/aop/test_concurrent_weaving.cpp" "tests/CMakeFiles/test_aop.dir/aop/test_concurrent_weaving.cpp.o" "gcc" "tests/CMakeFiles/test_aop.dir/aop/test_concurrent_weaving.cpp.o.d"
+  "/root/repo/tests/aop/test_context.cpp" "tests/CMakeFiles/test_aop.dir/aop/test_context.cpp.o" "gcc" "tests/CMakeFiles/test_aop.dir/aop/test_context.cpp.o.d"
+  "/root/repo/tests/aop/test_exceptions.cpp" "tests/CMakeFiles/test_aop.dir/aop/test_exceptions.cpp.o" "gcc" "tests/CMakeFiles/test_aop.dir/aop/test_exceptions.cpp.o.d"
+  "/root/repo/tests/aop/test_pattern.cpp" "tests/CMakeFiles/test_aop.dir/aop/test_pattern.cpp.o" "gcc" "tests/CMakeFiles/test_aop.dir/aop/test_pattern.cpp.o.d"
+  "/root/repo/tests/aop/test_scope.cpp" "tests/CMakeFiles/test_aop.dir/aop/test_scope.cpp.o" "gcc" "tests/CMakeFiles/test_aop.dir/aop/test_scope.cpp.o.d"
+  "/root/repo/tests/aop/test_static_weave.cpp" "tests/CMakeFiles/test_aop.dir/aop/test_static_weave.cpp.o" "gcc" "tests/CMakeFiles/test_aop.dir/aop/test_static_weave.cpp.o.d"
+  "/root/repo/tests/aop/test_trace.cpp" "tests/CMakeFiles/test_aop.dir/aop/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_aop.dir/aop/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sieve/CMakeFiles/apar_sieve.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/apar_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategies/CMakeFiles/apar_strategies.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/apar_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/apar_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/aop/CMakeFiles/apar_aop.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/apar_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/apar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

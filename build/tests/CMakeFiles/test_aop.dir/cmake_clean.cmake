@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aop.dir/aop/test_advice_chain.cpp.o"
+  "CMakeFiles/test_aop.dir/aop/test_advice_chain.cpp.o.d"
+  "CMakeFiles/test_aop.dir/aop/test_concurrent_weaving.cpp.o"
+  "CMakeFiles/test_aop.dir/aop/test_concurrent_weaving.cpp.o.d"
+  "CMakeFiles/test_aop.dir/aop/test_context.cpp.o"
+  "CMakeFiles/test_aop.dir/aop/test_context.cpp.o.d"
+  "CMakeFiles/test_aop.dir/aop/test_exceptions.cpp.o"
+  "CMakeFiles/test_aop.dir/aop/test_exceptions.cpp.o.d"
+  "CMakeFiles/test_aop.dir/aop/test_pattern.cpp.o"
+  "CMakeFiles/test_aop.dir/aop/test_pattern.cpp.o.d"
+  "CMakeFiles/test_aop.dir/aop/test_scope.cpp.o"
+  "CMakeFiles/test_aop.dir/aop/test_scope.cpp.o.d"
+  "CMakeFiles/test_aop.dir/aop/test_static_weave.cpp.o"
+  "CMakeFiles/test_aop.dir/aop/test_static_weave.cpp.o.d"
+  "CMakeFiles/test_aop.dir/aop/test_trace.cpp.o"
+  "CMakeFiles/test_aop.dir/aop/test_trace.cpp.o.d"
+  "test_aop"
+  "test_aop.pdb"
+  "test_aop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

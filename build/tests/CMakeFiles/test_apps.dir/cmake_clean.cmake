@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps.dir/apps/test_heat_band.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_heat_band.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_mandel_signal.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_mandel_signal.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_word_counter.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_word_counter.cpp.o.d"
+  "test_apps"
+  "test_apps.pdb"
+  "test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/concurrency/test_active_object.cpp" "tests/CMakeFiles/test_concurrency.dir/concurrency/test_active_object.cpp.o" "gcc" "tests/CMakeFiles/test_concurrency.dir/concurrency/test_active_object.cpp.o.d"
+  "/root/repo/tests/concurrency/test_barrier.cpp" "tests/CMakeFiles/test_concurrency.dir/concurrency/test_barrier.cpp.o" "gcc" "tests/CMakeFiles/test_concurrency.dir/concurrency/test_barrier.cpp.o.d"
+  "/root/repo/tests/concurrency/test_future.cpp" "tests/CMakeFiles/test_concurrency.dir/concurrency/test_future.cpp.o" "gcc" "tests/CMakeFiles/test_concurrency.dir/concurrency/test_future.cpp.o.d"
+  "/root/repo/tests/concurrency/test_sync_registry.cpp" "tests/CMakeFiles/test_concurrency.dir/concurrency/test_sync_registry.cpp.o" "gcc" "tests/CMakeFiles/test_concurrency.dir/concurrency/test_sync_registry.cpp.o.d"
+  "/root/repo/tests/concurrency/test_task_group.cpp" "tests/CMakeFiles/test_concurrency.dir/concurrency/test_task_group.cpp.o" "gcc" "tests/CMakeFiles/test_concurrency.dir/concurrency/test_task_group.cpp.o.d"
+  "/root/repo/tests/concurrency/test_thread_pool.cpp" "tests/CMakeFiles/test_concurrency.dir/concurrency/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_concurrency.dir/concurrency/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/concurrency/test_work_queue.cpp" "tests/CMakeFiles/test_concurrency.dir/concurrency/test_work_queue.cpp.o" "gcc" "tests/CMakeFiles/test_concurrency.dir/concurrency/test_work_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sieve/CMakeFiles/apar_sieve.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/apar_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategies/CMakeFiles/apar_strategies.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/apar_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/apar_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/aop/CMakeFiles/apar_aop.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/apar_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/apar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concurrency.dir/concurrency/test_active_object.cpp.o"
+  "CMakeFiles/test_concurrency.dir/concurrency/test_active_object.cpp.o.d"
+  "CMakeFiles/test_concurrency.dir/concurrency/test_barrier.cpp.o"
+  "CMakeFiles/test_concurrency.dir/concurrency/test_barrier.cpp.o.d"
+  "CMakeFiles/test_concurrency.dir/concurrency/test_future.cpp.o"
+  "CMakeFiles/test_concurrency.dir/concurrency/test_future.cpp.o.d"
+  "CMakeFiles/test_concurrency.dir/concurrency/test_sync_registry.cpp.o"
+  "CMakeFiles/test_concurrency.dir/concurrency/test_sync_registry.cpp.o.d"
+  "CMakeFiles/test_concurrency.dir/concurrency/test_task_group.cpp.o"
+  "CMakeFiles/test_concurrency.dir/concurrency/test_task_group.cpp.o.d"
+  "CMakeFiles/test_concurrency.dir/concurrency/test_thread_pool.cpp.o"
+  "CMakeFiles/test_concurrency.dir/concurrency/test_thread_pool.cpp.o.d"
+  "CMakeFiles/test_concurrency.dir/concurrency/test_work_queue.cpp.o"
+  "CMakeFiles/test_concurrency.dir/concurrency/test_work_queue.cpp.o.d"
+  "test_concurrency"
+  "test_concurrency.pdb"
+  "test_concurrency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

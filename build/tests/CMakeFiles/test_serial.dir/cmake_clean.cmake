@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serial.dir/serial/test_archive.cpp.o"
+  "CMakeFiles/test_serial.dir/serial/test_archive.cpp.o.d"
+  "CMakeFiles/test_serial.dir/serial/test_edge_cases.cpp.o"
+  "CMakeFiles/test_serial.dir/serial/test_edge_cases.cpp.o.d"
+  "CMakeFiles/test_serial.dir/serial/test_formats.cpp.o"
+  "CMakeFiles/test_serial.dir/serial/test_formats.cpp.o.d"
+  "test_serial"
+  "test_serial.pdb"
+  "test_serial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sieve.dir/sieve/test_handcoded.cpp.o"
+  "CMakeFiles/test_sieve.dir/sieve/test_handcoded.cpp.o.d"
+  "CMakeFiles/test_sieve.dir/sieve/test_prime_filter.cpp.o"
+  "CMakeFiles/test_sieve.dir/sieve/test_prime_filter.cpp.o.d"
+  "CMakeFiles/test_sieve.dir/sieve/test_sweep.cpp.o"
+  "CMakeFiles/test_sieve.dir/sieve/test_sweep.cpp.o.d"
+  "CMakeFiles/test_sieve.dir/sieve/test_versions.cpp.o"
+  "CMakeFiles/test_sieve.dir/sieve/test_versions.cpp.o.d"
+  "test_sieve"
+  "test_sieve.pdb"
+  "test_sieve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sieve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

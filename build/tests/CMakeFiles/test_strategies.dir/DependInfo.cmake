@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/strategies/test_concurrency_aspect.cpp" "tests/CMakeFiles/test_strategies.dir/strategies/test_concurrency_aspect.cpp.o" "gcc" "tests/CMakeFiles/test_strategies.dir/strategies/test_concurrency_aspect.cpp.o.d"
+  "/root/repo/tests/strategies/test_distributed_heartbeat.cpp" "tests/CMakeFiles/test_strategies.dir/strategies/test_distributed_heartbeat.cpp.o" "gcc" "tests/CMakeFiles/test_strategies.dir/strategies/test_distributed_heartbeat.cpp.o.d"
+  "/root/repo/tests/strategies/test_distribution_aspect.cpp" "tests/CMakeFiles/test_strategies.dir/strategies/test_distribution_aspect.cpp.o" "gcc" "tests/CMakeFiles/test_strategies.dir/strategies/test_distribution_aspect.cpp.o.d"
+  "/root/repo/tests/strategies/test_divide_conquer.cpp" "tests/CMakeFiles/test_strategies.dir/strategies/test_divide_conquer.cpp.o" "gcc" "tests/CMakeFiles/test_strategies.dir/strategies/test_divide_conquer.cpp.o.d"
+  "/root/repo/tests/strategies/test_dynamic_farm_aspect.cpp" "tests/CMakeFiles/test_strategies.dir/strategies/test_dynamic_farm_aspect.cpp.o" "gcc" "tests/CMakeFiles/test_strategies.dir/strategies/test_dynamic_farm_aspect.cpp.o.d"
+  "/root/repo/tests/strategies/test_farm_aspect.cpp" "tests/CMakeFiles/test_strategies.dir/strategies/test_farm_aspect.cpp.o" "gcc" "tests/CMakeFiles/test_strategies.dir/strategies/test_farm_aspect.cpp.o.d"
+  "/root/repo/tests/strategies/test_heartbeat_aspect.cpp" "tests/CMakeFiles/test_strategies.dir/strategies/test_heartbeat_aspect.cpp.o" "gcc" "tests/CMakeFiles/test_strategies.dir/strategies/test_heartbeat_aspect.cpp.o.d"
+  "/root/repo/tests/strategies/test_optimisation_aspects.cpp" "tests/CMakeFiles/test_strategies.dir/strategies/test_optimisation_aspects.cpp.o" "gcc" "tests/CMakeFiles/test_strategies.dir/strategies/test_optimisation_aspects.cpp.o.d"
+  "/root/repo/tests/strategies/test_pipeline_aspect.cpp" "tests/CMakeFiles/test_strategies.dir/strategies/test_pipeline_aspect.cpp.o" "gcc" "tests/CMakeFiles/test_strategies.dir/strategies/test_pipeline_aspect.cpp.o.d"
+  "/root/repo/tests/strategies/test_resilience.cpp" "tests/CMakeFiles/test_strategies.dir/strategies/test_resilience.cpp.o" "gcc" "tests/CMakeFiles/test_strategies.dir/strategies/test_resilience.cpp.o.d"
+  "/root/repo/tests/strategies/test_shape_sweeps.cpp" "tests/CMakeFiles/test_strategies.dir/strategies/test_shape_sweeps.cpp.o" "gcc" "tests/CMakeFiles/test_strategies.dir/strategies/test_shape_sweeps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sieve/CMakeFiles/apar_sieve.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/apar_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategies/CMakeFiles/apar_strategies.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/apar_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/apar_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/aop/CMakeFiles/apar_aop.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/apar_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/apar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

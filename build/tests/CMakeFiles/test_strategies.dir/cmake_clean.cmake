@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strategies.dir/strategies/test_concurrency_aspect.cpp.o"
+  "CMakeFiles/test_strategies.dir/strategies/test_concurrency_aspect.cpp.o.d"
+  "CMakeFiles/test_strategies.dir/strategies/test_distributed_heartbeat.cpp.o"
+  "CMakeFiles/test_strategies.dir/strategies/test_distributed_heartbeat.cpp.o.d"
+  "CMakeFiles/test_strategies.dir/strategies/test_distribution_aspect.cpp.o"
+  "CMakeFiles/test_strategies.dir/strategies/test_distribution_aspect.cpp.o.d"
+  "CMakeFiles/test_strategies.dir/strategies/test_divide_conquer.cpp.o"
+  "CMakeFiles/test_strategies.dir/strategies/test_divide_conquer.cpp.o.d"
+  "CMakeFiles/test_strategies.dir/strategies/test_dynamic_farm_aspect.cpp.o"
+  "CMakeFiles/test_strategies.dir/strategies/test_dynamic_farm_aspect.cpp.o.d"
+  "CMakeFiles/test_strategies.dir/strategies/test_farm_aspect.cpp.o"
+  "CMakeFiles/test_strategies.dir/strategies/test_farm_aspect.cpp.o.d"
+  "CMakeFiles/test_strategies.dir/strategies/test_heartbeat_aspect.cpp.o"
+  "CMakeFiles/test_strategies.dir/strategies/test_heartbeat_aspect.cpp.o.d"
+  "CMakeFiles/test_strategies.dir/strategies/test_optimisation_aspects.cpp.o"
+  "CMakeFiles/test_strategies.dir/strategies/test_optimisation_aspects.cpp.o.d"
+  "CMakeFiles/test_strategies.dir/strategies/test_pipeline_aspect.cpp.o"
+  "CMakeFiles/test_strategies.dir/strategies/test_pipeline_aspect.cpp.o.d"
+  "CMakeFiles/test_strategies.dir/strategies/test_resilience.cpp.o"
+  "CMakeFiles/test_strategies.dir/strategies/test_resilience.cpp.o.d"
+  "CMakeFiles/test_strategies.dir/strategies/test_shape_sweeps.cpp.o"
+  "CMakeFiles/test_strategies.dir/strategies/test_shape_sweeps.cpp.o.d"
+  "test_strategies"
+  "test_strategies.pdb"
+  "test_strategies[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
