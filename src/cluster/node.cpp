@@ -121,7 +121,15 @@ void Node::handle_call(Message& msg) {
 
   if (msg.reply_to) {
     Reply reply;
-    reply.payload = out.take();
+    // A node that crashed while this call was executing never gets to send
+    // its reply: the caller sees an error, not the (lost) result. The
+    // one-way path below stays a success — the side effect did happen —
+    // which models exactly the at-most-once ambiguity a real crash causes.
+    if (crashed_.load(std::memory_order_relaxed)) {
+      reply.error = "node " + std::to_string(id_) + " crashed during call";
+    } else {
+      reply.payload = out.take();
+    }
     msg.reply_to->set_value(std::move(reply));
   } else {
     cluster_.one_way_finished();

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "apar/common/rng.hpp"
+
+namespace apar::common {
+
+/// splitmix64 finalizer: a cheap, high-quality 64-bit mixing function.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// The generator for the `index`-th decision of a seeded plan.
+///
+/// Fault-injection and schedule-perturbation decisions must be a pure
+/// function of (seed, decision index) — NOT of the order threads happen to
+/// reach the decision point — so that a printed seed reproduces the exact
+/// fault schedule even though thread interleavings differ between runs.
+inline Rng rng_at(std::uint64_t seed, std::uint64_t index) {
+  return Rng(mix64(seed ^ mix64(index)));
+}
+
+/// Seed for a stress run: the APAR_STRESS_SEED environment variable when
+/// set (and parseable as a decimal u64), otherwise `fallback`. Stress
+/// tests print the seed they used; re-running with APAR_STRESS_SEED=<seed>
+/// reproduces the exact fault/perturbation schedule.
+inline std::uint64_t stress_seed(std::uint64_t fallback) {
+  if (const char* env = std::getenv("APAR_STRESS_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return v;
+  }
+  return fallback;
+}
+
+}  // namespace apar::common

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -56,6 +58,13 @@ class ThreadPool {
   /// Tasks currently queued (diagnostic; racy by nature).
   [[nodiscard]] std::size_t pending() const;
 
+  /// Posted tasks whose exceptions escaped. Fire-and-forget tasks should
+  /// handle their own errors (use submit() to observe them); escapees are
+  /// counted here instead of terminating the process.
+  [[nodiscard]] std::uint64_t task_failures() const {
+    return task_failures_.load(std::memory_order_relaxed);
+  }
+
   /// Block until the queue is empty and all workers are idle.
   void drain();
 
@@ -68,6 +77,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::size_t active_ = 0;
   bool stopping_ = false;
+  std::atomic<std::uint64_t> task_failures_{0};
   std::vector<std::thread> workers_;
 };
 

@@ -50,7 +50,16 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    // A fire-and-forget task that throws must not take the process down
+    // (an escaped exception on a worker thread is std::terminate). This
+    // matters during shutdown: a task that post()s while the pool is
+    // stopping gets a runtime_error, and if it lets that propagate the
+    // whole run would die instead of finishing the drain.
+    try {
+      task();
+    } catch (...) {
+      task_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
     {
       std::lock_guard lock(mutex_);
       --active_;

@@ -1,0 +1,187 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apar/aop/aop.hpp"
+#include "apar/common/stress.hpp"
+
+namespace apar::strategies {
+
+/// The seeded decision engine behind ChaosAspect: a shared schedule of
+/// yields and sleeps. Each perturbation consumes one decision index; the
+/// decision for index i is a pure function of (seed, i) via
+/// common::rng_at, so the perturbation schedule is byte-identical across
+/// runs with the same seed regardless of how threads interleave. Every
+/// decision is logged and can be rendered with dump() for golden
+/// comparisons and seed-reproduction checks.
+class ChaosSchedule {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    double yield_rate = 0.2;       ///< probability of a scheduler yield
+    double sleep_rate = 0.1;       ///< probability of a short sleep
+    std::uint64_t max_sleep_us = 100;  ///< sleeps are uniform in [1, max]
+  };
+
+  struct Decision {
+    enum class Kind { kPass, kYield, kSleep };
+    std::uint64_t index = 0;
+    Kind kind = Kind::kPass;
+    std::uint64_t sleep_us = 0;
+  };
+
+  explicit ChaosSchedule(Options options) : options_(options) {}
+
+  /// Decide (and log) the next perturbation without applying it.
+  Decision next() {
+    const std::uint64_t index =
+        next_index_.fetch_add(1, std::memory_order_relaxed);
+    common::Rng rng = common::rng_at(options_.seed, index);
+    const double u_yield = rng.uniform01();
+    const double u_sleep = rng.uniform01();
+    const std::uint64_t sleep_draw =
+        options_.max_sleep_us > 0 ? rng.uniform(1, options_.max_sleep_us) : 0;
+
+    Decision d;
+    d.index = index;
+    if (u_sleep < options_.sleep_rate && sleep_draw > 0) {
+      d.kind = Decision::Kind::kSleep;
+      d.sleep_us = sleep_draw;
+    } else if (u_yield < options_.yield_rate) {
+      d.kind = Decision::Kind::kYield;
+    }
+    if (d.kind != Decision::Kind::kPass)
+      perturbations_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard lock(log_mutex_);
+      log_.push_back(d);
+    }
+    return d;
+  }
+
+  /// Execute a decision on the calling thread.
+  static void apply(const Decision& d) {
+    switch (d.kind) {
+      case Decision::Kind::kPass:
+        break;
+      case Decision::Kind::kYield:
+        std::this_thread::yield();
+        break;
+      case Decision::Kind::kSleep:
+        std::this_thread::sleep_for(std::chrono::microseconds(d.sleep_us));
+        break;
+    }
+  }
+
+  /// Decide and apply in one step (what the aspect's advice calls).
+  void perturb() { apply(next()); }
+
+  [[nodiscard]] std::uint64_t decisions() const {
+    return next_index_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t perturbations() const {
+    return perturbations_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// Canonical text rendering ordered by decision index: "op N:
+  /// pass|yield|sleep=Kus" — byte-identical across runs with the same
+  /// seed and decision count.
+  [[nodiscard]] std::string dump() const {
+    std::vector<Decision> decisions;
+    {
+      std::lock_guard lock(log_mutex_);
+      decisions = log_;
+    }
+    std::sort(decisions.begin(), decisions.end(),
+              [](const Decision& a, const Decision& b) {
+                return a.index < b.index;
+              });
+    std::ostringstream out;
+    for (const Decision& d : decisions) {
+      out << "op " << d.index << ": ";
+      switch (d.kind) {
+        case Decision::Kind::kPass: out << "pass"; break;
+        case Decision::Kind::kYield: out << "yield"; break;
+        case Decision::Kind::kSleep: out << "sleep=" << d.sleep_us << "us";
+          break;
+      }
+      out << "\n";
+    }
+    return out.str();
+  }
+
+ private:
+  Options options_;
+  std::atomic<std::uint64_t> next_index_{0};
+  std::atomic<std::uint64_t> perturbations_{0};
+  mutable std::mutex log_mutex_;
+  std::vector<Decision> log_;
+};
+
+/// Schedule-perturbation aspect for class T: before each selected join
+/// point proceeds, a seeded yield or sleep is injected — shaking thread
+/// interleavings to surface races that the happy-path schedule hides.
+///
+/// This is the paper's pluggability claim extended to a *testing* concern:
+/// chaos weaves in with ordinary advice, composes with the partition /
+/// concurrency / distribution aspects without either knowing, and unplugs
+/// (detach or set_enabled(false)) leaving zero probes behind. Several
+/// ChaosAspects over different classes may share one ChaosSchedule, giving
+/// a single reproducible perturbation stream for the whole run.
+template <class T>
+class ChaosAspect : public aop::Aspect {
+ public:
+  ChaosAspect(std::string name, std::shared_ptr<ChaosSchedule> schedule,
+              int order = aop::order::kDefault)
+      : Aspect(std::move(name)),
+        schedule_(std::move(schedule)),
+        order_(order) {}
+
+  explicit ChaosAspect(std::shared_ptr<ChaosSchedule> schedule)
+      : ChaosAspect("Chaos", std::move(schedule)) {}
+
+  /// Perturb the schedule before calls to method M proceed. The default
+  /// order (350) sits between partition forwarding and the concurrency
+  /// monitor, i.e. on the worker thread for asynchronous calls — where a
+  /// perturbation actually reshuffles the interleaving.
+  template <auto M>
+  ChaosAspect& perturb_method() {
+    this->template before_method<M>(
+        order_, aop::Scope::any(),
+        [schedule = schedule_](auto&) { schedule->perturb(); });
+    return *this;
+  }
+
+  /// Perturb the schedule before creations T(CtorArgs...) proceed.
+  template <class... CtorArgs>
+  ChaosAspect& perturb_new() {
+    this->template around_new<T, std::decay_t<CtorArgs>...>(
+        order_, aop::Scope::any(),
+        [schedule = schedule_](
+            aop::CtorInvocation<T, std::decay_t<CtorArgs>...>& inv) {
+          schedule->perturb();
+          return inv.proceed();
+        });
+    return *this;
+  }
+
+  [[nodiscard]] const std::shared_ptr<ChaosSchedule>& schedule() const {
+    return schedule_;
+  }
+
+ private:
+  std::shared_ptr<ChaosSchedule> schedule_;
+  int order_;
+};
+
+}  // namespace apar::strategies

@@ -10,6 +10,10 @@
 ///  - distribution: DistributionAspect over a pluggable Middleware
 ///  - optimisation: LocalCpuAspect, PackingAspect, ObjectCacheAspect,
 ///                 ThreadPoolOptimisation
+///  - testing:     ChaosAspect (seeded schedule perturbation) — with
+///                 cluster::FaultInjectingMiddleware, the proof that test
+///                 concerns plug and unplug like parallelisation concerns
+#include "apar/strategies/chaos_aspect.hpp"
 #include "apar/strategies/concurrency_aspect.hpp"
 #include "apar/strategies/distribution_aspect.hpp"
 #include "apar/strategies/divide_conquer_aspect.hpp"

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <memory>
+#include <thread>
 
 #include "fixtures.hpp"
 
@@ -15,6 +18,26 @@ ac::Cluster::Options small_cluster() {
   o.nodes = 3;
   o.executors_per_node = 2;
   return o;
+}
+
+/// Holds its executor long enough for a crash to land mid-call.
+class Sleeper {
+ public:
+  explicit Sleeper(long long) {}
+  long long nap(long long ms) {
+    started().store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    return ms;
+  }
+  static std::atomic<bool>& started() {
+    static std::atomic<bool> flag{false};
+    return flag;
+  }
+};
+
+void register_sleeper(ac::rpc::Registry& registry) {
+  registry.bind<Sleeper>("Sleeper").ctor<long long>().method<&Sleeper::nap>(
+      "nap");
 }
 }  // namespace
 
@@ -101,6 +124,33 @@ TEST(NodeCrash, CrashDoesNotHangPendingCounters) {
   } catch (const ac::rpc::RpcError&) {
   }
   EXPECT_EQ(cluster.one_way_pending(), 0u);
+}
+
+TEST(NodeCrash, CrashRacingInFlightCallErrorsTheCallerNotHangs) {
+  // The call is already executing on the node when crash() lands from
+  // another thread. The caller must get an error reply — the produced
+  // result was "lost in the crash" — and must never block forever.
+  ac::Cluster cluster(small_cluster());
+  register_sleeper(cluster.registry());
+  ac::RmiMiddleware rmi(cluster, ac::CostModel::loopback());
+  const auto handle =
+      rmi.create(0, "Sleeper", as::encode(rmi.wire_format(), 0LL));
+
+  Sleeper::started().store(false);
+  std::atomic<bool> got_error{false};
+  std::thread caller([&] {
+    try {
+      rmi.invoke(handle, "nap", as::encode(rmi.wire_format(), 100LL));
+    } catch (const ac::rpc::RpcError&) {
+      got_error = true;
+    }
+  });
+  while (!Sleeper::started().load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  cluster.node(0).crash();  // races the in-flight nap()
+  caller.join();
+  EXPECT_TRUE(got_error.load());
+  EXPECT_TRUE(cluster.node(0).crashed());
 }
 
 TEST(NodeCrash, OtherNodesKeepWorking) {

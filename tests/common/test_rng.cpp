@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 #include <vector>
+
+#include "apar/common/stress.hpp"
 
 namespace ac = apar::common;
 
@@ -68,4 +71,38 @@ TEST(Rng, ProducesDistinctValues) {
   std::set<std::uint64_t> seen;
   for (int i = 0; i < 1000; ++i) seen.insert(r());
   EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(StressRng, RngAtIsPurePerIndex) {
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    ac::Rng a = ac::rng_at(99, i);
+    ac::Rng b = ac::rng_at(99, i);
+    EXPECT_EQ(a(), b());
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(StressRng, RngAtDecorrelatesNeighbouringIndices) {
+  // Consecutive indices (and consecutive seeds) must not produce related
+  // streams — splitmix64 mixing, not raw xor, guards this.
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t i = 0; i < 256; ++i) firsts.insert(ac::rng_at(1, i)());
+  for (std::uint64_t s = 0; s < 256; ++s) firsts.insert(ac::rng_at(s, 0)());
+  EXPECT_EQ(firsts.size(), 511u);  // seed 1/index 0 appears in both loops
+}
+
+TEST(StressRng, Mix64IsInjectiveOnASample) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 4096; ++i) seen.insert(ac::mix64(i));
+  EXPECT_EQ(seen.size(), 4096u);
+}
+
+TEST(StressRng, StressSeedPrefersEnvironment) {
+  ASSERT_EQ(unsetenv("APAR_STRESS_SEED"), 0);
+  EXPECT_EQ(ac::stress_seed(123), 123u);
+  ASSERT_EQ(setenv("APAR_STRESS_SEED", "98765", 1), 0);
+  EXPECT_EQ(ac::stress_seed(123), 98765u);
+  ASSERT_EQ(setenv("APAR_STRESS_SEED", "not-a-number", 1), 0);
+  EXPECT_EQ(ac::stress_seed(123), 123u);  // unparseable -> fallback
+  ASSERT_EQ(unsetenv("APAR_STRESS_SEED"), 0);
 }

@@ -85,6 +85,39 @@ TEST(ThreadPool, DrainWaitsForRunningTasks) {
   EXPECT_TRUE(done.load());
 }
 
+TEST(ThreadPool, PostDuringShutdownRunsOrThrowsCleanly) {
+  // Regression: worker tasks that post() while the pool is being destroyed
+  // race the stopping flag. Every such post must either be accepted (and
+  // then actually run — the destructor drains the queue) or throw; it must
+  // never deadlock the destructor or leak the task. The old code let the
+  // rejection escape the worker thread, which is std::terminate.
+  std::atomic<int> ran{0};
+  std::atomic<int> rejected{0};
+  {
+    acc::ThreadPool pool(4);
+    for (int i = 0; i < 64; ++i)
+      pool.post([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        try {
+          pool.post([&] { ++ran; });
+        } catch (const std::runtime_error&) {
+          ++rejected;
+        }
+      });
+  }  // destructor races the re-posts
+  EXPECT_EQ(ran.load() + rejected.load(), 64);
+}
+
+TEST(ThreadPool, TaskExceptionIsCountedNotFatal) {
+  acc::ThreadPool pool(2);
+  pool.post([] { throw std::runtime_error("escaped"); });
+  pool.drain();
+  EXPECT_EQ(pool.task_failures(), 1u);
+  // The worker survived; the pool keeps serving.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+  EXPECT_EQ(pool.task_failures(), 1u);
+}
+
 TEST(ThreadPool, PendingReportsQueueDepth) {
   acc::ThreadPool pool(1);
   std::atomic<bool> release{false};

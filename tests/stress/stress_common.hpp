@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdint>
+
+#include "apar/common/stress.hpp"
+
+namespace apar::test {
+
+/// Resolve this test's seed (APAR_STRESS_SEED wins over the test's
+/// default) and print the reproduction line. Every stress test calls this
+/// once, so a failing run can be replayed with the exact same fault /
+/// perturbation schedule:
+///
+///   APAR_STRESS_SEED=<printed seed> ctest -L stress -R <test> ...
+inline std::uint64_t announce_stress_seed(std::uint64_t fallback) {
+  const std::uint64_t seed = common::stress_seed(fallback);
+  std::printf("[ STRESS  ] seed=%llu (replay: APAR_STRESS_SEED=%llu)\n",
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(seed));
+  std::fflush(stdout);
+  return seed;
+}
+
+}  // namespace apar::test

@@ -1,0 +1,187 @@
+// Seed determinism: the same seed must reproduce the exact fault and
+// perturbation schedule — byte-identical dumps — no matter how threads
+// interleave. This is what makes a printed stress seed a real repro.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "../cluster/fixtures.hpp"
+#include "../strategies/fixtures.hpp"
+#include "apar/cluster/fault_injection.hpp"
+#include "apar/common/stress.hpp"
+#include "apar/strategies/chaos_aspect.hpp"
+#include "apar/strategies/concurrency_aspect.hpp"
+#include "apar/strategies/distribution_aspect.hpp"
+#include "apar/strategies/farm_aspect.hpp"
+#include "stress_common.hpp"
+
+namespace aop = apar::aop;
+namespace ac = apar::cluster;
+namespace as = apar::serial;
+namespace st = apar::strategies;
+using apar::test::Counter;
+using apar::test::SlowStage;
+using apar::test::announce_stress_seed;
+using apar::test::register_counter;
+
+namespace {
+
+/// One full fault-injected run over a fresh cluster; returns the decided
+/// fault schedule.
+std::string fault_run(std::uint64_t seed) {
+  ac::Cluster cluster(ac::Cluster::Options{2, 2});
+  register_counter(cluster.registry());
+  ac::RmiMiddleware rmi(cluster, ac::CostModel::loopback());
+  ac::FaultInjectingMiddleware::Options fopts;
+  fopts.seed = seed;
+  fopts.drop_rate = 0.2;
+  fopts.delay_rate = 0.3;
+  fopts.max_delay_us = 30;
+  fopts.duplicate_rate = 0.2;
+  ac::FaultInjectingMiddleware faulty(rmi, fopts);
+  const auto handle =
+      faulty.create(0, "Counter", as::encode(faulty.wire_format(), 0LL));
+  for (int i = 0; i < 40; ++i) {
+    try {
+      faulty.invoke(handle, "add", as::encode(faulty.wire_format(), 1LL));
+    } catch (const ac::rpc::RpcError&) {
+    }
+  }
+  for (int i = 0; i < 20; ++i)
+    faulty.invoke_one_way(handle, "add",
+                          as::encode(faulty.wire_format(), 1LL));
+  cluster.drain();
+  return faulty.schedule_dump();
+}
+
+/// Four threads race over one shared schedule; the dump must not care.
+std::string chaos_run(std::uint64_t seed) {
+  st::ChaosSchedule::Options copts;
+  copts.seed = seed;
+  copts.yield_rate = 0.3;
+  copts.sleep_rate = 0.2;
+  copts.max_sleep_us = 50;
+  st::ChaosSchedule schedule(copts);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&schedule] {
+      for (int i = 0; i < 50; ++i) schedule.perturb();
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(schedule.decisions(), 200u);
+  return schedule.dump();
+}
+
+/// Full woven stack — Rng-seeded data + FaultInjectingMiddleware +
+/// ChaosAspect over an asynchronous farm — returning both schedules.
+std::pair<std::string, std::string> woven_run(std::uint64_t seed) {
+  ac::Cluster cluster(ac::Cluster::Options{3, 2});
+  cluster.registry()
+      .bind<SlowStage>("SlowStage")
+      .ctor<long long, long long>()
+      .method<&SlowStage::filter>("filter")
+      .method<&SlowStage::process>("process")
+      .method<&SlowStage::collect>("collect")
+      .method<&SlowStage::take_results>("take_results");
+  ac::RmiMiddleware rmi(cluster, ac::CostModel::loopback());
+  // Delay-only faults keep the operation count fixed (no drops → no
+  // retries), so the two runs consume exactly the same decision indices.
+  ac::FaultInjectingMiddleware::Options fopts;
+  fopts.seed = seed;
+  fopts.delay_rate = 0.4;
+  fopts.max_delay_us = 60;
+  ac::FaultInjectingMiddleware faulty(rmi, fopts);
+
+  aop::Context ctx;
+  using Farm = st::FarmAspect<SlowStage, long long, long long, long long>;
+  Farm::Options farm_opts;
+  farm_opts.duplicates = 3;
+  farm_opts.pack_size = 5;
+  auto farm = std::make_shared<Farm>(farm_opts);
+  ctx.attach(farm);
+  auto conc =
+      std::make_shared<st::ConcurrencyAspect<SlowStage>>("Concurrency");
+  conc->async_method<&SlowStage::process>();
+  ctx.attach(conc);
+  auto schedule = std::make_shared<st::ChaosSchedule>(
+      st::ChaosSchedule::Options{seed + 1, 0.3, 0.2, 40});
+  auto chaos = std::make_shared<st::ChaosAspect<SlowStage>>("Chaos", schedule);
+  chaos->perturb_method<&SlowStage::process>()
+      .perturb_method<&SlowStage::collect>();
+  ctx.attach(chaos);
+  using Dist = st::DistributionAspect<SlowStage, long long, long long>;
+  auto dist = std::make_shared<Dist>("Distribution", cluster, faulty);
+  dist->distribute_method<&SlowStage::process>()
+      .distribute_method<&SlowStage::take_results>();
+  ctx.attach(dist);
+
+  auto first = ctx.create<SlowStage>(100LL, 0LL);
+  std::vector<long long> data(30);
+  std::iota(data.begin(), data.end(), 0);
+  ctx.call<&SlowStage::process>(first, data);
+  ctx.quiesce();
+
+  // Correctness under perturbation: every element processed exactly once.
+  std::vector<long long> results;
+  for (const auto& w : farm->workers()) {
+    auto part = ctx.call<&SlowStage::take_results>(w);
+    results.insert(results.end(), part.begin(), part.end());
+  }
+  std::sort(results.begin(), results.end());
+  std::vector<long long> expected(30);
+  std::iota(expected.begin(), expected.end(), 100);
+  EXPECT_EQ(results, expected);
+
+  return {faulty.schedule_dump(), schedule->dump()};
+}
+
+}  // namespace
+
+TEST(SeedDeterminism, FaultScheduleIsByteIdenticalAcrossRuns) {
+  const std::uint64_t seed = announce_stress_seed(0xDE01);
+  const std::string first = fault_run(seed);
+  const std::string second = fault_run(seed);
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+  EXPECT_NE(first.find("op 0:"), std::string::npos);
+}
+
+TEST(SeedDeterminism, DifferentSeedsProduceDifferentSchedules) {
+  const std::uint64_t seed = announce_stress_seed(0xDE02);
+  EXPECT_NE(fault_run(seed), fault_run(seed + 1));
+}
+
+TEST(SeedDeterminism, ChaosScheduleSurvivesThreadInterleaving) {
+  const std::uint64_t seed = announce_stress_seed(0xDE03);
+  const std::string first = chaos_run(seed);
+  const std::string second = chaos_run(seed);
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(SeedDeterminism, RngAtIsAPureFunctionOfSeedAndIndex) {
+  const std::uint64_t seed = announce_stress_seed(0xDE04);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    apar::common::Rng a = apar::common::rng_at(seed, i);
+    apar::common::Rng b = apar::common::rng_at(seed, i);
+    EXPECT_EQ(a.uniform(0, 1'000'000), b.uniform(0, 1'000'000));
+    EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+  }
+}
+
+TEST(SeedDeterminism, WovenStackReproducesBothSchedules) {
+  const std::uint64_t seed = announce_stress_seed(0xDE05);
+  const auto first = woven_run(seed);
+  const auto second = woven_run(seed);
+  EXPECT_EQ(first.first, second.first) << "fault schedule diverged";
+  EXPECT_EQ(first.second, second.second) << "chaos schedule diverged";
+  EXPECT_FALSE(first.first.empty());
+  EXPECT_FALSE(first.second.empty());
+}

@@ -1,0 +1,113 @@
+// Heartbeat strategy under chaos: synchronous Jacobi iteration is
+// deterministic, so perturbed worker schedules must still stitch to a
+// bit-for-bit copy of the sequential solution — any deviation means the
+// halo-exchange barrier leaked.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "apar/apps/heat_band.hpp"
+#include "apar/strategies/chaos_aspect.hpp"
+#include "apar/strategies/heartbeat_aspect.hpp"
+#include "stress_common.hpp"
+
+namespace aop = apar::aop;
+namespace st = apar::strategies;
+using apar::apps::HeatBand;
+using apar::test::announce_stress_seed;
+
+namespace {
+
+using Heart = st::HeartbeatAspect<HeatBand, long long, long long, long long,
+                                  long long, double>;
+
+Heart::Options heart_options(std::size_t bands, bool parallel = true) {
+  Heart::Options opts;
+  opts.bands = bands;
+  opts.parallel_step = parallel;
+  opts.ctor_args =
+      [](std::size_t i, std::size_t k,
+         const std::tuple<long long, long long, long long, long long,
+                          double>& original) {
+        const auto [rows, cols, offset, total, ns] = original;
+        (void)offset;
+        const long long share = rows / static_cast<long long>(k);
+        const long long extra = rows % static_cast<long long>(k);
+        const long long my_rows =
+            share + (static_cast<long long>(i) < extra ? 1 : 0);
+        long long my_offset = 0;
+        for (std::size_t j = 0; j < i; ++j)
+          my_offset += share + (static_cast<long long>(j) < extra ? 1 : 0);
+        return std::make_tuple(my_rows, cols, my_offset, total, ns);
+      };
+  return opts;
+}
+
+std::vector<double> sequential_heat(long long rows, long long cols,
+                                    int iters) {
+  HeatBand band(rows, cols, 0, rows, 0.0);
+  band.run(iters);
+  return band.snapshot();
+}
+
+std::vector<double> stitched(Heart& heart) {
+  std::vector<double> all;
+  for (auto& band : heart.bands()) {
+    auto part = band.local()->snapshot();
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  return all;
+}
+
+}  // namespace
+
+TEST(StressHeartbeat, ChaoticParallelStepsMatchSequentialExactly) {
+  const std::uint64_t seed = announce_stress_seed(0xFE01);
+  constexpr long long kRows = 12, kCols = 6;
+  constexpr int kIters = 25;
+
+  aop::Context ctx;
+  auto heart = std::make_shared<Heart>(heart_options(3, true));
+  ctx.attach(heart);
+  auto schedule = std::make_shared<st::ChaosSchedule>(
+      st::ChaosSchedule::Options{seed, 0.4, 0.3, 80});
+  auto chaos = std::make_shared<st::ChaosAspect<HeatBand>>("Chaos", schedule);
+  // Perturb the per-iteration join points: the sweep itself and both halo
+  // reads, i.e. exactly where a missing barrier would corrupt the stencil.
+  chaos->perturb_method<&HeatBand::step>()
+      .perturb_method<&HeatBand::top_row>()
+      .perturb_method<&HeatBand::bottom_row>();
+  ctx.attach(chaos);
+
+  auto first = ctx.create<HeatBand>(kRows, kCols, 0LL, kRows, 0.0);
+  ctx.call<&HeatBand::run>(first, kIters);
+  ctx.quiesce();
+
+  EXPECT_EQ(stitched(*heart), sequential_heat(kRows, kCols, kIters));
+  EXPECT_EQ(heart->beats(), static_cast<std::size_t>(kIters));
+  EXPECT_GT(schedule->decisions(), 0u);
+}
+
+TEST(StressHeartbeat, ChaosOnManyBandsStillConverges) {
+  const std::uint64_t seed = announce_stress_seed(0xFE02);
+  constexpr long long kRows = 16, kCols = 8;
+  constexpr int kIters = 40;
+
+  aop::Context ctx;
+  auto heart = std::make_shared<Heart>(heart_options(5, true));
+  ctx.attach(heart);
+  auto schedule = std::make_shared<st::ChaosSchedule>(
+      st::ChaosSchedule::Options{seed, 0.5, 0.2, 50});
+  auto chaos = std::make_shared<st::ChaosAspect<HeatBand>>("Chaos", schedule);
+  chaos->perturb_method<&HeatBand::step>();
+  ctx.attach(chaos);
+
+  auto first = ctx.create<HeatBand>(kRows, kCols, 0LL, kRows, 0.0);
+  ctx.call<&HeatBand::run>(first, kIters);
+  ctx.quiesce();
+
+  EXPECT_EQ(stitched(*heart), sequential_heat(kRows, kCols, kIters));
+  EXPECT_GT(heart->residual(ctx), 0.0);
+}

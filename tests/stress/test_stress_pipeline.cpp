@@ -1,0 +1,111 @@
+// Pipeline strategy under chaos: seeded yields/sleeps woven into the
+// stage methods must reshuffle interleavings without ever changing the
+// processed signal — and the chaos aspect must unplug without residue.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "apar/apps/signal_stage.hpp"
+#include "apar/strategies/chaos_aspect.hpp"
+#include "apar/strategies/concurrency_aspect.hpp"
+#include "apar/strategies/pipeline_aspect.hpp"
+#include "stress_common.hpp"
+
+namespace aop = apar::aop;
+namespace st = apar::strategies;
+using apar::apps::SignalStage;
+using apar::test::announce_stress_seed;
+namespace sig = apar::apps::signal;
+
+namespace {
+
+using Pipe = st::PipelineAspect<SignalStage, long long, long long, double>;
+
+Pipe::Options pipe_options(std::size_t stages, std::size_t pack_size) {
+  Pipe::Options opts;
+  opts.duplicates = stages;
+  opts.pack_size = pack_size;
+  opts.ctor_args = [](std::size_t i, std::size_t,
+                      const std::tuple<long long, double>& original) {
+    return std::make_tuple(1LL << i, std::get<1>(original));
+  };
+  return opts;
+}
+
+std::vector<long long> test_signal() {
+  std::vector<long long> data;
+  for (long long i = -600; i < 600; ++i) data.push_back(i * 7);
+  return data;
+}
+
+std::vector<long long> sequential_reference() {
+  SignalStage all(sig::kAll);
+  auto data = test_signal();
+  all.process(data);
+  return all.take_results();
+}
+
+}  // namespace
+
+TEST(StressPipeline, ChaoticConcurrentPipelineMatchesCore) {
+  const std::uint64_t seed = announce_stress_seed(0xFC01);
+  aop::Context ctx;
+  auto pipe = std::make_shared<Pipe>(pipe_options(3, 64));
+  ctx.attach(pipe);
+  auto conc =
+      std::make_shared<st::ConcurrencyAspect<SignalStage>>("Concurrency");
+  conc->async_method<&SignalStage::filter>()
+      .async_method<&SignalStage::process>()
+      .guarded_method<&SignalStage::collect>();
+  ctx.attach(conc);
+
+  auto schedule = std::make_shared<st::ChaosSchedule>(
+      st::ChaosSchedule::Options{seed, 0.35, 0.25, 60});
+  auto chaos =
+      std::make_shared<st::ChaosAspect<SignalStage>>("Chaos", schedule);
+  chaos->perturb_method<&SignalStage::filter>()
+      .perturb_method<&SignalStage::collect>();
+  ctx.attach(chaos);
+
+  auto first = ctx.create<SignalStage>(sig::kAll, 0.0);
+  auto data = test_signal();
+  ctx.call<&SignalStage::process>(first, data);
+  ctx.quiesce();
+
+  auto results = pipe->gather_results(ctx);
+  std::sort(results.begin(), results.end());
+  auto expected = sequential_reference();
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(results, expected);
+  EXPECT_GT(schedule->decisions(), 0u);
+}
+
+TEST(StressPipeline, DetachedChaosLeavesNoProbesBehind) {
+  announce_stress_seed(0xFC02);
+  aop::Context ctx;
+  auto pipe = std::make_shared<Pipe>(pipe_options(3, 128));
+  ctx.attach(pipe);
+  auto schedule = std::make_shared<st::ChaosSchedule>(
+      st::ChaosSchedule::Options{7, 1.0, 1.0, 10});  // would fire every call
+  auto chaos =
+      std::make_shared<st::ChaosAspect<SignalStage>>("Chaos", schedule);
+  chaos->perturb_method<&SignalStage::filter>()
+      .perturb_method<&SignalStage::collect>();
+  ctx.attach(chaos);
+  ctx.detach("Chaos");  // the unplugged configuration
+
+  auto first = ctx.create<SignalStage>(sig::kAll, 0.0);
+  auto data = test_signal();
+  ctx.call<&SignalStage::process>(first, data);
+  ctx.quiesce();
+  auto results = pipe->gather_results(ctx);
+  std::sort(results.begin(), results.end());
+  auto expected = sequential_reference();
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(results, expected);
+  // Detached before the run: not one decision was consumed.
+  EXPECT_EQ(schedule->decisions(), 0u);
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Run the stress suite (`ctest -L stress`) under ThreadSanitizer and
+# AddressSanitizer. Any sanitizer report fails the run: halt_on_error
+# turns the first finding into a nonzero test exit.
+#
+# Usage:
+#   tools/run_stress.sh              # tsan + asan
+#   tools/run_stress.sh tsan         # one sanitizer only
+#   APAR_STRESS_SEED=123 tools/run_stress.sh tsan   # replay a seed
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(tsan asan)
+fi
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1 abort_on_error=1}"
+
+for preset in "${presets[@]}"; do
+  case "$preset" in
+    tsan|asan) ;;
+    *) echo "unknown preset '$preset' (expected tsan or asan)" >&2; exit 2 ;;
+  esac
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset"
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j "$(nproc)"
+  echo "=== [$preset] ctest -L stress ==="
+  ctest --test-dir "build-$preset" -L stress --output-on-failure -j 2
+done
+
+echo "stress suite clean under: ${presets[*]}"
