@@ -14,6 +14,7 @@
 #include "apar/sieve/workload.hpp"
 #include "apar/strategies/strategies.hpp"
 #include "bench_common.hpp"
+#include "obs_support.hpp"
 
 namespace ab = apar::bench;
 namespace ac = apar::common;
@@ -34,6 +35,7 @@ void balanced_sieve(const ab::FigureConfig& cfg, double ns_per_op) {
     sv::SieveConfig sc = ab::to_sieve_config(cfg, filters, ns_per_op);
 
     sv::SieveHarness stat_farm(sv::Version::kFarmThreads, sc);
+    ab::obs_attach_trace(stat_farm.context());
     const double stat = ab::median_seconds(cfg.reps, expected,
                                            [&] { return stat_farm.run(); });
 
@@ -51,6 +53,7 @@ void balanced_sieve(const ab::FigureConfig& cfg, double ns_per_op) {
         "LocalCpu", sc.local_cpu_slots);
     cpu->limit_method<&sv::PrimeFilter::process>();
     ctx.attach(cpu);
+    ab::obs_attach_trace(ctx);
 
     std::vector<double> times;
     for (int r = 0; r < cfg.reps; ++r) {
@@ -171,5 +174,6 @@ int main(int argc, char** argv) {
   std::printf("=== Dynamic vs static farm (paper §6, FarmDRMI remark) ===\n\n");
   balanced_sieve(cfg, ns_per_op);
   skewed_mandelbrot(cfg);
+  ab::obs_finish();
   return 0;
 }

@@ -13,6 +13,7 @@
 #include "apar/sieve/handcoded.hpp"
 #include "apar/sieve/workload.hpp"
 #include "bench_common.hpp"
+#include "obs_support.hpp"
 
 namespace ab = apar::bench;
 namespace ac = apar::common;
@@ -36,6 +37,7 @@ int main(int argc, char** argv) {
     });
 
     sv::SieveHarness woven(sv::Version::kPipeRmi, sc);
+    ab::obs_attach_trace(woven.context());
     const double aspect = ab::median_seconds(cfg.reps, expected,
                                              [&] { return woven.run(); });
 
@@ -49,5 +51,6 @@ int main(int argc, char** argv) {
   std::printf("worst-case weaving overhead: %+.1f%%  (paper claims < 5%%)\n",
               worst_overhead * 100.0);
   std::printf("series (csv):\n%s\n", table.csv().c_str());
+  ab::obs_finish();
   return 0;
 }

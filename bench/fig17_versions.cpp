@@ -14,6 +14,7 @@
 
 #include "apar/sieve/workload.hpp"
 #include "bench_common.hpp"
+#include "obs_support.hpp"
 
 namespace ab = apar::bench;
 namespace ac = apar::common;
@@ -61,6 +62,7 @@ int main(int argc, char** argv) {
     for (const auto version : sv::table1_versions()) {
       sv::SieveHarness harness(version,
                                ab::to_sieve_config(cfg, filters, ns_per_op));
+      ab::obs_attach_trace(harness.context());
       const double median = ab::median_seconds(cfg.reps, expected,
                                                [&] { return harness.run(); });
       series[version].push_back(median);
@@ -77,6 +79,7 @@ int main(int argc, char** argv) {
   for (const std::size_t filters : cfg.filters) {
     sv::SieveHarness harness(sv::Version::kFarmHybrid,
                              ab::to_sieve_config(cfg, filters, ns_per_op));
+    ab::obs_attach_trace(harness.context());
     const double median = ab::median_seconds(cfg.reps, expected,
                                              [&] { return harness.run(); });
     hybrid.add_row({std::to_string(filters), ac::fmt_seconds(median)});
@@ -106,5 +109,6 @@ int main(int argc, char** argv) {
       "  FarmThreads plateaus:       %.3fs at %zu filters vs %.3fs at %zu\n",
       last(sv::Version::kFarmThreads), cfg.filters.back(),
       first(sv::Version::kFarmThreads), cfg.filters.front());
+  ab::obs_finish();
   return 0;
 }

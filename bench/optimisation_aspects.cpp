@@ -15,6 +15,7 @@
 #include "apar/sieve/workload.hpp"
 #include "apar/strategies/strategies.hpp"
 #include "bench_common.hpp"
+#include "obs_support.hpp"
 
 namespace ab = apar::bench;
 namespace ac = apar::common;
@@ -60,6 +61,7 @@ struct MppFarmStack {
     dist->distribute_method<&PrimeFilter::process>(true)
         .distribute_method<&PrimeFilter::take_results>();
     ctx->attach(dist);
+    ab::obs_attach_trace(*ctx);
     config = cfg;
   }
 
@@ -134,6 +136,7 @@ void thread_pool_ablation(const ab::FigureConfig& fig, double ns_per_op) {
     std::vector<double> times;
     for (int r = 0; r < fig.reps; ++r) {
       sv::SieveHarness harness(sv::Version::kFarmThreads, cfg);
+      ab::obs_attach_trace(harness.context());
       if (pooled) {
         harness.context().attach(
             std::make_shared<st::optimisation::ThreadPoolOptimisation>(
@@ -192,5 +195,6 @@ int main(int argc, char** argv) {
   packing_ablation(cfg, ns_per_op);
   thread_pool_ablation(cfg, ns_per_op);
   object_cache_ablation();
+  ab::obs_finish();
   return 0;
 }

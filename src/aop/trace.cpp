@@ -1,9 +1,14 @@
 #include "apar/aop/trace.hpp"
 
 #include <algorithm>
+#include <fstream>
+#include <iomanip>
 #include <map>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+
+#include "apar/common/json.hpp"
 
 namespace apar::aop {
 
@@ -87,15 +92,113 @@ std::string Tracer::interaction_diagram() const {
     const char* arrow = e.phase == TraceEvent::Phase::kEnter  ? "->"
                         : e.phase == TraceEvent::Phase::kExit ? "<-"
                                                               : "!!";
-    char line[160];
-    std::snprintf(line, sizeof line, "%7lld  %-6s  %-3s  %s %s\n",
-                  static_cast<long long>(us),
-                  thread_label(e.thread).c_str(),
-                  object_label(e.target).c_str(), arrow,
-                  e.signature.c_str());
-    os << line;
+    // Stream formatting (not a fixed buffer): signatures of any length
+    // render intact.
+    os << std::setw(7) << us << "  " << std::left << std::setw(6)
+       << thread_label(e.thread) << "  " << std::setw(3)
+       << object_label(e.target) << std::right << "  " << arrow << ' '
+       << e.signature << '\n';
   }
   return os.str();
+}
+
+std::vector<TraceSpan> Tracer::spans() const {
+  std::vector<TraceEvent> snapshot = events();
+  std::stable_sort(snapshot.begin(), snapshot.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.when < b.when;
+                   });
+  std::map<std::thread::id, std::vector<std::size_t>> open_by_thread;
+  std::vector<TraceSpan> spans;
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const TraceEvent& e = snapshot[i];
+    auto& stack = open_by_thread[e.thread];
+    if (e.phase == TraceEvent::Phase::kEnter) {
+      stack.push_back(i);
+      continue;
+    }
+    // Close the innermost open enter with the same signature (an exception
+    // unwinding through nested traced calls emits kError per level, so a
+    // plain top-of-stack pop would still pair correctly; matching on the
+    // signature shields against interleaved aspect-emitted events).
+    for (std::size_t s = stack.size(); s-- > 0;) {
+      const TraceEvent& enter = snapshot[stack[s]];
+      if (enter.signature != e.signature) continue;
+      TraceSpan span;
+      span.signature = enter.signature;
+      span.thread = e.thread;
+      span.target = enter.target ? enter.target : e.target;
+      span.start = enter.when;
+      span.duration = std::chrono::duration_cast<std::chrono::microseconds>(
+          e.when - enter.when);
+      span.error = e.phase == TraceEvent::Phase::kError;
+      spans.push_back(std::move(span));
+      stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(s));
+      break;
+    }
+  }
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) {
+                     return a.start < b.start;
+                   });
+  return spans;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::vector<TraceEvent> snapshot = events();
+  std::stable_sort(snapshot.begin(), snapshot.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.when < b.when;
+                   });
+  // Compact tids in order of first appearance — same labelling rule as the
+  // interaction diagram (T1, T2, ...).
+  std::map<std::thread::id, int> tids;
+  for (const auto& e : snapshot) tids.emplace(e.thread, 0);
+  {
+    int next = 1;
+    for (auto& e : snapshot) {
+      auto& tid = tids[e.thread];
+      if (tid == 0) tid = next++;
+    }
+  }
+  const auto t0 = snapshot.empty() ? std::chrono::steady_clock::time_point{}
+                                   : snapshot.front().when;
+  auto rel_us = [&](std::chrono::steady_clock::time_point tp) {
+    return std::chrono::duration_cast<std::chrono::microseconds>(tp - t0)
+        .count();
+  };
+
+  std::ostringstream os;
+  os << '[';
+  bool first = true;
+  std::vector<std::pair<int, std::thread::id>> ordered;
+  for (const auto& [id, tid] : tids) ordered.emplace_back(tid, id);
+  std::sort(ordered.begin(), ordered.end());
+  for (const auto& [tid, id] : ordered) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"T" << tid << "\"}}";
+  }
+  for (const auto& span : spans()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << common::json_escape(span.signature)
+       << "\",\"cat\":\"apar\",\"ph\":\"X\",\"ts\":" << rel_us(span.start)
+       << ",\"dur\":" << span.duration.count()
+       << ",\"pid\":0,\"tid\":" << tids[span.thread];
+    if (span.error) os << ",\"args\":{\"error\":true}";
+    os << '}';
+  }
+  os << ']';
+  return os.str();
+}
+
+void Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open trace file: " + path);
+  out << chrome_trace_json() << '\n';
+  if (!out) throw std::runtime_error("failed writing trace file: " + path);
 }
 
 std::string Tracer::summary() const {

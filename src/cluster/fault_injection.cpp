@@ -14,7 +14,19 @@ FaultInjectingMiddleware::FaultInjectingMiddleware(Middleware& inner,
                                                    Options options)
     : inner_(inner),
       options_(options),
-      name_("FaultInjecting(" + std::string(inner.name()) + ")") {}
+      name_("FaultInjecting(" + std::string(inner.name()) + ")") {
+  if (obs::metrics_enabled()) {
+    auto& registry = obs::MetricsRegistry::global();
+    const auto counter = [&](const char* kind) {
+      return registry.counter("faults.injected",
+                              {{"kind", kind}, {"middleware", name_}});
+    };
+    dropped_counter_ = counter("drop");
+    delayed_counter_ = counter("delay");
+    duplicated_counter_ = counter("duplicate");
+    crash_counter_ = counter("crash");
+  }
+}
 
 FaultInjectingMiddleware::Action FaultInjectingMiddleware::plan() {
   const std::uint64_t index =
@@ -41,15 +53,24 @@ FaultInjectingMiddleware::Action FaultInjectingMiddleware::plan() {
   }
 
   fault_stats_.intercepted.fetch_add(1, std::memory_order_relaxed);
-  if (action.crash) fault_stats_.crashes.fetch_add(1, std::memory_order_relaxed);
-  if (action.drop) fault_stats_.dropped.fetch_add(1, std::memory_order_relaxed);
+  if (action.crash) {
+    fault_stats_.crashes.fetch_add(1, std::memory_order_relaxed);
+    if (crash_counter_) crash_counter_->add(1);
+  }
+  if (action.drop) {
+    fault_stats_.dropped.fetch_add(1, std::memory_order_relaxed);
+    if (dropped_counter_) dropped_counter_->add(1);
+  }
   if (action.delay_us > 0) {
     fault_stats_.delayed.fetch_add(1, std::memory_order_relaxed);
     fault_stats_.delay_us_total.fetch_add(action.delay_us,
                                           std::memory_order_relaxed);
+    if (delayed_counter_) delayed_counter_->add(1);
   }
-  if (action.duplicate)
+  if (action.duplicate) {
     fault_stats_.duplicated.fetch_add(1, std::memory_order_relaxed);
+    if (duplicated_counter_) duplicated_counter_->add(1);
+  }
 
   {
     std::lock_guard lock(log_mutex_);

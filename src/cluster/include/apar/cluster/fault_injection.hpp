@@ -144,6 +144,14 @@ class FaultInjectingMiddleware final : public Middleware {
   std::atomic<std::uint64_t> next_index_{0};
   FaultStats fault_stats_;
 
+  // Registry mirrors of FaultStats ("faults.injected" counters, labelled
+  // {"middleware": name, "kind": ...}); null unless obs::metrics_enabled()
+  // at construction.
+  std::shared_ptr<obs::Counter> dropped_counter_;
+  std::shared_ptr<obs::Counter> delayed_counter_;
+  std::shared_ptr<obs::Counter> duplicated_counter_;
+  std::shared_ptr<obs::Counter> crash_counter_;
+
   mutable std::mutex log_mutex_;
   std::vector<Action> log_;
 };

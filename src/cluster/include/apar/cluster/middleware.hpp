@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -12,6 +13,7 @@
 #include "apar/cluster/cluster.hpp"
 #include "apar/cluster/cost_model.hpp"
 #include "apar/cluster/ids.hpp"
+#include "apar/obs/metrics.hpp"
 #include "apar/serial/archive.hpp"
 
 namespace apar::cluster {
@@ -107,6 +109,13 @@ class SimMiddleware : public Middleware {
  private:
   Reply send_and_wait(Message msg);
 
+  /// Feed per-method invoke latency and request-payload-size histograms
+  /// into the global registry, labelled {"middleware": name, "method":
+  /// method} ("new" for creations). Only called when metrics_on_.
+  void record_call_metrics(std::string_view method,
+                           std::chrono::steady_clock::time_point started,
+                           std::size_t payload_bytes);
+
   /// The client machine's network link is a shared serial resource: every
   /// request and reply byte crosses it, one message at a time. This is
   /// what keeps a client-woven pipeline from scaling (paper §6: "each
@@ -125,6 +134,9 @@ class SimMiddleware : public Middleware {
   bool one_way_;
   std::string_view name_;
   MiddlewareStats stats_;
+  // Latched at construction so the unobserved call path pays one bool test
+  // and no clock reads.
+  const bool metrics_on_ = obs::metrics_enabled();
 };
 
 /// Java-RMI-like middleware: per-call handshake, verbose self-describing
@@ -191,8 +203,31 @@ class HybridMiddleware final : public Middleware {
     return control_.lookup(name);
   }
 
+  /// Aggregated view over BOTH backends. Reporting only the control side
+  /// silently undercounts hybrid traffic — the fast path is where the bulk
+  /// of the bytes go. Per-backend breakdowns remain available through
+  /// control().stats() / fast().stats().
   [[nodiscard]] const MiddlewareStats& stats() const override {
-    return control_.stats();
+    const MiddlewareStats& c = control_.stats();
+    const MiddlewareStats& f = fast_.stats();
+    const auto sum = [](const std::atomic<std::uint64_t>& a,
+                       const std::atomic<std::uint64_t>& b) {
+      return a.load(std::memory_order_relaxed) +
+             b.load(std::memory_order_relaxed);
+    };
+    agg_stats_.creates.store(sum(c.creates, f.creates),
+                             std::memory_order_relaxed);
+    agg_stats_.sync_calls.store(sum(c.sync_calls, f.sync_calls),
+                                std::memory_order_relaxed);
+    agg_stats_.one_way_calls.store(sum(c.one_way_calls, f.one_way_calls),
+                                   std::memory_order_relaxed);
+    agg_stats_.bytes_sent.store(sum(c.bytes_sent, f.bytes_sent),
+                                std::memory_order_relaxed);
+    agg_stats_.bytes_received.store(sum(c.bytes_received, f.bytes_received),
+                                    std::memory_order_relaxed);
+    agg_stats_.lookups.store(sum(c.lookups, f.lookups),
+                             std::memory_order_relaxed);
+    return agg_stats_;
   }
   [[nodiscard]] const CostModel& costs() const override {
     return control_.costs();
@@ -206,6 +241,8 @@ class HybridMiddleware final : public Middleware {
   Middleware& fast_;
   std::set<std::string, std::less<>> fast_methods_;
   std::string name_;
+  /// Refreshed on every stats() call from the two backends' live counters.
+  mutable MiddlewareStats agg_stats_;
 };
 
 }  // namespace apar::cluster

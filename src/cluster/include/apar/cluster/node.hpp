@@ -15,6 +15,11 @@
 #include "apar/concurrency/sync_registry.hpp"
 #include "apar/concurrency/work_queue.hpp"
 
+namespace apar::obs {
+class Counter;
+class Histogram;
+}  // namespace apar::obs
+
 namespace apar::cluster {
 
 class Cluster;
@@ -92,6 +97,11 @@ class Node {
   std::atomic<std::uint64_t> executed_{0};
   std::atomic<bool> stopped_{false};
   std::atomic<bool> crashed_{false};
+
+  // Null unless obs::metrics_enabled() at construction. The mailbox's
+  // depth/throughput series are enabled alongside ("node<N>.mailbox").
+  std::shared_ptr<obs::Histogram> handle_us_;
+  std::shared_ptr<obs::Counter> handled_counter_;
 };
 
 }  // namespace apar::cluster

@@ -2,6 +2,23 @@
 
 namespace apar::cluster {
 
+void SimMiddleware::record_call_metrics(
+    std::string_view method, std::chrono::steady_clock::time_point started,
+    std::size_t payload_bytes) {
+  auto& registry = obs::MetricsRegistry::global();
+  const obs::Labels labels{{"method", std::string(method)},
+                           {"middleware", std::string(name_)}};
+  registry.histogram("middleware.invoke_us", labels)
+      ->record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - started)
+                   .count() /
+               1000.0);
+  registry
+      .histogram("middleware.payload_bytes", labels,
+                 obs::Histogram::bytes_bounds())
+      ->record(static_cast<double>(payload_bytes));
+}
+
 void SimMiddleware::charge_client_link(std::size_t bytes) {
   const double us = costs_.per_kb_us * (static_cast<double>(bytes) / 1024.0);
   if (us <= 0.0) return;
@@ -44,6 +61,9 @@ Reply SimMiddleware::send_and_wait(Message msg) {
 
 RemoteHandle SimMiddleware::create(NodeId node, std::string_view class_name,
                                    std::vector<std::byte> ctor_args) {
+  std::chrono::steady_clock::time_point started{};
+  if (metrics_on_) started = std::chrono::steady_clock::now();
+  const std::size_t request_bytes = ctor_args.size();
   charge_client_setup(ctor_args.size());
   Message msg;
   msg.kind = Message::Kind::kCreate;
@@ -54,12 +74,16 @@ RemoteHandle SimMiddleware::create(NodeId node, std::string_view class_name,
   msg.payload = std::move(ctor_args);
   stats_.creates.fetch_add(1, std::memory_order_relaxed);
   const Reply reply = send_and_wait(std::move(msg));
+  if (metrics_on_) record_call_metrics("new", started, request_bytes);
   return RemoteHandle{node, reply.object};
 }
 
 std::vector<std::byte> SimMiddleware::invoke(const RemoteHandle& target,
                                              std::string_view method,
                                              std::vector<std::byte> args) {
+  std::chrono::steady_clock::time_point started{};
+  if (metrics_on_) started = std::chrono::steady_clock::now();
+  const std::size_t request_bytes = args.size();
   charge_client_setup(args.size());
   Message msg;
   msg.kind = Message::Kind::kCall;
@@ -70,7 +94,9 @@ std::vector<std::byte> SimMiddleware::invoke(const RemoteHandle& target,
   msg.deliver_cost_us = costs_.latency_us;
   msg.payload = std::move(args);
   stats_.sync_calls.fetch_add(1, std::memory_order_relaxed);
-  return send_and_wait(std::move(msg)).payload;
+  auto payload = send_and_wait(std::move(msg)).payload;
+  if (metrics_on_) record_call_metrics(method, started, request_bytes);
+  return payload;
 }
 
 void SimMiddleware::invoke_one_way(const RemoteHandle& target,
@@ -79,9 +105,15 @@ void SimMiddleware::invoke_one_way(const RemoteHandle& target,
   if (!one_way_) {
     // RMI has no fire-and-forget: degrade to a synchronous call and drop
     // the reply — exactly what a void remote method does in Java RMI.
+    // invoke() records the call's metrics, so no probe here.
     invoke(target, method, std::move(args));
     return;
   }
+  // For a true one-way send the recorded latency is the client-side
+  // hand-off (setup + routing), not a round trip.
+  std::chrono::steady_clock::time_point started{};
+  if (metrics_on_) started = std::chrono::steady_clock::now();
+  const std::size_t request_bytes = args.size();
   charge_client_setup(args.size());
   Message msg;
   msg.kind = Message::Kind::kOneWay;
@@ -99,6 +131,7 @@ void SimMiddleware::invoke_one_way(const RemoteHandle& target,
     // like any other asynchronous one-way error.
     cluster_.one_way_finished("destination node is shut down");
   }
+  if (metrics_on_) record_call_metrics(method, started, request_bytes);
 }
 
 std::optional<RemoteHandle> SimMiddleware::lookup(std::string_view name) {

@@ -1,7 +1,10 @@
 #include "apar/cluster/node.hpp"
 
+#include <chrono>
+
 #include "apar/cluster/cluster.hpp"
 #include "apar/common/log.hpp"
+#include "apar/obs/metrics.hpp"
 
 namespace apar::cluster {
 
@@ -9,6 +12,13 @@ Node::Node(Cluster& cluster, NodeId id, const rpc::Registry& registry,
            std::size_t executors)
     : cluster_(cluster), id_(id), registry_(registry) {
   if (executors == 0) executors = 1;
+  if (obs::metrics_enabled()) {
+    mailbox_.enable_metrics("node" + std::to_string(id_) + ".mailbox");
+    auto& reg = obs::MetricsRegistry::global();
+    const obs::Labels labels{{"node", std::to_string(id_)}};
+    handle_us_ = reg.histogram("node.handle_us", labels);
+    handled_counter_ = reg.counter("node.handled", labels);
+  }
   executors_.reserve(executors);
   for (std::size_t i = 0; i < executors; ++i)
     executors_.emplace_back([this] { executor_loop(); });
@@ -63,6 +73,8 @@ void Node::executor_loop() {
 }
 
 void Node::handle(Message& msg) {
+  std::chrono::steady_clock::time_point started{};
+  if (handle_us_) started = std::chrono::steady_clock::now();
   try {
     if (msg.kind == Message::Kind::kCreate) {
       handle_create(msg);
@@ -79,6 +91,13 @@ void Node::handle(Message& msg) {
     } else {
       cluster_.one_way_finished(e.what());
     }
+  }
+  if (handle_us_) {
+    handle_us_->record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - started)
+                           .count() /
+                       1000.0);
+    handled_counter_->add(1);
   }
 }
 

@@ -11,6 +11,8 @@ enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
 
 /// Process-wide minimum severity; messages below it are dropped before
 /// formatting. Defaults to kWarn so library internals stay quiet in benches.
+/// The APAR_LOG_LEVEL environment variable, when set, is applied at first
+/// use — but an explicit set_log_level() always wins over the environment.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
@@ -19,6 +21,9 @@ LogLevel parse_log_level(std::string_view name);
 
 namespace detail {
 void log_sink(LogLevel level, std::string_view component, std::string_view msg);
+/// Re-read APAR_LOG_LEVEL and apply it if set (test hook; the normal path
+/// reads the environment once). Returns true if the variable was set.
+bool reload_log_level_from_env();
 }
 
 /// Streaming log statement builder; flushes to the sink on destruction.

@@ -1,13 +1,19 @@
 #include "apar/common/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <mutex>
+#include <sstream>
+#include <thread>
 
 namespace apar::common {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::once_flag g_env_once;
 std::mutex g_sink_mutex;
 
 const char* level_name(LogLevel level) {
@@ -24,10 +30,16 @@ const char* level_name(LogLevel level) {
 }  // namespace
 
 void set_log_level(LogLevel level) {
+  // Consume the env read so a later first log statement cannot override an
+  // explicit programmatic choice with APAR_LOG_LEVEL.
+  std::call_once(g_env_once, [] {});
   g_level.store(level, std::memory_order_relaxed);
 }
 
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+LogLevel log_level() {
+  std::call_once(g_env_once, [] { detail::reload_log_level_from_env(); });
+  return g_level.load(std::memory_order_relaxed);
+}
 
 LogLevel parse_log_level(std::string_view name) {
   if (name == "trace") return LogLevel::kTrace;
@@ -40,13 +52,36 @@ LogLevel parse_log_level(std::string_view name) {
 }
 
 namespace detail {
+
+bool reload_log_level_from_env() {
+  const char* env = std::getenv("APAR_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return false;
+  g_level.store(parse_log_level(env), std::memory_order_relaxed);
+  return true;
+}
+
 void log_sink(LogLevel level, std::string_view component,
               std::string_view msg) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000000;
+  std::tm tm{};
+  localtime_r(&secs, &tm);
+  char stamp[16];
+  std::strftime(stamp, sizeof stamp, "%H:%M:%S", &tm);
+  std::ostringstream tid;
+  tid << std::this_thread::get_id();
   std::lock_guard lock(g_sink_mutex);
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(msg.size()), msg.data());
+  std::fprintf(stderr, "[%s.%06lld] [%s] [t:%s] %.*s: %.*s\n", stamp,
+               static_cast<long long>(micros), level_name(level),
+               tid.str().c_str(), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(msg.size()), msg.data());
 }
+
 }  // namespace detail
 
 }  // namespace apar::common

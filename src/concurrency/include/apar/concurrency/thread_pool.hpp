@@ -1,17 +1,25 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "apar/concurrency/future.hpp"
+
+namespace apar::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace apar::obs
 
 namespace apar::concurrency {
 
@@ -69,16 +77,37 @@ class ThreadPool {
   void drain();
 
  private:
+  /// A queued task with its enqueue time (zeroed when metrics are off, so
+  /// the unobserved path never reads the clock).
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+
   void worker_loop();
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::size_t active_ = 0;
   bool stopping_ = false;
   std::atomic<std::uint64_t> task_failures_{0};
   std::vector<std::thread> workers_;
+
+  // Registry probes, created at construction only when obs::metrics_enabled()
+  // — null means every instrumentation branch below is a single pointer
+  // test, keeping the fig16 overhead claim honest with metrics unset.
+  // Series (process-wide aggregate over all pools):
+  //   threadpool.queue_depth (gauge), threadpool.workers (gauge),
+  //   threadpool.wait_us / threadpool.run_us (histograms),
+  //   threadpool.tasks / threadpool.busy_us (counters).
+  std::shared_ptr<obs::Gauge> queue_depth_;
+  std::shared_ptr<obs::Gauge> workers_gauge_;
+  std::shared_ptr<obs::Histogram> wait_us_;
+  std::shared_ptr<obs::Histogram> run_us_;
+  std::shared_ptr<obs::Counter> tasks_counter_;
+  std::shared_ptr<obs::Counter> busy_us_counter_;
 };
 
 }  // namespace apar::concurrency

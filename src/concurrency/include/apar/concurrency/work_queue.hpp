@@ -3,8 +3,13 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <utility>
+
+#include "apar/obs/metrics.hpp"
 
 namespace apar::concurrency {
 
@@ -22,12 +27,29 @@ class WorkQueue {
   WorkQueue(const WorkQueue&) = delete;
   WorkQueue& operator=(const WorkQueue&) = delete;
 
+  /// Feed depth/throughput series for this queue into the global metrics
+  /// registry, labelled {"queue": name}. No-op (and the push/pop paths stay
+  /// probe-free) unless obs::metrics_enabled(). Call before producers and
+  /// consumers start.
+  void enable_metrics(const std::string& name) {
+    if (!obs::metrics_enabled()) return;
+    auto& registry = obs::MetricsRegistry::global();
+    const obs::Labels labels{{"queue", name}};
+    depth_ = registry.gauge("workqueue.depth", labels);
+    pushed_ = registry.counter("workqueue.pushed", labels);
+    popped_ = registry.counter("workqueue.popped", labels);
+  }
+
   /// Push an item; returns false (drops the item) if the queue is closed.
   bool push(T item) {
     {
       std::lock_guard lock(mutex_);
       if (closed_) return false;
       items_.push_back(std::move(item));
+    }
+    if (depth_) {
+      depth_->add(1);
+      pushed_->add(1);
     }
     cv_.notify_one();
     return true;
@@ -40,15 +62,27 @@ class WorkQueue {
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
+    lock.unlock();
+    if (depth_) {
+      depth_->add(-1);
+      popped_->add(1);
+    }
     return item;
   }
 
   /// Non-blocking pop.
   std::optional<T> try_pop() {
-    std::lock_guard lock(mutex_);
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    std::optional<T> item;
+    {
+      std::lock_guard lock(mutex_);
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
+    if (depth_) {
+      depth_->add(-1);
+      popped_->add(1);
+    }
     return item;
   }
 
@@ -72,6 +106,7 @@ class WorkQueue {
       closed_ = true;
       dropped.swap(items_);
     }
+    if (depth_) depth_->add(-static_cast<std::int64_t>(dropped.size()));
     cv_.notify_all();
     return dropped;
   }
@@ -91,6 +126,11 @@ class WorkQueue {
   std::condition_variable cv_;
   std::deque<T> items_;
   bool closed_ = false;
+
+  // Null unless enable_metrics() ran with metrics enabled.
+  std::shared_ptr<obs::Gauge> depth_;
+  std::shared_ptr<obs::Counter> pushed_;
+  std::shared_ptr<obs::Counter> popped_;
 };
 
 }  // namespace apar::concurrency

@@ -2,10 +2,22 @@
 
 #include <stdexcept>
 
+#include "apar/obs/metrics.hpp"
+
 namespace apar::concurrency {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = 1;
+  if (obs::metrics_enabled()) {
+    auto& registry = obs::MetricsRegistry::global();
+    queue_depth_ = registry.gauge("threadpool.queue_depth");
+    workers_gauge_ = registry.gauge("threadpool.workers");
+    wait_us_ = registry.histogram("threadpool.wait_us");
+    run_us_ = registry.histogram("threadpool.run_us");
+    tasks_counter_ = registry.counter("threadpool.tasks");
+    busy_us_counter_ = registry.counter("threadpool.busy_us");
+    workers_gauge_->add(static_cast<std::int64_t>(threads));
+  }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -18,14 +30,19 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  if (workers_gauge_)
+    workers_gauge_->add(-static_cast<std::int64_t>(workers_.size()));
 }
 
 void ThreadPool::post(std::function<void()> task) {
+  QueuedTask queued{std::move(task), {}};
+  if (wait_us_) queued.enqueued = std::chrono::steady_clock::now();
   {
     std::lock_guard lock(mutex_);
     if (stopping_) throw std::runtime_error("ThreadPool is shutting down");
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(queued));
   }
+  if (queue_depth_) queue_depth_->add(1);
   cv_.notify_one();
 }
 
@@ -41,7 +58,7 @@ void ThreadPool::drain() {
 
 void ThreadPool::worker_loop() {
   while (true) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
@@ -50,15 +67,34 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
+    if (queue_depth_) queue_depth_->add(-1);
+    std::chrono::steady_clock::time_point started{};
+    if (wait_us_) {
+      started = std::chrono::steady_clock::now();
+      wait_us_->record(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              started - task.enqueued)
+              .count() /
+          1000.0);
+    }
     // A fire-and-forget task that throws must not take the process down
     // (an escaped exception on a worker thread is std::terminate). This
     // matters during shutdown: a task that post()s while the pool is
     // stopping gets a runtime_error, and if it lets that propagate the
     // whole run would die instead of finishing the drain.
     try {
-      task();
+      task.fn();
     } catch (...) {
       task_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (run_us_) {
+      const double us = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - started)
+                            .count() /
+                        1000.0;
+      run_us_->record(us);
+      tasks_counter_->add(1);
+      busy_us_counter_->add(static_cast<std::uint64_t>(us));
     }
     {
       std::lock_guard lock(mutex_);

@@ -1,0 +1,166 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "apar/common/table.hpp"
+
+namespace apar::obs {
+
+/// Metric labels, e.g. {{"middleware", "MPP"}, {"method", "sieve"}}.
+/// Normalised (sorted by key) before use so label order never creates
+/// distinct time series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing count (events, bytes, microseconds of work).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, live workers). add() is the
+/// common path for depth-style gauges: +1 on enqueue, -1 on dequeue.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: bucket upper bounds are chosen at construction
+/// and never change, so record() is a binary search plus a handful of
+/// relaxed atomic increments — cheap enough to sit on a middleware call
+/// path when metrics are enabled, and entirely absent when they are not.
+class Histogram {
+ public:
+  /// `bounds` are inclusive upper bounds, strictly increasing; an implicit
+  /// +Inf bucket is appended.
+  explicit Histogram(std::vector<double> bounds);
+
+  void record(double value);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Cumulative count of values <= bounds()[i]; index bounds().size() is
+  /// the +Inf bucket (== count()).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  /// Percentile estimate (linear within the winning bucket). pct in
+  /// [0,100]; 0 observations yield 0.
+  [[nodiscard]] double percentile(double pct) const;
+  [[nodiscard]] double mean() const;
+
+  /// Default bounds for latency-in-microseconds histograms: 1us .. 10s,
+  /// 1-2-5 decades.
+  static std::vector<double> latency_us_bounds();
+  /// Default bounds for payload-size-in-bytes histograms: 16B .. 16MB.
+  static std::vector<double> bytes_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_nanos_{0};  ///< sum scaled by 1000 (fixed point)
+  std::atomic<std::uint64_t> min_bits_{0};
+  std::atomic<std::uint64_t> max_bits_{0};
+  std::atomic<bool> has_extrema_{false};
+};
+
+/// One metric flattened for rendering/export.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::string name;
+  Labels labels;
+  // counter / gauge
+  std::int64_t value = 0;
+  // histogram
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  ///< cumulative, +Inf last
+};
+
+/// Thread-safe named-metric registry: the one place every layer's counters,
+/// gauges and latency histograms live, snapshot-able as structs, a
+/// common::Table, or JSON. Instruments hold shared_ptrs to their metrics,
+/// so clear() never invalidates a live probe.
+class MetricsRegistry {
+ public:
+  std::shared_ptr<Counter> counter(std::string_view name, Labels labels = {});
+  std::shared_ptr<Gauge> gauge(std::string_view name, Labels labels = {});
+  /// Histograms with the same (name, labels) must agree on bounds; the
+  /// first registration wins.
+  std::shared_ptr<Histogram> histogram(
+      std::string_view name, Labels labels = {},
+      std::vector<double> bounds = Histogram::latency_us_bounds());
+
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+  /// Sorted, aligned rendering of every metric (counters/gauges first,
+  /// then histograms with count/mean/p50/p95/p99/max).
+  [[nodiscard]] common::Table table() const;
+  [[nodiscard]] std::string to_json() const;
+
+  [[nodiscard]] std::size_t size() const;
+  /// Drop every registered metric. Probes holding shared_ptrs keep
+  /// recording into their (now unlisted) instruments.
+  void clear();
+
+  /// The process-wide registry all substrate instrumentation feeds.
+  static MetricsRegistry& global();
+
+ private:
+  struct Entry {
+    MetricSnapshot::Kind kind = MetricSnapshot::Kind::kCounter;
+    std::string name;
+    Labels labels;
+    std::shared_ptr<Counter> counter;
+    std::shared_ptr<Gauge> gauge;
+    std::shared_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// True when substrate instrumentation (thread pool, work queues,
+/// middleware, nodes, fault injection) should register probes. Read from
+/// the environment once (APAR_METRICS truthy, or APAR_METRICS_OUT
+/// non-empty); overridable for tests. Plugged ProfilingAspects ignore this
+/// gate — plugging one is already the opt-in.
+bool metrics_enabled();
+void set_metrics_enabled(bool on);
+
+}  // namespace apar::obs

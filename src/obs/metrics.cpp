@@ -1,0 +1,366 @@
+#include "apar/obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "apar/common/json.hpp"
+
+namespace apar::obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  if (bounds_.empty())
+    throw std::invalid_argument("Histogram needs at least one bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1])
+      throw std::invalid_argument("Histogram bounds must strictly increase");
+  }
+  min_bits_.store(std::bit_cast<std::uint64_t>(
+                      std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+  max_bits_.store(std::bit_cast<std::uint64_t>(
+                      -std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+}
+
+void Histogram::record(double value) {
+  if (value < 0.0) value = 0.0;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Fixed-point (value * 1000) accumulation keeps concurrent sums exact —
+  // the registry concurrency test asserts totals to the last unit.
+  sum_nanos_.fetch_add(static_cast<std::uint64_t>(value * 1000.0 + 0.5),
+                       std::memory_order_relaxed);
+  std::uint64_t cur = min_bits_.load(std::memory_order_relaxed);
+  while (value < std::bit_cast<double>(cur) &&
+         !min_bits_.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(value),
+                                          std::memory_order_relaxed)) {
+  }
+  cur = max_bits_.load(std::memory_order_relaxed);
+  while (value > std::bit_cast<double>(cur) &&
+         !max_bits_.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(value),
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const {
+  return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+double Histogram::min() const {
+  if (count() == 0) return 0.0;
+  return std::bit_cast<double>(min_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::max() const {
+  if (count() == 0) return 0.0;
+  return std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::mean() const {
+  const auto n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> cumulative(buckets_.size());
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    acc += buckets_[i].load(std::memory_order_relaxed);
+    cumulative[i] = acc;
+  }
+  return cumulative;
+}
+
+double Histogram::percentile(double pct) const {
+  const auto cumulative = bucket_counts();
+  const std::uint64_t total = cumulative.back();
+  if (total == 0) return 0.0;
+  pct = std::clamp(pct, 0.0, 100.0);
+  const double rank = pct / 100.0 * static_cast<double>(total);
+  for (std::size_t i = 0; i < cumulative.size(); ++i) {
+    if (static_cast<double>(cumulative[i]) < rank) continue;
+    if (i == bounds_.size()) return max();  // +Inf bucket
+    const double hi = std::min(bounds_[i], max());
+    const double lo = i == 0 ? std::min(min(), hi) : bounds_[i - 1];
+    const std::uint64_t below = i == 0 ? 0 : cumulative[i - 1];
+    const std::uint64_t in_bucket = cumulative[i] - below;
+    if (in_bucket == 0) return hi;
+    const double frac = (rank - static_cast<double>(below)) /
+                        static_cast<double>(in_bucket);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return max();
+}
+
+std::vector<double> Histogram::latency_us_bounds() {
+  return {1,    2,    5,    10,   20,   50,   100,  200,
+          500,  1e3,  2e3,  5e3,  1e4,  2e4,  5e4,  1e5,
+          2e5,  5e5,  1e6,  2e6,  5e6,  1e7};
+}
+
+std::vector<double> Histogram::bytes_bounds() {
+  return {16,     64,      256,     1024,     4096,    16384,
+          65536,  262144,  1048576, 4194304,  16777216};
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Labels normalize(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::string metric_key(std::string_view name, const Labels& labels) {
+  std::string key(name);
+  key += '{';
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key += '=';
+    key += v;
+    key += ',';
+  }
+  key += '}';
+  return key;
+}
+
+std::string labels_str(const Labels& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out += ',';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::shared_ptr<Counter> MetricsRegistry::counter(std::string_view name,
+                                                  Labels labels) {
+  labels = normalize(std::move(labels));
+  std::lock_guard lock(mutex_);
+  auto& e = entries_[metric_key(name, labels)];
+  if (!e.counter) {
+    if (e.gauge || e.histogram)
+      throw std::logic_error("metric '" + std::string(name) +
+                             "' already registered with another type");
+    e.kind = MetricSnapshot::Kind::kCounter;
+    e.name = std::string(name);
+    e.labels = labels;
+    e.counter = std::make_shared<Counter>();
+  }
+  return e.counter;
+}
+
+std::shared_ptr<Gauge> MetricsRegistry::gauge(std::string_view name,
+                                              Labels labels) {
+  labels = normalize(std::move(labels));
+  std::lock_guard lock(mutex_);
+  auto& e = entries_[metric_key(name, labels)];
+  if (!e.gauge) {
+    if (e.counter || e.histogram)
+      throw std::logic_error("metric '" + std::string(name) +
+                             "' already registered with another type");
+    e.kind = MetricSnapshot::Kind::kGauge;
+    e.name = std::string(name);
+    e.labels = labels;
+    e.gauge = std::make_shared<Gauge>();
+  }
+  return e.gauge;
+}
+
+std::shared_ptr<Histogram> MetricsRegistry::histogram(
+    std::string_view name, Labels labels, std::vector<double> bounds) {
+  labels = normalize(std::move(labels));
+  std::lock_guard lock(mutex_);
+  auto& e = entries_[metric_key(name, labels)];
+  if (!e.histogram) {
+    if (e.counter || e.gauge)
+      throw std::logic_error("metric '" + std::string(name) +
+                             "' already registered with another type");
+    e.kind = MetricSnapshot::Kind::kHistogram;
+    e.name = std::string(name);
+    e.labels = labels;
+    e.histogram = std::make_shared<Histogram>(std::move(bounds));
+  }
+  return e.histogram;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    MetricSnapshot s;
+    s.kind = e.kind;
+    s.name = e.name;
+    s.labels = e.labels;
+    switch (e.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        s.value = static_cast<std::int64_t>(e.counter->value());
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        s.value = e.gauge->value();
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        s.count = e.histogram->count();
+        s.sum = e.histogram->sum();
+        s.min = e.histogram->min();
+        s.max = e.histogram->max();
+        s.mean = e.histogram->mean();
+        s.p50 = e.histogram->percentile(50);
+        s.p95 = e.histogram->percentile(95);
+        s.p99 = e.histogram->percentile(99);
+        s.bounds = e.histogram->bounds();
+        s.buckets = e.histogram->bucket_counts();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+common::Table MetricsRegistry::table() const {
+  common::Table t({"metric", "labels", "type", "value", "count", "mean",
+                   "p50", "p95", "p99", "max"});
+  auto fmt = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", v);
+    return std::string(buf);
+  };
+  for (const auto& s : snapshot()) {
+    switch (s.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        t.add_row({s.name, labels_str(s.labels), "counter",
+                   std::to_string(s.value), "", "", "", "", "", ""});
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        t.add_row({s.name, labels_str(s.labels), "gauge",
+                   std::to_string(s.value), "", "", "", "", "", ""});
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        t.add_row({s.name, labels_str(s.labels), "histogram", "",
+                   std::to_string(s.count), fmt(s.mean), fmt(s.p50),
+                   fmt(s.p95), fmt(s.p99), fmt(s.max)});
+        break;
+    }
+  }
+  return t;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const auto& s : snapshot()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << common::json_escape(s.name) << "\",\"labels\":{";
+    bool lfirst = true;
+    for (const auto& [k, v] : s.labels) {
+      if (!lfirst) os << ',';
+      lfirst = false;
+      os << '"' << common::json_escape(k) << "\":\"" << common::json_escape(v)
+         << '"';
+    }
+    os << "},";
+    switch (s.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        os << "\"type\":\"counter\",\"value\":" << s.value;
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        os << "\"type\":\"gauge\",\"value\":" << s.value;
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        os << "\"type\":\"histogram\",\"count\":" << s.count
+           << ",\"sum\":" << common::json_number(s.sum)
+           << ",\"min\":" << common::json_number(s.min)
+           << ",\"max\":" << common::json_number(s.max)
+           << ",\"p50\":" << common::json_number(s.p50)
+           << ",\"p95\":" << common::json_number(s.p95)
+           << ",\"p99\":" << common::json_number(s.p99) << ",\"buckets\":[";
+        for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+          if (i) os << ',';
+          os << "{\"le\":";
+          if (i < s.bounds.size())
+            os << common::json_number(s.bounds[i]);
+          else
+            os << "\"+Inf\"";
+          os << ",\"count\":" << s.buckets[i] << '}';
+        }
+        os << ']';
+        break;
+      }
+    }
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard lock(mutex_);
+  entries_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+// ---------------------------------------------------------------------------
+// Enablement gate
+// ---------------------------------------------------------------------------
+
+namespace {
+// -1 = undecided (read env on first query), 0 = off, 1 = on.
+std::atomic<int> g_metrics_enabled{-1};
+
+bool env_truthy(const char* v) {
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0 &&
+         std::strcmp(v, "false") != 0 && std::strcmp(v, "off") != 0;
+}
+}  // namespace
+
+bool metrics_enabled() {
+  int v = g_metrics_enabled.load(std::memory_order_acquire);
+  if (v < 0) {
+    const char* out = std::getenv("APAR_METRICS_OUT");
+    const bool on =
+        env_truthy(std::getenv("APAR_METRICS")) || (out != nullptr && *out);
+    int expected = -1;
+    g_metrics_enabled.compare_exchange_strong(expected, on ? 1 : 0,
+                                              std::memory_order_acq_rel);
+    v = g_metrics_enabled.load(std::memory_order_acquire);
+  }
+  return v == 1;
+}
+
+void set_metrics_enabled(bool on) {
+  g_metrics_enabled.store(on ? 1 : 0, std::memory_order_release);
+}
+
+}  // namespace apar::obs

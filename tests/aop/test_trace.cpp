@@ -113,6 +113,31 @@ TEST(TraceAspect, DiagramAndSummaryRender) {
   EXPECT_EQ(tracer->targets("Worker.process"), 2u);
 }
 
+TEST(TraceAspect, DiagramKeepsLongSignaturesIntact) {
+  // Regression: the diagram used a 160-char snprintf line buffer, so long
+  // signatures (and anything after them) were silently truncated.
+  aop::Tracer tracer;
+  const std::string long_sig =
+      "VeryLongTemplateInstantiationName<WithNestedParameters, "
+      "AndMoreParameters, AndEvenMoreParametersToPushWellPastTheOldLimit>."
+      "a_method_name_that_is_itself_quite_long_for_good_measure";
+  ASSERT_GT(long_sig.size(), 160u);
+  aop::TraceEvent enter;
+  enter.when = std::chrono::steady_clock::now();
+  enter.thread = std::this_thread::get_id();
+  enter.signature = long_sig;
+  enter.phase = aop::TraceEvent::Phase::kEnter;
+  aop::TraceEvent exit = enter;
+  exit.when = enter.when + std::chrono::microseconds(5);
+  exit.phase = aop::TraceEvent::Phase::kExit;
+  tracer.record(enter);
+  tracer.record(exit);
+
+  const std::string diagram = tracer.interaction_diagram();
+  EXPECT_NE(diagram.find("-> " + long_sig + "\n"), std::string::npos);
+  EXPECT_NE(diagram.find("<- " + long_sig + "\n"), std::string::npos);
+}
+
 TEST(TraceAspect, UnplugRemovesEveryProbe) {
   auto tracer = std::make_shared<aop::Tracer>();
   aop::Context ctx;

@@ -1,0 +1,85 @@
+// Log sink format and the APAR_LOG_LEVEL environment override.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "apar/common/log.hpp"
+
+namespace ac = apar::common;
+
+namespace {
+
+/// Restores the previous level (and env var state) on scope exit.
+struct LevelGuard {
+  ac::LogLevel saved = ac::log_level();
+  ~LevelGuard() {
+    unsetenv("APAR_LOG_LEVEL");
+    ac::set_log_level(saved);
+  }
+};
+
+}  // namespace
+
+TEST(LogLevel, ParseNamesAndUnknownFallsBackToWarn) {
+  EXPECT_EQ(ac::parse_log_level("trace"), ac::LogLevel::kTrace);
+  EXPECT_EQ(ac::parse_log_level("debug"), ac::LogLevel::kDebug);
+  EXPECT_EQ(ac::parse_log_level("info"), ac::LogLevel::kInfo);
+  EXPECT_EQ(ac::parse_log_level("warn"), ac::LogLevel::kWarn);
+  EXPECT_EQ(ac::parse_log_level("error"), ac::LogLevel::kError);
+  EXPECT_EQ(ac::parse_log_level("off"), ac::LogLevel::kOff);
+  EXPECT_EQ(ac::parse_log_level("banana"), ac::LogLevel::kWarn);
+}
+
+TEST(LogLevel, EnvOverrideAppliesOnReload) {
+  LevelGuard guard;
+  setenv("APAR_LOG_LEVEL", "debug", 1);
+  EXPECT_TRUE(ac::detail::reload_log_level_from_env());
+  EXPECT_EQ(ac::log_level(), ac::LogLevel::kDebug);
+
+  setenv("APAR_LOG_LEVEL", "error", 1);
+  EXPECT_TRUE(ac::detail::reload_log_level_from_env());
+  EXPECT_EQ(ac::log_level(), ac::LogLevel::kError);
+}
+
+TEST(LogLevel, UnsetEnvLeavesLevelAlone) {
+  LevelGuard guard;
+  ac::set_log_level(ac::LogLevel::kInfo);
+  unsetenv("APAR_LOG_LEVEL");
+  EXPECT_FALSE(ac::detail::reload_log_level_from_env());
+  EXPECT_EQ(ac::log_level(), ac::LogLevel::kInfo);
+}
+
+TEST(LogLevel, ExplicitSetWinsOverEnvironment) {
+  LevelGuard guard;
+  setenv("APAR_LOG_LEVEL", "trace", 1);
+  ac::set_log_level(ac::LogLevel::kError);
+  // The lazy env read must not clobber the programmatic choice.
+  EXPECT_EQ(ac::log_level(), ac::LogLevel::kError);
+}
+
+TEST(LogSink, EmitsTimestampThreadIdLevelAndComponent) {
+  testing::internal::CaptureStderr();
+  ac::detail::log_sink(ac::LogLevel::kInfo, "obs", "hello metrics");
+  const std::string line = testing::internal::GetCapturedStderr();
+  // "[HH:MM:SS.uuuuuu] [INFO ] [t:<id>] obs: hello metrics"
+  EXPECT_NE(line.find("[INFO ]"), std::string::npos);
+  EXPECT_NE(line.find("[t:"), std::string::npos);
+  EXPECT_NE(line.find("obs: hello metrics"), std::string::npos);
+  ASSERT_GE(line.size(), 16u);
+  EXPECT_EQ(line[0], '[');
+  EXPECT_EQ(line[3], ':');  // HH:MM
+  EXPECT_EQ(line[6], ':');  // MM:SS
+  EXPECT_EQ(line[9], '.');  // seconds.micros
+}
+
+TEST(LogLine, RespectsThreshold) {
+  LevelGuard guard;
+  ac::set_log_level(ac::LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  APAR_DEBUG("test") << "invisible";
+  APAR_WARN("test") << "visible";
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("invisible"), std::string::npos);
+  EXPECT_NE(out.find("visible"), std::string::npos);
+}

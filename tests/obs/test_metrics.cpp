@@ -1,0 +1,176 @@
+// The metrics registry: named counters/gauges/histograms with labels,
+// exact under concurrency, renderable as a table and as JSON.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "apar/obs/metrics.hpp"
+
+namespace obs = apar::obs;
+
+TEST(Counter, AddsAndReads) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndDelta) {
+  obs::Gauge g;
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST(Histogram, RecordsIntoBuckets) {
+  obs::Histogram h({1.0, 10.0, 100.0});
+  h.record(0.5);   // <= 1
+  h.record(5.0);   // <= 10
+  h.record(50.0);  // <= 100
+  h.record(500.0); // +Inf
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 500.0);
+  EXPECT_NEAR(h.sum(), 555.5, 1e-9);
+  EXPECT_NEAR(h.mean(), 555.5 / 4.0, 1e-9);
+  const auto buckets = h.bucket_counts();  // cumulative
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[2], 3u);
+  EXPECT_EQ(buckets[3], 4u);
+}
+
+TEST(Histogram, PercentileInterpolates) {
+  obs::Histogram h({10.0, 20.0});
+  for (int i = 0; i < 100; ++i) h.record(5.0);
+  // All observations in the first bucket: p50 lands inside (0, 10].
+  const double p50 = h.percentile(50.0);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 10.0);
+  EXPECT_GE(h.percentile(100.0), p50);
+  obs::Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.percentile(99.0), 0.0);
+}
+
+TEST(Histogram, NegativeValuesClampToZero) {
+  obs::Histogram h({1.0});
+  h.record(-5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+}
+
+TEST(MetricsRegistry, SameNameAndLabelsSameInstrument) {
+  obs::MetricsRegistry reg;
+  auto a = reg.counter("hits", {{"k", "v"}});
+  auto b = reg.counter("hits", {{"k", "v"}});
+  EXPECT_EQ(a.get(), b.get());
+  a->add(3);
+  EXPECT_EQ(b->value(), 3u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, LabelOrderDoesNotSplitSeries) {
+  obs::MetricsRegistry reg;
+  auto a = reg.counter("hits", {{"a", "1"}, {"b", "2"}});
+  auto b = reg.counter("hits", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(MetricsRegistry, DistinctLabelsDistinctSeries) {
+  obs::MetricsRegistry reg;
+  auto a = reg.counter("hits", {{"k", "1"}});
+  auto b = reg.counter("hits", {{"k", "2"}});
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+  obs::MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::logic_error);
+  EXPECT_THROW(reg.histogram("x"), std::logic_error);
+}
+
+TEST(MetricsRegistry, ClearKeepsLiveProbesValid) {
+  obs::MetricsRegistry reg;
+  auto c = reg.counter("x");
+  reg.clear();
+  EXPECT_EQ(reg.size(), 0u);
+  c->add(1);  // must not crash: instrument outlives its registry entry
+  EXPECT_EQ(c->value(), 1u);
+}
+
+TEST(MetricsRegistry, SnapshotCarriesHistogramStats) {
+  obs::MetricsRegistry reg;
+  auto h = reg.histogram("lat", {{"m", "RMI"}});
+  h->record(3.0);
+  h->record(7.0);
+  const auto snaps = reg.snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  const auto& s = snaps[0];
+  EXPECT_EQ(s.kind, obs::MetricSnapshot::Kind::kHistogram);
+  EXPECT_EQ(s.name, "lat");
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_NEAR(s.sum, 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
+}
+
+TEST(MetricsRegistry, TableAndJsonRender) {
+  obs::MetricsRegistry reg;
+  reg.counter("hits", {{"middleware", "MPP"}})->add(5);
+  reg.gauge("depth")->set(2);
+  reg.histogram("lat")->record(4.0);
+  const std::string table = reg.table().str();
+  EXPECT_NE(table.find("hits"), std::string::npos);
+  EXPECT_NE(table.find("middleware=MPP"), std::string::npos);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"name\":\"hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"+Inf\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, ConcurrentRecordingIsExact) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  auto counter = reg.counter("total");
+  auto hist = reg.histogram("work", {}, {1.0, 2.0, 4.0});
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->add(1);
+        hist->record(static_cast<double>(t % 4));  // 0,1,2,3
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  constexpr std::uint64_t kTotal =
+      static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(counter->value(), kTotal);
+  EXPECT_EQ(hist->count(), kTotal);
+  // Fixed-point sum: every recorded value is integral, so the sum is exact.
+  // Two threads each of residue 0,1,2,3 -> mean 1.5.
+  EXPECT_DOUBLE_EQ(hist->sum(), kTotal * 1.5);
+  const auto buckets = hist->bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], kTotal / 2);      // 0 and 1
+  EXPECT_EQ(buckets[1], 3 * kTotal / 4);  // + 2
+  EXPECT_EQ(buckets[2], kTotal);          // + 3
+  EXPECT_EQ(buckets[3], kTotal);
+}
+
+TEST(MetricsEnabled, TestOverrideRoundTrips) {
+  obs::set_metrics_enabled(true);
+  EXPECT_TRUE(obs::metrics_enabled());
+  obs::set_metrics_enabled(false);
+  EXPECT_FALSE(obs::metrics_enabled());
+}

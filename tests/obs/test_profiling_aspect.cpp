@@ -1,0 +1,121 @@
+// The profiling aspect: plug it to time join points into a registry,
+// unplug it and not a single write reaches the registry — the paper's
+// unpluggability claim applied to observability.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "../aop/fixtures.hpp"
+#include "apar/obs/profiling_aspect.hpp"
+
+namespace aop = apar::aop;
+namespace obs = apar::obs;
+using apar::test::Worker;
+
+namespace {
+
+std::shared_ptr<obs::ProfilingAspect<Worker>> make_profiler(
+    obs::MetricsRegistry& registry) {
+  auto profiler =
+      std::make_shared<obs::ProfilingAspect<Worker>>("Profiling", registry);
+  profiler->profile_method<&Worker::process>()
+      .profile_method<&Worker::compute>()
+      .template profile_new<int>();
+  return profiler;
+}
+
+std::uint64_t calls(obs::MetricsRegistry& registry, const char* signature) {
+  return registry.counter("profile.calls", {{"signature", signature}})
+      ->value();
+}
+
+}  // namespace
+
+TEST(ProfilingAspect, RecordsLatencyAndCalls) {
+  obs::MetricsRegistry registry;
+  aop::Context ctx;
+  ctx.attach(make_profiler(registry));
+  auto w = ctx.create<Worker>(1);
+  std::vector<int> pack{1, 2, 3};
+  ctx.call<&Worker::process>(w, pack);
+  ctx.call<&Worker::process>(w, pack);
+  const int doubled = ctx.call<&Worker::compute>(w, 5);
+  EXPECT_EQ(doubled, 11);
+
+  EXPECT_EQ(calls(registry, "Worker.new"), 1u);
+  EXPECT_EQ(calls(registry, "Worker.process"), 2u);
+  EXPECT_EQ(calls(registry, "Worker.compute"), 1u);
+  auto latency = registry.histogram("profile.latency_us",
+                                    {{"signature", "Worker.process"}});
+  EXPECT_EQ(latency->count(), 2u);
+  EXPECT_GE(latency->max(), 0.0);
+  EXPECT_EQ(registry
+                .counter("profile.errors", {{"signature", "Worker.process"}})
+                ->value(),
+            0u);
+}
+
+TEST(ProfilingAspect, UnpluggedMeansZeroWrites) {
+  obs::MetricsRegistry registry;
+  aop::Context ctx;
+  ctx.attach(make_profiler(registry));
+  auto w = ctx.create<Worker>(1);
+  std::vector<int> pack{1};
+  ctx.call<&Worker::process>(w, pack);
+  const std::uint64_t after_plugged = calls(registry, "Worker.process");
+  ASSERT_EQ(after_plugged, 1u);
+
+  // Unplug; every subsequent execution must leave the registry untouched.
+  ASSERT_NE(ctx.detach("Profiling"), nullptr);
+  ctx.call<&Worker::process>(w, pack);
+  ctx.call<&Worker::process>(w, pack);
+  auto w2 = ctx.create<Worker>(2);
+  (void)w2;
+  EXPECT_EQ(calls(registry, "Worker.process"), after_plugged);
+  EXPECT_EQ(calls(registry, "Worker.new"), 1u);
+  EXPECT_EQ(registry
+                .histogram("profile.latency_us",
+                           {{"signature", "Worker.process"}})
+                ->count(),
+            after_plugged);
+}
+
+TEST(ProfilingAspect, ErrorsCountedAndRethrown) {
+  obs::MetricsRegistry registry;
+  aop::Context ctx;
+  ctx.attach(make_profiler(registry));
+  auto veto = std::make_shared<aop::Aspect>("veto");
+  veto->around_method<&Worker::process>(
+      aop::order::kDefault, aop::Scope::any(),
+      [](auto&) -> void { throw std::runtime_error("boom"); });
+  ctx.attach(veto);
+  auto w = ctx.create<Worker>(1);
+  std::vector<int> pack{1};
+  EXPECT_THROW(ctx.call<&Worker::process>(w, pack), std::runtime_error);
+  EXPECT_EQ(calls(registry, "Worker.process"), 1u);
+  EXPECT_EQ(registry
+                .counter("profile.errors", {{"signature", "Worker.process"}})
+                ->value(),
+            1u);
+  // The latency histogram still saw the failed execution.
+  EXPECT_EQ(registry
+                .histogram("profile.latency_us",
+                           {{"signature", "Worker.process"}})
+                ->count(),
+            1u);
+}
+
+TEST(ProfilingAspect, IgnoresMetricsEnabledGate) {
+  // Plugging the aspect is the opt-in; the ambient APAR_METRICS gate must
+  // not silence it.
+  obs::set_metrics_enabled(false);
+  obs::MetricsRegistry registry;
+  aop::Context ctx;
+  ctx.attach(make_profiler(registry));
+  auto w = ctx.create<Worker>(3);
+  std::vector<int> pack{1};
+  ctx.call<&Worker::process>(w, pack);
+  EXPECT_EQ(calls(registry, "Worker.process"), 1u);
+}

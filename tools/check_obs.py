@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts a bench run produces.
+
+Usage:
+    check_obs.py --trace trace.json [--metrics metrics.json]
+                 [--require-metric NAME ...]
+
+Checks that the Chrome trace file is a well-formed `trace_event` JSON array
+(loadable in Perfetto / chrome://tracing) and, when given, that the metrics
+JSON is well-formed and that each --require-metric names a series with
+non-zero activity (counter value, gauge movement, or histogram count).
+Exits non-zero on the first violation, so CI can gate on it.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"check_obs: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path: str) -> None:
+    with open(path, encoding="utf-8") as f:
+        events = json.load(f)
+    if not isinstance(events, list):
+        fail(f"{path}: top level must be a JSON array (trace_event format)")
+    if not events:
+        fail(f"{path}: trace is empty — no events were recorded")
+    complete = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(f"{path}: event {i} is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                fail(f"{path}: event {i} missing required key '{key}'")
+        ph = event["ph"]
+        if ph == "X":
+            complete += 1
+            for key in ("ts", "dur"):
+                if not isinstance(event.get(key), (int, float)):
+                    fail(f"{path}: complete event {i} missing numeric '{key}'")
+            if event["dur"] < 0 or event["ts"] < 0:
+                fail(f"{path}: complete event {i} has negative ts/dur")
+        elif ph == "M":
+            if "args" not in event:
+                fail(f"{path}: metadata event {i} missing 'args'")
+        else:
+            fail(f"{path}: event {i} has unexpected phase '{ph}'")
+    if complete == 0:
+        fail(f"{path}: no complete ('X') span events")
+    print(f"check_obs: trace ok: {path} "
+          f"({len(events)} events, {complete} spans)")
+
+
+def metric_activity(metric: dict) -> float:
+    kind = metric.get("type")
+    if kind == "histogram":
+        return float(metric.get("count", 0))
+    return abs(float(metric.get("value", 0)))
+
+
+def check_metrics(path: str, required: list) -> None:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list):
+        fail(f"{path}: expected top-level object with a 'metrics' array")
+    for i, metric in enumerate(metrics):
+        for key in ("name", "type", "labels"):
+            if key not in metric:
+                fail(f"{path}: metric {i} missing required key '{key}'")
+        if metric["type"] not in ("counter", "gauge", "histogram"):
+            fail(f"{path}: metric {i} has unknown type '{metric['type']}'")
+        if metric["type"] == "histogram" and "buckets" not in metric:
+            fail(f"{path}: histogram metric '{metric['name']}' lacks buckets")
+    by_name = {}
+    for metric in metrics:
+        by_name.setdefault(metric["name"], 0)
+        by_name[metric["name"]] += metric_activity(metric)
+    for name in required:
+        if name not in by_name:
+            fail(f"{path}: required metric '{name}' is absent "
+                 f"(have: {', '.join(sorted(by_name)) or 'none'})")
+        if by_name[name] == 0:
+            fail(f"{path}: required metric '{name}' recorded no activity")
+    print(f"check_obs: metrics ok: {path} ({len(metrics)} series, "
+          f"{len(required)} required present and active)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", help="Chrome trace_event JSON file")
+    parser.add_argument("--metrics", help="metrics registry JSON file")
+    parser.add_argument("--require-metric", action="append", default=[],
+                        help="metric name that must exist with activity "
+                             "(repeatable)")
+    args = parser.parse_args()
+    if not args.trace and not args.metrics:
+        parser.error("nothing to check: pass --trace and/or --metrics")
+    if args.trace:
+        check_trace(args.trace)
+    if args.metrics:
+        check_metrics(args.metrics, args.require_metric)
+    elif args.require_metric:
+        parser.error("--require-metric needs --metrics")
+
+
+if __name__ == "__main__":
+    main()
