@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "apar/analysis/report.hpp"
+#include "apar/aop/aspect.hpp"
+#include "apar/concurrency/sync_observer.hpp"
+
+namespace apar::analysis {
+
+/// Pluggable dynamic concurrency analysis — the Eraser-style runtime half
+/// of apar-analyze, sibling of ProfilingAspect (order 40) and TraceAspect
+/// (order 50): plug it and every SyncRegistry monitor acquisition feeds a
+/// process-wide lock-order graph; unplug it and the only trace left on the
+/// acquire path is the sync-observer slot's single atomic pointer load.
+///
+/// Two hazard classes are recorded while plugged and reported on demand:
+///
+///   lock-order-cycle    the order graph has a cycle (e.g. thread 1 took
+///                       monitor A then B while thread 2 took B then A) —
+///                       a potential deadlock even if this run got lucky;
+///   wait-with-monitor   a thread blocked on Future::get while holding at
+///                       least one monitor, so the producer can deadlock
+///                       against it.
+///
+/// Monitors are anonymous (keyed by object address); reports label them
+/// "monitor#N" in first-observed order, which is stable for seeded tests.
+class LockOrderAspect : public aop::Aspect, public concurrency::SyncObserver {
+ public:
+  /// Where this aspect sits in the canonical order table: between
+  /// ProfilingAspect (40) and TraceAspect (50). It registers no call
+  /// advice itself — plugging installs the sync observer — but compositions
+  /// that wrap it in ordering-sensitive tooling should use this constant.
+  static constexpr int kOrder = 45;
+
+  explicit LockOrderAspect(std::string name = "LockOrder");
+  ~LockOrderAspect() override;
+
+  /// Plugging installs this instance as the process sync observer;
+  /// unplugging restores the previous one.
+  void on_attach(aop::Context&) override;
+  void on_detach(aop::Context&) override;
+
+  // --- concurrency::SyncObserver ----------------------------------------
+  void on_acquired(const concurrency::SyncRegistry* registry,
+                   const void* object) override;
+  void on_released(const concurrency::SyncRegistry* registry,
+                   const void* object) override;
+  void on_blocking_wait() override;
+
+  // --- results -----------------------------------------------------------
+
+  /// Findings derived from everything observed since construction (or the
+  /// last reset()): one lock-order-cycle finding per distinct cycle, one
+  /// wait-with-monitor finding summarising blocking waits under monitors.
+  [[nodiscard]] Report report() const;
+
+  /// Observation counters (diagnostics / tests).
+  [[nodiscard]] std::size_t acquisitions() const;
+  [[nodiscard]] std::size_t edges() const;
+  [[nodiscard]] std::size_t waits_with_monitor_held() const;
+
+  /// Drop all recorded observations.
+  void reset();
+
+ private:
+  /// A monitor's identity: two SyncRegistry instances guarding the same
+  /// object hold distinct locks, so the node key is the (registry, object)
+  /// pair.
+  using Monitor = std::pair<const concurrency::SyncRegistry*, const void*>;
+
+  /// Monitor node id, assigned in first-observed order.
+  std::size_t node_id_locked(const Monitor& monitor);
+
+  mutable std::mutex mutex_;
+  std::map<Monitor, std::size_t> nodes_;
+  std::set<std::pair<std::size_t, std::size_t>> edges_;
+  std::map<std::thread::id, std::vector<Monitor>> held_;
+  std::size_t acquisitions_ = 0;
+  std::size_t waits_with_monitor_ = 0;
+  concurrency::SyncObserver* previous_ = nullptr;
+};
+
+}  // namespace apar::analysis

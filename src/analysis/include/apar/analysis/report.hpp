@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace apar::analysis {
+
+/// How bad a finding is. The apar-analyze CLI exits non-zero when any
+/// finding at or above its --threshold severity is present.
+enum class Severity { kInfo = 0, kWarning = 1, kError = 2 };
+
+[[nodiscard]] std::string_view severity_name(Severity severity);
+
+/// Parse "info" / "warning" / "error" (case-sensitive); nullopt otherwise.
+[[nodiscard]] std::optional<Severity> parse_severity(std::string_view text);
+
+/// The classes of weave-plan and lock-order defects the analyzers report.
+enum class FindingKind {
+  /// A plugged pointcut pattern matches no join point the weave layer has
+  /// ever registered — the advice can never run (typo'd class/method name,
+  /// or a composition missing its core classes).
+  kDeadPointcut,
+  /// Two aspects registered advice with equal order() matching the same
+  /// join point: their relative nesting depends on attach order, which is
+  /// almost never intended.
+  kOrderCollision,
+  /// Two monitor-acquiring advice records wrap the same join point — the
+  /// call takes two per-object monitors from two registries, a classic
+  /// deadlock ingredient.
+  kDoubleSynchronisation,
+  /// A distribution advice would marshal an argument (or result) type that
+  /// src/serial cannot put on the wire: the call works locally but throws
+  /// the moment the target is remote.
+  kDistributionHazard,
+  /// The dynamic lock-order graph contains a cycle (e.g. ABBA): threads
+  /// acquired the same monitors in opposite orders at least once.
+  kLockOrderCycle,
+  /// A thread blocked on Future::get while holding at least one monitor —
+  /// the producer may need that monitor to deliver the value.
+  kWaitWithMonitorHeld,
+  /// The signature table is empty: nothing self-registered, so dead-
+  /// pointcut analysis is vacuous (usually an un-woven binary).
+  kEmptySignatureTable,
+};
+
+[[nodiscard]] std::string_view finding_kind_name(FindingKind kind);
+
+/// One defect: what it is, how bad, which weave element it concerns
+/// ("Aspect/pattern", "monitor#1 -> monitor#2 -> monitor#1") and a
+/// human-readable explanation.
+struct Finding {
+  FindingKind kind;
+  Severity severity = Severity::kWarning;
+  std::string subject;
+  std::string detail;
+};
+
+/// Ordered collection of findings with the two renderings apar-analyze
+/// emits: an aligned text table (common::Table) and a JSON document for CI
+/// artifacts.
+class Report {
+ public:
+  void add(Finding finding) { findings_.push_back(std::move(finding)); }
+  void merge(const Report& other);
+
+  [[nodiscard]] const std::vector<Finding>& findings() const {
+    return findings_;
+  }
+  [[nodiscard]] bool empty() const { return findings_.empty(); }
+  [[nodiscard]] std::size_t size() const { return findings_.size(); }
+
+  /// Findings at or above `threshold` — the CLI's exit-code criterion.
+  [[nodiscard]] std::size_t count_at_least(Severity threshold) const;
+
+  /// Aligned text table (severity, kind, subject, detail).
+  [[nodiscard]] std::string table(int indent = 0) const;
+
+  /// JSON document: {"findings": [...], "counts": {...}}.
+  [[nodiscard]] std::string json() const;
+
+ private:
+  std::vector<Finding> findings_;
+};
+
+}  // namespace apar::analysis

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "apar/analysis/report.hpp"
+#include "apar/aop/context.hpp"
+
+namespace apar::analysis {
+
+/// Static weave-plan verification (the tool's "compile-time" half): checks
+/// the aspects plugged into `context` against the process-wide
+/// SignatureRegistry — the table every APAR_CLASS_NAME / APAR_METHOD_NAME
+/// registration and every ct::Woven call feeds — without executing any
+/// join point.
+///
+/// Reported findings:
+///   dead-pointcut          pattern matches zero registered signatures
+///   order-collision        two aspects, equal order(), same join point
+///   double-sync            two monitor-acquiring advice on one join point
+///   distribution-hazard    distribution advice over non-wire-serializable
+///                          argument types (cross-checked against the
+///                          serial::TypeRegistry)
+///   empty-signature-table  nothing ever self-registered (vacuous analysis)
+[[nodiscard]] Report analyze_weave_plan(const aop::Context& context);
+
+}  // namespace apar::analysis

@@ -1,0 +1,150 @@
+#include "apar/analysis/lock_order_aspect.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace apar::analysis {
+
+LockOrderAspect::LockOrderAspect(std::string name) : Aspect(std::move(name)) {}
+
+LockOrderAspect::~LockOrderAspect() {
+  // Defensive: if the aspect dies while still installed (detach not run),
+  // clear the slot rather than leave a dangling observer.
+  if (concurrency::sync_observer() == this)
+    concurrency::set_sync_observer(previous_);
+}
+
+void LockOrderAspect::on_attach(aop::Context&) {
+  previous_ = concurrency::set_sync_observer(this);
+}
+
+void LockOrderAspect::on_detach(aop::Context&) {
+  concurrency::set_sync_observer(previous_);
+  previous_ = nullptr;
+}
+
+std::size_t LockOrderAspect::node_id_locked(const Monitor& monitor) {
+  auto [it, inserted] = nodes_.try_emplace(monitor, nodes_.size() + 1);
+  (void)inserted;
+  return it->second;
+}
+
+void LockOrderAspect::on_acquired(const concurrency::SyncRegistry* registry,
+                                  const void* object) {
+  const Monitor monitor{registry, object};
+  std::lock_guard lock(mutex_);
+  ++acquisitions_;
+  auto& stack = held_[std::this_thread::get_id()];
+  const std::size_t to = node_id_locked(monitor);
+  for (const Monitor& held : stack) {
+    if (held == monitor) continue;  // recursive re-entry: no new ordering
+    edges_.insert({node_id_locked(held), to});
+  }
+  stack.push_back(monitor);
+}
+
+void LockOrderAspect::on_released(const concurrency::SyncRegistry* registry,
+                                  const void* object) {
+  const Monitor monitor{registry, object};
+  std::lock_guard lock(mutex_);
+  auto it = held_.find(std::this_thread::get_id());
+  if (it == held_.end()) return;
+  auto& stack = it->second;
+  // Pop the innermost hold of this monitor (guards release LIFO, but be
+  // tolerant of out-of-order destruction of moved guards).
+  for (auto rit = stack.rbegin(); rit != stack.rend(); ++rit) {
+    if (*rit == monitor) {
+      stack.erase(std::next(rit).base());
+      break;
+    }
+  }
+  if (stack.empty()) held_.erase(it);
+}
+
+void LockOrderAspect::on_blocking_wait() {
+  std::lock_guard lock(mutex_);
+  auto it = held_.find(std::this_thread::get_id());
+  if (it != held_.end() && !it->second.empty()) ++waits_with_monitor_;
+}
+
+std::size_t LockOrderAspect::acquisitions() const {
+  std::lock_guard lock(mutex_);
+  return acquisitions_;
+}
+
+std::size_t LockOrderAspect::edges() const {
+  std::lock_guard lock(mutex_);
+  return edges_.size();
+}
+
+std::size_t LockOrderAspect::waits_with_monitor_held() const {
+  std::lock_guard lock(mutex_);
+  return waits_with_monitor_;
+}
+
+void LockOrderAspect::reset() {
+  std::lock_guard lock(mutex_);
+  nodes_.clear();
+  edges_.clear();
+  held_.clear();
+  acquisitions_ = 0;
+  waits_with_monitor_ = 0;
+}
+
+Report LockOrderAspect::report() const {
+  std::lock_guard lock(mutex_);
+  Report report;
+
+  // --- cycles in the order graph (DFS over the observed edges) ----------
+  std::map<std::size_t, std::vector<std::size_t>> adj;
+  for (const auto& [from, to] : edges_) adj[from].push_back(to);
+
+  // Normalised cycles (rotated so the smallest node leads) to dedup the
+  // same loop discovered from different DFS roots.
+  std::set<std::vector<std::size_t>> cycles;
+  std::map<std::size_t, int> color;  // 0 unseen, 1 on path, 2 done
+  std::vector<std::size_t> path;
+
+  const std::function<void(std::size_t)> dfs = [&](std::size_t u) {
+    color[u] = 1;
+    path.push_back(u);
+    for (const std::size_t v : adj[u]) {
+      if (color[v] == 1) {
+        auto it = std::find(path.begin(), path.end(), v);
+        std::vector<std::size_t> cycle(it, path.end());
+        auto min_it = std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), min_it, cycle.end());
+        cycles.insert(std::move(cycle));
+      } else if (color[v] == 0) {
+        dfs(v);
+      }
+    }
+    color[u] = 2;
+    path.pop_back();
+  };
+  for (const auto& [node, _] : adj)
+    if (color[node] == 0) dfs(node);
+
+  for (const auto& cycle : cycles) {
+    std::string subject;
+    for (const std::size_t n : cycle)
+      subject += "monitor#" + std::to_string(n) + " -> ";
+    subject += "monitor#" + std::to_string(cycle.front());
+    report.add({FindingKind::kLockOrderCycle, Severity::kError, subject,
+                "threads acquired these monitors in conflicting orders: "
+                "potential deadlock (ABBA) even if this run completed"});
+  }
+
+  // --- blocking waits under a monitor ------------------------------------
+  if (waits_with_monitor_ > 0) {
+    report.add({FindingKind::kWaitWithMonitorHeld, Severity::kWarning,
+                "Future::get",
+                std::to_string(waits_with_monitor_) +
+                    " blocking wait(s) entered while holding a monitor; "
+                    "the producer may need that monitor to deliver"});
+  }
+
+  return report;
+}
+
+}  // namespace apar::analysis

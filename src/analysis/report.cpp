@@ -1,0 +1,88 @@
+#include "apar/analysis/report.hpp"
+
+#include "apar/common/json.hpp"
+#include "apar/common/table.hpp"
+
+namespace apar::analysis {
+
+std::string_view severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::optional<Severity> parse_severity(std::string_view text) {
+  if (text == "info") return Severity::kInfo;
+  if (text == "warning") return Severity::kWarning;
+  if (text == "error") return Severity::kError;
+  return std::nullopt;
+}
+
+std::string_view finding_kind_name(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kDeadPointcut: return "dead-pointcut";
+    case FindingKind::kOrderCollision: return "order-collision";
+    case FindingKind::kDoubleSynchronisation: return "double-sync";
+    case FindingKind::kDistributionHazard: return "distribution-hazard";
+    case FindingKind::kLockOrderCycle: return "lock-order-cycle";
+    case FindingKind::kWaitWithMonitorHeld: return "wait-with-monitor";
+    case FindingKind::kEmptySignatureTable: return "empty-signature-table";
+  }
+  return "?";
+}
+
+void Report::merge(const Report& other) {
+  findings_.insert(findings_.end(), other.findings_.begin(),
+                   other.findings_.end());
+}
+
+std::size_t Report::count_at_least(Severity threshold) const {
+  std::size_t n = 0;
+  for (const Finding& f : findings_)
+    if (f.severity >= threshold) ++n;
+  return n;
+}
+
+std::string Report::table(int indent) const {
+  common::Table table({"severity", "kind", "subject", "detail"});
+  for (const Finding& f : findings_) {
+    table.add_row({std::string(severity_name(f.severity)),
+                   std::string(finding_kind_name(f.kind)), f.subject,
+                   f.detail});
+  }
+  return table.str(indent);
+}
+
+std::string Report::json() const {
+  std::size_t infos = 0, warnings = 0, errors = 0;
+  std::string out = "{\n  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : findings_) {
+    switch (f.severity) {
+      case Severity::kInfo: ++infos; break;
+      case Severity::kWarning: ++warnings; break;
+      case Severity::kError: ++errors; break;
+    }
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {\"severity\": \"";
+    out += severity_name(f.severity);
+    out += "\", \"kind\": \"";
+    out += finding_kind_name(f.kind);
+    out += "\", \"subject\": \"";
+    out += common::json_escape(f.subject);
+    out += "\", \"detail\": \"";
+    out += common::json_escape(f.detail);
+    out += "\"}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"counts\": {\"info\": " + common::json_number(double(infos)) +
+         ", \"warning\": " + common::json_number(double(warnings)) +
+         ", \"error\": " + common::json_number(double(errors)) + "}\n}\n";
+  return out;
+}
+
+}  // namespace apar::analysis

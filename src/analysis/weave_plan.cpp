@@ -1,0 +1,149 @@
+#include "apar/analysis/weave_plan.hpp"
+
+#include <map>
+#include <set>
+#include <string>
+#include <typeindex>
+#include <vector>
+
+#include "apar/aop/static_weave.hpp"
+#include "apar/serial/wire_types.hpp"
+
+namespace apar::analysis {
+
+namespace {
+
+/// One advice record with its owner and concrete invocation type. Only
+/// advice of the same dynamic type ever co-occur in one chain (the weaver
+/// filters with dynamic_cast), so collision and double-sync checks compare
+/// within typeid groups.
+struct Rec {
+  const aop::Aspect* aspect;
+  const aop::AdviceBase* advice;
+  std::type_index type;
+};
+
+}  // namespace
+
+Report analyze_weave_plan(const aop::Context& context) {
+  Report report;
+
+  const std::vector<aop::Signature> signatures =
+      aop::SignatureRegistry::global().snapshot();
+  if (signatures.empty()) {
+    report.add({FindingKind::kEmptySignatureTable, Severity::kInfo, "<weave>",
+                "no join-point signatures registered; dead-pointcut "
+                "analysis is vacuous"});
+  }
+
+  std::vector<Rec> records;
+  const auto aspects = context.aspects();
+  for (const auto& aspect : aspects) {
+    for (const auto& adv : aspect->advice()) {
+      records.push_back(
+          {aspect.get(), adv.get(), std::type_index(typeid(*adv))});
+    }
+  }
+
+  // --- dead pointcuts ----------------------------------------------------
+  for (const Rec& r : records) {
+    if (signatures.empty()) break;
+    bool live = false;
+    for (const aop::Signature& sig : signatures) {
+      if (r.advice->matches(sig)) {
+        live = true;
+        break;
+      }
+    }
+    if (!live) {
+      report.add({FindingKind::kDeadPointcut, Severity::kWarning,
+                  r.aspect->name() + "/" + r.advice->pattern().str(),
+                  "pattern matches none of " +
+                      std::to_string(signatures.size()) +
+                      " registered join points; this advice can never run"});
+    }
+  }
+
+  // --- per-join-point checks: order collisions, double synchronisation ---
+  std::set<std::string> reported;
+  for (const aop::Signature& sig : signatures) {
+    std::map<std::type_index, std::vector<const Rec*>> groups;
+    for (const Rec& r : records)
+      if (r.advice->matches(sig)) groups[r.type].push_back(&r);
+
+    for (const auto& [type, group] : groups) {
+      (void)type;
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        for (std::size_t j = i + 1; j < group.size(); ++j) {
+          const Rec& a = *group[i];
+          const Rec& b = *group[j];
+          if (a.aspect != b.aspect &&
+              a.advice->order() == b.advice->order()) {
+            // Equal order across aspects: stable_sort falls back to attach
+            // order, so the nesting silently depends on plug sequence.
+            const std::string key = "collision|" + a.aspect->name() + "|" +
+                                    b.aspect->name() + "|" +
+                                    std::to_string(a.advice->order()) + "|" +
+                                    a.advice->pattern().str() + "|" +
+                                    b.advice->pattern().str();
+            if (reported.insert(key).second) {
+              report.add({FindingKind::kOrderCollision, Severity::kWarning,
+                          a.aspect->name() + " ~ " + b.aspect->name(),
+                          "both register advice at order " +
+                              std::to_string(a.advice->order()) +
+                              " matching " + sig.str() +
+                              "; nesting depends on attach order"});
+            }
+          }
+        }
+      }
+
+      std::vector<const Rec*> monitors;
+      for (const Rec* r : group)
+        if (r->advice->acquires_monitor()) monitors.push_back(r);
+      if (monitors.size() >= 2) {
+        std::string who;
+        std::string key = "double-sync|" + sig.str();
+        for (const Rec* r : monitors) {
+          if (!who.empty()) who += " + ";
+          who += r->aspect->name();
+          key += "|" + r->aspect->name();
+        }
+        if (reported.insert(key).second) {
+          report.add({FindingKind::kDoubleSynchronisation, Severity::kError,
+                      sig.str(),
+                      who + " each take a per-object monitor around this "
+                            "join point: nested locks from independent "
+                            "registries risk deadlock"});
+        }
+      }
+    }
+  }
+
+  // --- distribution hazards ----------------------------------------------
+  for (const Rec& r : records) {
+    if (!r.advice->distributes()) continue;
+    for (const aop::WireArg& arg : r.advice->wire_args()) {
+      bool ok = arg.serializable;
+      if (!ok) {
+        // A type may have been registered serializable out of band (e.g. a
+        // later translation unit noted an ADL hook the registering one
+        // could not see).
+        ok = serial::TypeRegistry::global()
+                 .serializable(arg.type_name)
+                 .value_or(false);
+      }
+      if (!ok) {
+        report.add({FindingKind::kDistributionHazard, Severity::kError,
+                    r.aspect->name() + "/" + r.advice->pattern().str(),
+                    "argument type '" + arg.type_name +
+                        "' is not wire-serializable: the call works "
+                        "locally but throws on remote dispatch"});
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace apar::analysis

@@ -60,9 +60,23 @@ class Scope {
   std::string name_;
 };
 
+/// One argument (or result) a distribution-style advice would put on the
+/// wire, as declared for the weave-plan analyzer: its readable wire name
+/// and whether src/serial knows how to encode it.
+struct WireArg {
+  std::string type_name;
+  bool serializable = false;
+};
+
 /// Type-erased advice record. Typed subclasses carry the actual functor;
 /// matching at a call site filters by (a) dynamic type of the invocation,
 /// (b) signature pattern, and — per invocation — (c) scope.
+///
+/// Advice additionally carries *effect* metadata declared by the aspect
+/// that registered it (monitor acquisition, wire marshalling). The weaver
+/// never reads it; it exists so the weave-plan analyzer can detect
+/// double-synchronisation and unserializable-argument hazards without
+/// executing the plan.
 class AdviceBase {
  public:
   AdviceBase(Aspect* owner, JoinPointKind kind, Pattern pattern, int order,
@@ -87,12 +101,36 @@ class AdviceBase {
     return kind_ == sig.kind && pattern_.matches(sig);
   }
 
+  // --- analysis metadata (declared effects) -----------------------------
+
+  /// Declare that this advice takes a per-object monitor around proceed().
+  AdviceBase& mark_acquires_monitor() {
+    acquires_monitor_ = true;
+    return *this;
+  }
+  [[nodiscard]] bool acquires_monitor() const { return acquires_monitor_; }
+
+  /// Declare that this advice marshals the join point's arguments (and
+  /// result) onto a wire, listing each type it would have to encode.
+  AdviceBase& mark_distributes(std::vector<WireArg> args) {
+    distributes_ = true;
+    wire_args_ = std::move(args);
+    return *this;
+  }
+  [[nodiscard]] bool distributes() const { return distributes_; }
+  [[nodiscard]] const std::vector<WireArg>& wire_args() const {
+    return wire_args_;
+  }
+
  private:
   Aspect* owner_;
   JoinPointKind kind_;
   Pattern pattern_;
   int order_;
   Scope scope_;
+  bool acquires_monitor_ = false;
+  bool distributes_ = false;
+  std::vector<WireArg> wire_args_;
 };
 
 }  // namespace apar::aop

@@ -52,22 +52,26 @@ class Aspect {
   }
 
   // --- registration API -----------------------------------------------
+  // All registration calls return the freshly created advice record, so
+  // aspects can annotate it with analysis metadata (mark_acquires_monitor,
+  // mark_distributes) for the weave-plan analyzer.
 
   /// Around advice on method calls of shape R (T::*)(A...).
   template <class T, class R, class... A>
-  void around_call(Pattern pattern, int order, Scope scope,
-                   typename CallAdvice<T, R, A...>::Fn fn) {
+  AdviceBase& around_call(Pattern pattern, int order, Scope scope,
+                          typename CallAdvice<T, R, A...>::Fn fn) {
     advice_.push_back(std::make_unique<CallAdvice<T, R, A...>>(
         this, std::move(pattern), order, std::move(scope), std::move(fn)));
+    return *advice_.back();
   }
 
   /// Around advice on a specific registered method; the pattern defaults to
   /// the method's exact "Class.method" signature.
   template <auto M, class Fn>
-  void around_method(int order, Scope scope, Fn fn) {
+  AdviceBase& around_method(int order, Scope scope, Fn fn) {
     using Traits = detail::MemberFnTraits<decltype(M)>;
     using T = typename Traits::Class;
-    register_for_tuple<T, typename Traits::Ret>(
+    return register_for_tuple<T, typename Traits::Ret>(
         std::type_identity<typename Traits::ArgsTuple>{},
         Pattern(std::string(class_name_of<T>()),
                 std::string(method_name_of<M>())),
@@ -76,19 +80,20 @@ class Aspect {
 
   /// Around advice on constructor calls T(A...) (decayed argument types).
   template <class T, class... A>
-  void around_new(int order, Scope scope,
-                  typename CtorAdvice<T, A...>::Fn fn) {
+  AdviceBase& around_new(int order, Scope scope,
+                         typename CtorAdvice<T, A...>::Fn fn) {
     advice_.push_back(std::make_unique<CtorAdvice<T, A...>>(
         this, Pattern(std::string(class_name_of<T>()), "new"), order,
         std::move(scope), std::move(fn)));
+    return *advice_.back();
   }
 
   /// Before advice sugar: `fn(inv)` runs, then the call proceeds.
   template <auto M, class Fn>
-  void before_method(int order, Scope scope, Fn fn) {
+  AdviceBase& before_method(int order, Scope scope, Fn fn) {
     using Traits = detail::MemberFnTraits<decltype(M)>;
     using R = typename Traits::Ret;
-    around_method<M>(order, std::move(scope), [fn](auto& inv) -> R {
+    return around_method<M>(order, std::move(scope), [fn](auto& inv) -> R {
       fn(inv);
       return inv.proceed();
     });
@@ -97,10 +102,10 @@ class Aspect {
   /// After advice sugar: the call proceeds, then `fn(inv)` runs (only on
   /// normal return — AspectJ's `after returning`).
   template <auto M, class Fn>
-  void after_method(int order, Scope scope, Fn fn) {
+  AdviceBase& after_method(int order, Scope scope, Fn fn) {
     using Traits = detail::MemberFnTraits<decltype(M)>;
     using R = typename Traits::Ret;
-    around_method<M>(order, std::move(scope), [fn](auto& inv) -> R {
+    return around_method<M>(order, std::move(scope), [fn](auto& inv) -> R {
       if constexpr (std::is_void_v<R>) {
         inv.proceed();
         fn(inv);
@@ -114,10 +119,11 @@ class Aspect {
 
  private:
   template <class T, class R, class... A, class Fn>
-  void register_for_tuple(std::type_identity<std::tuple<A...>>,
-                          Pattern pattern, int order, Scope scope, Fn fn) {
-    around_call<T, R, A...>(std::move(pattern), order, std::move(scope),
-                            std::move(fn));
+  AdviceBase& register_for_tuple(std::type_identity<std::tuple<A...>>,
+                                 Pattern pattern, int order, Scope scope,
+                                 Fn fn) {
+    return around_call<T, R, A...>(std::move(pattern), order, std::move(scope),
+                                   std::move(fn));
   }
 
   std::string name_;

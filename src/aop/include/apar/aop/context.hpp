@@ -49,6 +49,13 @@ class Context {
   [[nodiscard]] std::shared_ptr<Aspect> find(std::string_view name) const;
   [[nodiscard]] std::vector<std::string> attached() const;
 
+  /// Snapshot of the plugged aspects in attach order — the weave plan the
+  /// analyzer (apar-analyze) inspects.
+  [[nodiscard]] std::vector<std::shared_ptr<Aspect>> aspects() const {
+    std::shared_lock lock(mutex_);
+    return aspects_;
+  }
+
   /// Bumped on every attach/detach; advice-chain caches key on it.
   [[nodiscard]] std::uint64_t epoch() const {
     return epoch_.load(std::memory_order_acquire);

@@ -78,18 +78,61 @@ constexpr std::string_view method_name_of() {
   return MethodName<M>::value;
 }
 
+namespace detail {
+
+/// Class type of a member-function pointer (local mini-trait; the full
+/// MemberFnTraits lives in invocation.hpp, which includes this header).
+template <class M>
+struct MemberClassOf;
+template <class C, class R, class... A>
+struct MemberClassOf<R (C::*)(A...)> {
+  using type = C;
+};
+template <class C, class R, class... A>
+struct MemberClassOf<R (C::*)(A...) const> {
+  using type = C;
+};
+
+/// Feed the global SignatureRegistry (static_weave.hpp). Implemented in
+/// static_weave.cpp; declared here so the registration macros below can
+/// reach the table without an include cycle.
+bool register_ctor_signature(std::string_view class_name);
+bool register_call_signature(std::string_view class_name,
+                             std::string_view method_name);
+
+/// Self-registration hook run by APAR_METHOD_NAME: derives the owning
+/// class from the member-function pointer, so the macro invocation must
+/// follow the class's APAR_CLASS_NAME (as all shipped headers do).
+template <auto M>
+bool register_method_signature(std::string_view method_name) {
+  using C = typename MemberClassOf<decltype(M)>::type;
+  return register_call_signature(class_name_of<C>(), method_name);
+}
+
+}  // namespace detail
+
 }  // namespace apar::aop
 
 /// Register the weaving name of a class. Must appear at global scope.
-#define APAR_CLASS_NAME(TYPE, NAME)                  \
-  template <>                                        \
-  struct apar::aop::ClassName<TYPE> {                \
-    static constexpr std::string_view value = NAME;  \
+/// Besides the compile-time name trait, this self-registers the class's
+/// constructor-call join point ("NAME.new") into the process-wide
+/// SignatureRegistry (static_weave.hpp), which the weave-plan analyzer
+/// uses to detect dead pointcuts.
+#define APAR_CLASS_NAME(TYPE, NAME)                            \
+  template <>                                                  \
+  struct apar::aop::ClassName<TYPE> {                          \
+    static constexpr std::string_view value = NAME;            \
+    static inline const bool weave_registered =                \
+        apar::aop::detail::register_ctor_signature(NAME);      \
   }
 
-/// Register the weaving name of a method. Must appear at global scope.
-#define APAR_METHOD_NAME(METHOD, NAME)               \
-  template <>                                        \
-  struct apar::aop::MethodName<METHOD> {             \
-    static constexpr std::string_view value = NAME;  \
+/// Register the weaving name of a method. Must appear at global scope,
+/// after the owning class's APAR_CLASS_NAME. Self-registers the
+/// method-call join point ("Class.NAME") into the SignatureRegistry.
+#define APAR_METHOD_NAME(METHOD, NAME)                             \
+  template <>                                                      \
+  struct apar::aop::MethodName<METHOD> {                           \
+    static constexpr std::string_view value = NAME;                \
+    static inline const bool weave_registered =                    \
+        apar::aop::detail::register_method_signature<METHOD>(NAME); \
   }

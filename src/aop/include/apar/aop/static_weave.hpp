@@ -1,7 +1,53 @@
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <type_traits>
 #include <utility>
+#include <vector>
+
+#include "apar/aop/signature.hpp"
+
+namespace apar::aop {
+
+/// Process-wide table of every join-point signature the weave layer knows
+/// about: each APAR_CLASS_NAME registers "Class.new" and each
+/// APAR_METHOD_NAME registers "Class.method" at static-initialisation
+/// time, and statically woven ct::Woven calls register on first use. This
+/// is the ground truth the weave-plan analyzer (apar-analyze) matches
+/// pointcut patterns against — a plugged pattern that matches nothing in
+/// this table is a dead pointcut, the runtime analogue of AspectJ's
+/// weave-time "advice not applied" diagnostic.
+class SignatureRegistry {
+ public:
+  static SignatureRegistry& global();
+
+  SignatureRegistry(const SignatureRegistry&) = delete;
+  SignatureRegistry& operator=(const SignatureRegistry&) = delete;
+
+  /// Idempotently add a signature; names are interned so the returned
+  /// Signatures' string_views stay valid for the process lifetime.
+  bool add(std::string_view class_name, std::string_view method_name,
+           JoinPointKind kind);
+
+  [[nodiscard]] std::vector<Signature> snapshot() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool contains(const Signature& sig) const;
+
+ private:
+  SignatureRegistry() = default;
+
+  struct Entry {
+    std::string class_name;
+    std::string method_name;
+    JoinPointKind kind;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace apar::aop
 
 namespace apar::aop::ct {
 
@@ -62,9 +108,14 @@ class Woven {
   [[nodiscard]] T& object() { return obj_; }
   [[nodiscard]] const T& object() const { return obj_; }
 
-  /// Statically woven call of method M.
+  /// Statically woven call of method M. The first call of each
+  /// instantiation publishes the signature to the SignatureRegistry, so
+  /// statically woven join points are visible to apar-analyze too.
   template <auto M, class... A>
   decltype(auto) call(A&&... args) {
+    static const bool registered = SignatureRegistry::global().add(
+        class_name_of<T>(), method_name_of<M>(), JoinPointKind::kMethodCall);
+    (void)registered;
     return detail::ChainRunner<M, T, Aspects...>::run(
         obj_, std::forward<A>(args)...);
   }

@@ -1,0 +1,65 @@
+#include "apar/aop/static_weave.hpp"
+
+namespace apar::aop {
+
+SignatureRegistry& SignatureRegistry::global() {
+  // Meyers singleton: the registration macros run during static
+  // initialisation of arbitrary translation units, so the table must
+  // construct on first use.
+  static SignatureRegistry registry;
+  return registry;
+}
+
+bool SignatureRegistry::add(std::string_view class_name,
+                            std::string_view method_name, JoinPointKind kind) {
+  std::lock_guard lock(mutex_);
+  for (const auto& e : entries_) {
+    if (e->kind == kind && e->class_name == class_name &&
+        e->method_name == method_name)
+      return false;
+  }
+  entries_.push_back(std::make_unique<Entry>(
+      Entry{std::string(class_name), std::string(method_name), kind}));
+  return true;
+}
+
+std::vector<Signature> SignatureRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<Signature> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_)
+    out.push_back(Signature{e->class_name, e->method_name, e->kind});
+  return out;
+}
+
+std::size_t SignatureRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+bool SignatureRegistry::contains(const Signature& sig) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& e : entries_) {
+    if (e->kind == sig.kind && e->class_name == sig.class_name &&
+        e->method_name == sig.method_name)
+      return true;
+  }
+  return false;
+}
+
+namespace detail {
+
+bool register_ctor_signature(std::string_view class_name) {
+  return SignatureRegistry::global().add(class_name, "new",
+                                         JoinPointKind::kConstructorCall);
+}
+
+bool register_call_signature(std::string_view class_name,
+                             std::string_view method_name) {
+  return SignatureRegistry::global().add(class_name, method_name,
+                                         JoinPointKind::kMethodCall);
+}
+
+}  // namespace detail
+
+}  // namespace apar::aop

@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "apar/concurrency/sync_observer.hpp"
+
 namespace apar::concurrency {
 
 /// Error raised when a Promise is dropped without delivering a value.
@@ -88,6 +90,13 @@ class Future {
   const T& get() const {
     ensure_valid();
     std::unique_lock lock(state_->mutex);
+    if (!state_->ready_locked()) {
+      // About to block on the producer — report to the sync observer so
+      // the lock-order analysis can flag waits made with monitors held.
+      lock.unlock();
+      notify_blocking_wait();
+      lock.lock();
+    }
     state_->cv.wait(lock, [&] { return state_->ready_locked(); });
     if (state_->error) std::rethrow_exception(state_->error);
     if (state_->broken) throw BrokenPromise();
@@ -142,6 +151,13 @@ class Future<void> {
   void get() const {
     ensure_valid();
     std::unique_lock lock(state_->mutex);
+    if (!state_->ready_locked()) {
+      // About to block on the producer — report to the sync observer so
+      // the lock-order analysis can flag waits made with monitors held.
+      lock.unlock();
+      notify_blocking_wait();
+      lock.lock();
+    }
     state_->cv.wait(lock, [&] { return state_->ready_locked(); });
     if (state_->error) std::rethrow_exception(state_->error);
     if (state_->broken) throw BrokenPromise();

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <atomic>
+
+namespace apar::concurrency {
+
+class SyncRegistry;
+
+/// Process-wide hook into the synchronisation substrate, installed by the
+/// LockOrderAspect (src/analysis) while it is plugged. Mirrors the
+/// observability probes' gating discipline: when no observer is installed
+/// the instrumented paths cost exactly one relaxed atomic pointer load and
+/// a predicted-not-taken branch — zero residue, per the paper's
+/// unpluggability claim applied to analysis itself.
+///
+/// Callbacks run on the acquiring/releasing thread, outside any
+/// SyncRegistry shard lock but (for on_acquired) with the monitor held.
+/// Implementations must not call back into the registry being observed.
+class SyncObserver {
+ public:
+  virtual ~SyncObserver() = default;
+
+  /// The calling thread now holds the monitor of `object` in `registry`
+  /// (recursive re-acquisitions included).
+  virtual void on_acquired(const SyncRegistry* registry,
+                           const void* object) = 0;
+
+  /// The calling thread released the monitor of `object` in `registry`.
+  virtual void on_released(const SyncRegistry* registry,
+                           const void* object) = 0;
+
+  /// The calling thread is about to block on a future's value
+  /// (Future::get with the result not yet delivered) — hazardous when
+  /// monitors are held, since the producer may need them to make progress.
+  virtual void on_blocking_wait() = 0;
+};
+
+namespace detail {
+/// Single process-wide observer slot (C++17 inline variable: one instance
+/// across all translation units).
+inline std::atomic<SyncObserver*> g_sync_observer{nullptr};
+}  // namespace detail
+
+/// Install (or clear, with nullptr) the process-wide sync observer.
+/// Returns the previous observer. Installation is expected to happen at a
+/// quiescent point — in-flight acquisitions may still report to the old
+/// observer for the duration of their call.
+inline SyncObserver* set_sync_observer(SyncObserver* observer) {
+  return detail::g_sync_observer.exchange(observer, std::memory_order_acq_rel);
+}
+
+/// The currently installed observer, or nullptr. This load IS the entire
+/// disabled-path cost of the instrumentation.
+inline SyncObserver* sync_observer() {
+  return detail::g_sync_observer.load(std::memory_order_acquire);
+}
+
+/// Instrumentation point for blocking waits (Future::get). Header-only so
+/// the template Future can call it without a link dependency.
+inline void notify_blocking_wait() {
+  if (SyncObserver* obs = sync_observer()) obs->on_blocking_wait();
+}
+
+}  // namespace apar::concurrency

@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "apar/concurrency/sync_observer.hpp"
+
 namespace apar::concurrency {
 
 /// Per-object monitor table: the C++ analogue of Java's
@@ -16,9 +18,16 @@ namespace apar::concurrency {
 /// sharded to keep the lookup itself off the contention path. Monitors are
 /// recursive so advice nested on the same target (e.g. sync advice around a
 /// forwarded call that re-enters the same object) cannot self-deadlock.
+///
+/// Acquisitions and releases report to the process-wide SyncObserver when
+/// one is installed (see sync_observer.hpp) — the LockOrderAspect builds
+/// its lock-order graph from these callbacks.
 class SyncRegistry {
+  struct MonitorEntry;  // defined in sync_registry.cpp
+
  public:
   explicit SyncRegistry(std::size_t shards = 16);
+  ~SyncRegistry();
 
   SyncRegistry(const SyncRegistry&) = delete;
   SyncRegistry& operator=(const SyncRegistry&) = delete;
@@ -26,30 +35,49 @@ class SyncRegistry {
   /// RAII monitor hold (CP.20: RAII, never plain lock/unlock).
   class Guard {
    public:
-    explicit Guard(std::recursive_mutex& m) : lock_(m) {}
+    Guard(Guard&& other) noexcept;
+    Guard& operator=(Guard&&) = delete;
+    ~Guard();
+
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
 
    private:
-    std::unique_lock<std::recursive_mutex> lock_;
+    friend class SyncRegistry;
+    Guard(SyncRegistry* registry, MonitorEntry* entry, const void* object);
+
+    SyncRegistry* registry_;
+    MonitorEntry* entry_;
+    const void* object_;
   };
 
   /// Acquire the monitor for `object`; released when the Guard dies.
   [[nodiscard]] Guard acquire(const void* object);
 
   /// Drop the monitor entry for a destroyed object (optional; entries are
-  /// harmless but this keeps long-lived registries bounded).
-  void forget(const void* object);
+  /// harmless but this keeps long-lived registries bounded). A monitor
+  /// that is currently held (or mid-acquire) is NOT destroyed — destroying
+  /// a locked recursive_mutex is undefined behaviour — its removal is
+  /// deferred until the last Guard releases it. Returns true if the entry
+  /// was removed immediately, false if absent or deferred.
+  bool forget(const void* object);
 
-  /// Number of live monitor entries (diagnostic).
+  /// Number of live monitor entries (diagnostic; includes entries whose
+  /// removal is deferred).
   [[nodiscard]] std::size_t size() const;
 
  private:
   struct Shard {
     mutable std::mutex mutex;
-    std::unordered_map<const void*, std::unique_ptr<std::recursive_mutex>> map;
+    std::unordered_map<const void*, std::unique_ptr<MonitorEntry>> map;
   };
 
   Shard& shard_for(const void* object);
   const Shard& shard_for(const void* object) const;
+
+  /// Unlock + unpin `entry` for `object`; erases the entry if a forget()
+  /// was deferred and this was the last pin.
+  void release(MonitorEntry* entry, const void* object);
 
   std::vector<Shard> shards_;
 };

@@ -1,11 +1,43 @@
 #include "apar/concurrency/sync_registry.hpp"
 
+#include <cassert>
 #include <functional>
 
 namespace apar::concurrency {
 
+/// A monitor plus its shard-locked bookkeeping. `pins` counts Guards alive
+/// (or threads mid-acquire between lookup and lock); `doomed` marks an
+/// entry forget() could not destroy because it was pinned. Both fields are
+/// guarded by the owning shard's mutex — never touched while only the
+/// monitor itself is held.
+struct SyncRegistry::MonitorEntry {
+  std::recursive_mutex mutex;
+  std::size_t pins = 0;
+  bool doomed = false;
+};
+
 SyncRegistry::SyncRegistry(std::size_t shards)
     : shards_(shards == 0 ? 1 : shards) {}
+
+SyncRegistry::~SyncRegistry() = default;
+
+SyncRegistry::Guard::Guard(SyncRegistry* registry, MonitorEntry* entry,
+                           const void* object)
+    : registry_(registry), entry_(entry), object_(object) {}
+
+SyncRegistry::Guard::Guard(Guard&& other) noexcept
+    : registry_(other.registry_), entry_(other.entry_),
+      object_(other.object_) {
+  other.registry_ = nullptr;
+  other.entry_ = nullptr;
+}
+
+SyncRegistry::Guard::~Guard() {
+  if (registry_ == nullptr) return;  // moved-from
+  if (SyncObserver* obs = sync_observer())
+    obs->on_released(registry_, object_);
+  registry_->release(entry_, object_);
+}
 
 SyncRegistry::Shard& SyncRegistry::shard_for(const void* object) {
   const std::size_t h = std::hash<const void*>{}(object);
@@ -19,22 +51,51 @@ const SyncRegistry::Shard& SyncRegistry::shard_for(const void* object) const {
 
 SyncRegistry::Guard SyncRegistry::acquire(const void* object) {
   Shard& shard = shard_for(object);
-  std::recursive_mutex* monitor = nullptr;
+  MonitorEntry* entry = nullptr;
   {
     std::lock_guard lock(shard.mutex);
     auto& slot = shard.map[object];
-    if (!slot) slot = std::make_unique<std::recursive_mutex>();
-    monitor = slot.get();
+    if (!slot) slot = std::make_unique<MonitorEntry>();
+    entry = slot.get();
+    // Pin before leaving the shard lock: a concurrent forget() must not
+    // destroy the entry while this thread is blocked on (or holding) it.
+    ++entry->pins;
   }
   // Lock outside the shard lock (CP.22: never hold one lock while taking an
   // unrelated, potentially long-held one).
-  return Guard(*monitor);
+  entry->mutex.lock();
+  if (SyncObserver* obs = sync_observer()) obs->on_acquired(this, object);
+  return Guard(this, entry, object);
 }
 
-void SyncRegistry::forget(const void* object) {
+void SyncRegistry::release(MonitorEntry* entry, const void* object) {
+  entry->mutex.unlock();
   Shard& shard = shard_for(object);
   std::lock_guard lock(shard.mutex);
-  shard.map.erase(object);
+  assert(entry->pins > 0);
+  --entry->pins;
+  if (entry->pins == 0 && entry->doomed) {
+    // Last pin on an entry forget() marked for removal. Compare slot
+    // identity: the key may have been re-populated with a fresh entry if
+    // the address was recycled after the deferred forget.
+    auto it = shard.map.find(object);
+    if (it != shard.map.end() && it->second.get() == entry) shard.map.erase(it);
+  }
+}
+
+bool SyncRegistry::forget(const void* object) {
+  Shard& shard = shard_for(object);
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.map.find(object);
+  if (it == shard.map.end()) return false;
+  if (it->second->pins > 0) {
+    // Destroying a locked recursive_mutex is UB: defer removal to the
+    // last Guard's release instead of erasing out from under it.
+    it->second->doomed = true;
+    return false;
+  }
+  shard.map.erase(it);
+  return true;
 }
 
 std::size_t SyncRegistry::size() const {

@@ -1,0 +1,153 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <type_traits>
+#include <typeinfo>
+#include <utility>
+#include <vector>
+
+#include "apar/serial/archive.hpp"
+
+namespace apar::serial {
+
+namespace detail {
+
+/// Compile-time answer to "can this type cross the wire?" — i.e. does
+/// Writer::value / Reader::value accept it. Mirrors the overload set of
+/// archive.hpp: arithmetic, enum, string, the supported containers
+/// (element-wise), and user types with ADL serialize/deserialize hooks.
+template <class T>
+struct WireOk
+    : std::bool_constant<std::is_arithmetic_v<T> || std::is_enum_v<T> ||
+                         (AdlWritable<T> && AdlReadable<T>)> {};
+
+template <>
+struct WireOk<std::string> : std::true_type {};
+
+template <class T>
+struct WireOk<std::vector<T>> : WireOk<T> {};
+
+template <class A, class B>
+struct WireOk<std::pair<A, B>>
+    : std::bool_constant<WireOk<A>::value && WireOk<B>::value> {};
+
+template <class... Ts>
+struct WireOk<std::tuple<Ts...>>
+    : std::bool_constant<(WireOk<Ts>::value && ...)> {};
+
+template <class T>
+struct WireOk<std::optional<T>> : WireOk<T> {};
+
+template <class K, class V>
+struct WireOk<std::map<K, V>>
+    : std::bool_constant<WireOk<K>::value && WireOk<V>::value> {};
+
+}  // namespace detail
+
+/// True when a value of type T can be encoded AND decoded by the archive —
+/// the static precondition every argument of a distributed call must meet.
+/// The distribution aspect consults this at registration time and records
+/// the verdict in its advice metadata, which is where apar-analyze's
+/// distribution-hazard check reads it back.
+template <class T>
+inline constexpr bool kWireSerializable =
+    detail::WireOk<std::remove_cvref_t<T>>::value;
+
+template <class T>
+std::string wire_type_name_compound();
+
+/// Human-readable wire name for T, used in analyzer reports and as the
+/// TypeRegistry key. Spells out the common cases; falls back to the
+/// (mangled) typeid name for exotic types.
+template <class T>
+std::string wire_type_name() {
+  using U = std::remove_cvref_t<T>;
+  if constexpr (std::is_same_v<U, bool>) return "bool";
+  else if constexpr (std::is_same_v<U, char>) return "char";
+  else if constexpr (std::is_same_v<U, int>) return "int";
+  else if constexpr (std::is_same_v<U, unsigned>) return "unsigned";
+  else if constexpr (std::is_same_v<U, long>) return "long";
+  else if constexpr (std::is_same_v<U, unsigned long>) return "unsigned long";
+  else if constexpr (std::is_same_v<U, long long>) return "long long";
+  else if constexpr (std::is_same_v<U, unsigned long long>)
+    return "unsigned long long";
+  else if constexpr (std::is_same_v<U, float>) return "float";
+  else if constexpr (std::is_same_v<U, double>) return "double";
+  else if constexpr (std::is_same_v<U, std::string>) return "string";
+  else if constexpr (std::is_enum_v<U>)
+    return std::string("enum ") + typeid(U).name();
+  else {
+    return wire_type_name_compound<U>();
+  }
+}
+
+namespace detail {
+template <class T>
+struct CompoundName {
+  static std::string get() { return typeid(T).name(); }
+};
+template <class T>
+struct CompoundName<std::vector<T>> {
+  static std::string get() { return "vector<" + wire_type_name<T>() + ">"; }
+};
+template <class A, class B>
+struct CompoundName<std::pair<A, B>> {
+  static std::string get() {
+    return "pair<" + wire_type_name<A>() + ", " + wire_type_name<B>() + ">";
+  }
+};
+template <class T>
+struct CompoundName<std::optional<T>> {
+  static std::string get() { return "optional<" + wire_type_name<T>() + ">"; }
+};
+template <class K, class V>
+struct CompoundName<std::map<K, V>> {
+  static std::string get() {
+    return "map<" + wire_type_name<K>() + ", " + wire_type_name<V>() + ">";
+  }
+};
+}  // namespace detail
+
+template <class T>
+std::string wire_type_name_compound() {
+  return detail::CompoundName<T>::get();
+}
+
+/// Process-wide record of types that have been offered to the wire layer
+/// and whether they are serializable. The distribution aspect notes every
+/// argument type it registers advice for; apar-analyze's distribution-
+/// hazard check treats "noted non-serializable" and "never noted" types
+/// reaching a distribution join point as findings.
+class TypeRegistry {
+ public:
+  static TypeRegistry& global();
+
+  /// Record (idempotently) that `type_name` crossed the registration path
+  /// with the given serializability verdict. A type once noted as
+  /// serializable stays serializable.
+  void note(std::string type_name, bool serializable);
+
+  template <class T>
+  void note() {
+    note(wire_type_name<T>(), kWireSerializable<T>);
+  }
+
+  /// Verdict for a noted type; nullopt if the type was never offered.
+  [[nodiscard]] std::optional<bool> serializable(
+      std::string_view type_name) const;
+
+  [[nodiscard]] std::map<std::string, bool> snapshot() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, bool, std::less<>> types_;
+};
+
+}  // namespace apar::serial

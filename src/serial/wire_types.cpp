@@ -1,0 +1,34 @@
+#include "apar/serial/wire_types.hpp"
+
+namespace apar::serial {
+
+TypeRegistry& TypeRegistry::global() {
+  static TypeRegistry instance;
+  return instance;
+}
+
+void TypeRegistry::note(std::string type_name, bool serializable) {
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = types_.try_emplace(std::move(type_name), serializable);
+  if (!inserted && serializable) it->second = true;
+}
+
+std::optional<bool> TypeRegistry::serializable(
+    std::string_view type_name) const {
+  std::lock_guard lock(mutex_);
+  auto it = types_.find(type_name);
+  if (it == types_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::map<std::string, bool> TypeRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return {types_.begin(), types_.end()};
+}
+
+std::size_t TypeRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return types_.size();
+}
+
+}  // namespace apar::serial

@@ -99,12 +99,14 @@ class ConcurrencyAspect : public aop::Aspect, public AsyncControl {
   template <auto M>
   void register_guard() {
     this->template around_method<M>(
-        aop::order::kConcurrencySync, aop::Scope::any(), [this](auto& inv) {
-          // `synchronized(target) { proceed(); }` — keyed on the Ref cell
-          // so it works identically for local and remote objects.
-          auto guard = monitors_.acquire(inv.target().identity());
-          return inv.proceed();
-        });
+            aop::order::kConcurrencySync, aop::Scope::any(),
+            [this](auto& inv) {
+              // `synchronized(target) { proceed(); }` — keyed on the Ref cell
+              // so it works identically for local and remote objects.
+              auto guard = monitors_.acquire(inv.target().identity());
+              return inv.proceed();
+            })
+        .mark_acquires_monitor();
   }
 
   concurrency::SyncRegistry monitors_;

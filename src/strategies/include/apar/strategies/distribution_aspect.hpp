@@ -13,6 +13,7 @@
 #include "apar/cluster/middleware.hpp"
 #include "apar/common/rng.hpp"
 #include "apar/serial/archive.hpp"
+#include "apar/serial/wire_types.hpp"
 
 namespace apar::strategies {
 
@@ -59,6 +60,22 @@ void read_restore(serial::Reader& reader, const Arg& arg) {
   reader.value(tmp);
   (void)arg;  // const parameter: the echoed value is discarded
 }
+
+template <class Tuple>
+struct TupleWireOk;
+template <class... A>
+struct TupleWireOk<std::tuple<A...>>
+    : std::bool_constant<(serial::kWireSerializable<A> && ...)> {};
+
+/// Per-argument wire metadata for a join point, recorded on the advice so
+/// apar-analyze can check distribution hazards without executing anything.
+/// Also notes every type in the global TypeRegistry.
+template <class... A>
+std::vector<aop::WireArg> note_wire_args(std::type_identity<std::tuple<A...>>) {
+  (serial::TypeRegistry::global().note<A>(), ...);
+  return {aop::WireArg{serial::wire_type_name<A>(),
+                       serial::kWireSerializable<A>}...};
+}
 }  // namespace detail
 
 /// The paper's Distribution aspect (§4.3, Figure 13/14), reusable over any
@@ -97,52 +114,69 @@ class DistributionAspect : public aop::Aspect {
   DistributionAspect& distribute_method(bool allow_one_way = false) {
     using Traits = aop::detail::MemberFnTraits<decltype(M)>;
     using R = typename Traits::Ret;
+    // Whether every argument (and the result) can cross the wire. When not,
+    // the advice still compiles and local calls still work — only an actual
+    // remote dispatch throws. apar-analyze flags the hazard statically from
+    // the wire metadata recorded below.
+    constexpr bool kWireOk =
+        detail::TupleWireOk<typename Traits::ArgsTuple>::value &&
+        (std::is_void_v<R> ||
+         serial::kWireSerializable<std::remove_cvref_t<R>>);
     this->template around_method<M>(
-        aop::order::kDistribution, aop::Scope::any(),
-        [this, allow_one_way](auto& inv) -> R {
-          auto binding = std::dynamic_pointer_cast<RemoteObjectBinding>(
-              inv.target().remote_binding());
-          if (!binding) return inv.proceed();  // local object: dispatch here
+            aop::order::kDistribution, aop::Scope::any(),
+            [this, allow_one_way](auto& inv) -> R {
+              auto binding = std::dynamic_pointer_cast<RemoteObjectBinding>(
+                  inv.target().remote_binding());
+              if (!binding) return inv.proceed();  // local object: dispatch here
 
-          const auto method_name = aop::method_name_of<M>();
-          // A hybrid middleware may carry this method on a different
-          // backend (paper §5.3); encode with the routed backend's format.
-          cluster::Middleware& mw = middleware_.route_for(method_name);
-          const auto format = mw.wire_format();
-          auto payload = std::apply(
-              [&](const auto&... args) {
-                return serial::encode(format, args...);
-              },
-              inv.args());
+              const auto method_name = aop::method_name_of<M>();
+              if constexpr (!kWireOk) {
+                throw serial::SerialError(
+                    "cannot distribute call to " + std::string(method_name) +
+                    ": argument or result type is not wire-serializable");
+              } else {
+                // A hybrid middleware may carry this method on a different
+                // backend (paper §5.3); encode with the routed backend's
+                // format.
+                cluster::Middleware& mw = middleware_.route_for(method_name);
+                const auto format = mw.wire_format();
+                auto payload = std::apply(
+                    [&](const auto&... args) {
+                      return serial::encode(format, args...);
+                    },
+                    inv.args());
 
-          if constexpr (std::is_void_v<R>) {
-            if (allow_one_way && mw.supports_one_way()) {
-              mw.invoke_one_way(binding->handle(), method_name,
-                                std::move(payload));
-              return;
-            }
-            auto reply =
-                mw.invoke(binding->handle(), method_name, std::move(payload));
-            serial::Reader reader(reply, format);
-            std::apply(
-                [&](auto&... args) {
-                  (detail::read_restore(reader, args), ...);
-                },
-                inv.args());
-          } else {
-            auto reply =
-                mw.invoke(binding->handle(), method_name, std::move(payload));
-            serial::Reader reader(reply, format);
-            std::apply(
-                [&](auto&... args) {
-                  (detail::read_restore(reader, args), ...);
-                },
-                inv.args());
-            std::remove_cvref_t<R> result{};
-            reader.value(result);
-            return result;
-          }
-        });
+                if constexpr (std::is_void_v<R>) {
+                  if (allow_one_way && mw.supports_one_way()) {
+                    mw.invoke_one_way(binding->handle(), method_name,
+                                      std::move(payload));
+                    return;
+                  }
+                  auto reply = mw.invoke(binding->handle(), method_name,
+                                         std::move(payload));
+                  serial::Reader reader(reply, format);
+                  std::apply(
+                      [&](auto&... args) {
+                        (detail::read_restore(reader, args), ...);
+                      },
+                      inv.args());
+                } else {
+                  auto reply = mw.invoke(binding->handle(), method_name,
+                                         std::move(payload));
+                  serial::Reader reader(reply, format);
+                  std::apply(
+                      [&](auto&... args) {
+                        (detail::read_restore(reader, args), ...);
+                      },
+                      inv.args());
+                  std::remove_cvref_t<R> result{};
+                  reader.value(result);
+                  return result;
+                }
+              }
+            })
+        .mark_distributes(detail::note_wire_args(
+            std::type_identity<typename Traits::ArgsTuple>{}));
     return *this;
   }
 
@@ -155,32 +189,45 @@ class DistributionAspect : public aop::Aspect {
 
  private:
   void register_creation() {
+    constexpr bool kWireOk =
+        (serial::kWireSerializable<std::decay_t<CtorArgs>> && ...);
     this->template around_new<T, std::decay_t<CtorArgs>...>(
         aop::order::kDistribution, aop::Scope::any(),
-        [this](aop::CtorInvocation<T, std::decay_t<CtorArgs>...>& inv) {
-          cluster::Middleware& mw = middleware_.route_for("new");
-          const auto format = mw.wire_format();
-          auto payload = std::apply(
-              [&](const auto&... args) {
-                return serial::encode(format, args...);
-              },
-              inv.args());
-          const cluster::NodeId node = pick_node();
-          const std::string class_name(aop::class_name_of<T>());
-          auto handle = mw.create(node, class_name, std::move(payload));
-          if (options_.register_names) {
-            // Figure 14: name "PS<instance number>", bind, then look the
-            // reference up again through the registry.
-            const auto n = created_.load(std::memory_order_relaxed) + 1;
-            const std::string bound_name = "PS" + std::to_string(n);
-            cluster_.name_server().bind(bound_name, handle);
-            auto resolved = mw.lookup(bound_name);
-            if (resolved) handle = *resolved;
+        [this](aop::CtorInvocation<T, std::decay_t<CtorArgs>...>& inv)
+            -> aop::Ref<T> {
+          if constexpr (!kWireOk) {
+            throw serial::SerialError(
+                "cannot place " + std::string(aop::class_name_of<T>()) +
+                " remotely: constructor argument type is not "
+                "wire-serializable");
+          } else {
+            cluster::Middleware& mw = middleware_.route_for("new");
+            const auto format = mw.wire_format();
+            auto payload = std::apply(
+                [&](const auto&... args) {
+                  return serial::encode(format, args...);
+                },
+                inv.args());
+            const cluster::NodeId node = pick_node();
+            const std::string class_name(aop::class_name_of<T>());
+            auto handle = mw.create(node, class_name, std::move(payload));
+            if (options_.register_names) {
+              // Figure 14: name "PS<instance number>", bind, then look the
+              // reference up again through the registry.
+              const auto n = created_.load(std::memory_order_relaxed) + 1;
+              const std::string bound_name = "PS" + std::to_string(n);
+              cluster_.name_server().bind(bound_name, handle);
+              auto resolved = mw.lookup(bound_name);
+              if (resolved) handle = *resolved;
+            }
+            created_.fetch_add(1, std::memory_order_relaxed);
+            return aop::Ref<T>::make_remote(
+                std::make_shared<RemoteObjectBinding>(handle, middleware_,
+                                                      class_name));
           }
-          created_.fetch_add(1, std::memory_order_relaxed);
-          return aop::Ref<T>::make_remote(std::make_shared<RemoteObjectBinding>(
-              handle, middleware_, class_name));
-        });
+        })
+        .mark_distributes(detail::note_wire_args(
+            std::type_identity<std::tuple<std::decay_t<CtorArgs>...>>{}));
   }
 
   cluster::NodeId pick_node() {

@@ -1,0 +1,81 @@
+// Report container: severity gating, the table rendering and the JSON
+// document apar-analyze emits for CI.
+#include <gtest/gtest.h>
+
+#include "apar/analysis/report.hpp"
+
+namespace an = apar::analysis;
+
+TEST(Severity, NamesRoundTrip) {
+  EXPECT_EQ(an::severity_name(an::Severity::kInfo), "info");
+  EXPECT_EQ(an::severity_name(an::Severity::kWarning), "warning");
+  EXPECT_EQ(an::severity_name(an::Severity::kError), "error");
+  EXPECT_EQ(an::parse_severity("info"), an::Severity::kInfo);
+  EXPECT_EQ(an::parse_severity("warning"), an::Severity::kWarning);
+  EXPECT_EQ(an::parse_severity("error"), an::Severity::kError);
+  EXPECT_FALSE(an::parse_severity("loud").has_value());
+}
+
+TEST(Severity, KindNamesAreKebabCase) {
+  EXPECT_EQ(an::finding_kind_name(an::FindingKind::kDeadPointcut),
+            "dead-pointcut");
+  EXPECT_EQ(an::finding_kind_name(an::FindingKind::kOrderCollision),
+            "order-collision");
+  EXPECT_EQ(an::finding_kind_name(an::FindingKind::kDoubleSynchronisation),
+            "double-sync");
+  EXPECT_EQ(an::finding_kind_name(an::FindingKind::kDistributionHazard),
+            "distribution-hazard");
+  EXPECT_EQ(an::finding_kind_name(an::FindingKind::kLockOrderCycle),
+            "lock-order-cycle");
+}
+
+TEST(Report, CountAtLeastRespectsSeverityOrder) {
+  an::Report report;
+  report.add({an::FindingKind::kDeadPointcut, an::Severity::kInfo, "a", "d"});
+  report.add(
+      {an::FindingKind::kOrderCollision, an::Severity::kWarning, "b", "d"});
+  report.add({an::FindingKind::kDoubleSynchronisation, an::Severity::kError,
+              "c", "d"});
+  EXPECT_EQ(report.size(), 3u);
+  EXPECT_EQ(report.count_at_least(an::Severity::kInfo), 3u);
+  EXPECT_EQ(report.count_at_least(an::Severity::kWarning), 2u);
+  EXPECT_EQ(report.count_at_least(an::Severity::kError), 1u);
+}
+
+TEST(Report, MergeAppendsFindings) {
+  an::Report a;
+  a.add({an::FindingKind::kDeadPointcut, an::Severity::kWarning, "x", "d"});
+  an::Report b;
+  b.add({an::FindingKind::kLockOrderCycle, an::Severity::kError, "y", "d"});
+  a.merge(b);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.findings()[1].subject, "y");
+}
+
+TEST(Report, TableListsEveryFinding) {
+  an::Report report;
+  report.add({an::FindingKind::kDeadPointcut, an::Severity::kWarning,
+              "Audit/Ledger.depositt", "no woven signature matches"});
+  const std::string table = report.table();
+  EXPECT_NE(table.find("dead-pointcut"), std::string::npos);
+  EXPECT_NE(table.find("Audit/Ledger.depositt"), std::string::npos);
+  EXPECT_NE(table.find("warning"), std::string::npos);
+}
+
+TEST(Report, JsonEscapesAndCounts) {
+  an::Report report;
+  report.add({an::FindingKind::kDistributionHazard, an::Severity::kError,
+              "subject \"quoted\"", "detail\nline"});
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"distribution-hazard\""), std::string::npos);
+  EXPECT_NE(json.find("subject \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("detail\\nline"), std::string::npos);
+  EXPECT_NE(json.find("\"error\": 1"), std::string::npos);
+}
+
+TEST(Report, EmptyReportIsCleanJson) {
+  const an::Report report;
+  EXPECT_TRUE(report.empty());
+  EXPECT_EQ(report.count_at_least(an::Severity::kInfo), 0u);
+  EXPECT_NE(report.json().find("\"findings\": []"), std::string::npos);
+}

@@ -1,0 +1,205 @@
+// Static weave-plan verification: every finding class the analyzer knows,
+// exercised with small hand-built compositions, plus the "all shipped
+// compositions are clean" sweep over the Table-1 version matrix.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "../aop/fixtures.hpp"
+#include "apar/analysis/report.hpp"
+#include "apar/analysis/weave_plan.hpp"
+#include "apar/serial/wire_types.hpp"
+#include "apar/sieve/versions.hpp"
+#include "apar/strategies/concurrency_aspect.hpp"
+
+namespace an = apar::analysis;
+namespace aop = apar::aop;
+namespace sieve = apar::sieve;
+namespace strategies = apar::strategies;
+using apar::test::Worker;
+
+namespace {
+
+std::size_t count_kind(const an::Report& report, an::FindingKind kind) {
+  return static_cast<std::size_t>(
+      std::count_if(report.findings().begin(), report.findings().end(),
+                    [&](const an::Finding& f) { return f.kind == kind; }));
+}
+
+std::shared_ptr<aop::Aspect> passthrough_on(std::string name,
+                                            const char* pattern,
+                                            int order = aop::order::kDefault) {
+  auto aspect = std::make_shared<aop::Aspect>(std::move(name));
+  aspect->around_call<Worker, void, std::vector<int>&>(
+      aop::Pattern(pattern), order, aop::Scope::any(),
+      [](auto& inv) { return inv.proceed(); });
+  return aspect;
+}
+
+}  // namespace
+
+TEST(WeavePlan, CleanContextHasNoFindings) {
+  aop::Context ctx;
+  ctx.attach(passthrough_on("Logging", "Worker.process"));
+  const an::Report report = an::analyze_weave_plan(ctx);
+  EXPECT_TRUE(report.empty()) << report.table();
+}
+
+TEST(WeavePlan, TypoPointcutIsDead) {
+  aop::Context ctx;
+  ctx.attach(passthrough_on("Audit", "Worker.proces"));  // typo: one 's'
+  const an::Report report = an::analyze_weave_plan(ctx);
+  ASSERT_EQ(count_kind(report, an::FindingKind::kDeadPointcut), 1u)
+      << report.table();
+  const an::Finding& f = report.findings().front();
+  EXPECT_EQ(f.severity, an::Severity::kWarning);
+  EXPECT_EQ(f.subject, "Audit/Worker.proces");
+}
+
+TEST(WeavePlan, WildcardPointcutIsLive) {
+  aop::Context ctx;
+  ctx.attach(passthrough_on("Audit", "Worker.pro*"));
+  const an::Report report = an::analyze_weave_plan(ctx);
+  EXPECT_EQ(count_kind(report, an::FindingKind::kDeadPointcut), 0u)
+      << report.table();
+}
+
+TEST(WeavePlan, EqualOrderAcrossAspectsCollides) {
+  aop::Context ctx;
+  ctx.attach(passthrough_on("First", "Worker.process", 350));
+  ctx.attach(passthrough_on("Second", "Worker.process", 350));
+  const an::Report report = an::analyze_weave_plan(ctx);
+  ASSERT_EQ(count_kind(report, an::FindingKind::kOrderCollision), 1u)
+      << report.table();
+  EXPECT_EQ(report.findings().front().subject, "First ~ Second");
+}
+
+TEST(WeavePlan, DistinctOrdersDoNotCollide) {
+  aop::Context ctx;
+  ctx.attach(passthrough_on("First", "Worker.process", 300));
+  ctx.attach(passthrough_on("Second", "Worker.process", 400));
+  const an::Report report = an::analyze_weave_plan(ctx);
+  EXPECT_EQ(count_kind(report, an::FindingKind::kOrderCollision), 0u)
+      << report.table();
+}
+
+TEST(WeavePlan, EqualOrderWithinOneAspectIsFine) {
+  // One aspect layering two advice at the same order is deliberate (the
+  // aspect author controls registration order); only cross-aspect equal
+  // orders depend on plug sequence.
+  aop::Context ctx;
+  auto aspect = std::make_shared<aop::Aspect>("Solo");
+  for (int i = 0; i < 2; ++i)
+    aspect->around_call<Worker, void, std::vector<int>&>(
+        aop::Pattern("Worker.process"), 350, aop::Scope::any(),
+        [](auto& inv) { return inv.proceed(); });
+  ctx.attach(aspect);
+  const an::Report report = an::analyze_weave_plan(ctx);
+  EXPECT_EQ(count_kind(report, an::FindingKind::kOrderCollision), 0u)
+      << report.table();
+}
+
+TEST(WeavePlan, CollisionReportedOncePerPair) {
+  // The same pair colliding on a wildcard that covers several join points
+  // must yield one finding, not one per matched signature.
+  aop::Context ctx;
+  ctx.attach(passthrough_on("First", "Worker.*", 350));
+  ctx.attach(passthrough_on("Second", "Worker.*", 350));
+  const an::Report report = an::analyze_weave_plan(ctx);
+  EXPECT_EQ(count_kind(report, an::FindingKind::kOrderCollision), 1u)
+      << report.table();
+}
+
+TEST(WeavePlan, TwoSyncAspectsOnOneJoinPointIsDoubleSync) {
+  aop::Context ctx;
+  auto sync_a = std::make_shared<strategies::ConcurrencyAspect<Worker>>("SyncA");
+  sync_a->guarded_method<&Worker::process>();
+  auto sync_b = std::make_shared<strategies::ConcurrencyAspect<Worker>>("SyncB");
+  sync_b->guarded_method<&Worker::process>();
+  ctx.attach(sync_a);
+  ctx.attach(sync_b);
+  const an::Report report = an::analyze_weave_plan(ctx);
+  ASSERT_EQ(count_kind(report, an::FindingKind::kDoubleSynchronisation), 1u)
+      << report.table();
+  const auto& findings = report.findings();
+  const auto it = std::find_if(findings.begin(), findings.end(),
+                               [](const an::Finding& f) {
+                                 return f.kind ==
+                                        an::FindingKind::kDoubleSynchronisation;
+                               });
+  ASSERT_NE(it, findings.end());
+  EXPECT_EQ(it->severity, an::Severity::kError);
+  EXPECT_EQ(it->subject, "Worker.process");
+  // The same pair also collides on order (both guard at kConcurrencySync).
+  EXPECT_EQ(count_kind(report, an::FindingKind::kOrderCollision), 1u);
+}
+
+TEST(WeavePlan, SingleSyncAspectIsNotDoubleSync) {
+  aop::Context ctx;
+  auto sync = std::make_shared<strategies::ConcurrencyAspect<Worker>>("Sync");
+  sync->guarded_method<&Worker::process>().guarded_method<&Worker::compute>();
+  ctx.attach(sync);
+  const an::Report report = an::analyze_weave_plan(ctx);
+  EXPECT_TRUE(report.empty()) << report.table();
+}
+
+TEST(WeavePlan, UnserializableWireArgIsDistributionHazard) {
+  aop::Context ctx;
+  auto dist = passthrough_on("Dist", "Worker.process", 500);
+  // Simulate what DistributionAspect records for a non-marshallable
+  // argument type without spinning up a cluster.
+  dist->advice().back()->mark_distributes(
+      {aop::WireArg{"test::Handle", false}});
+  ctx.attach(dist);
+  const an::Report report = an::analyze_weave_plan(ctx);
+  ASSERT_EQ(count_kind(report, an::FindingKind::kDistributionHazard), 1u)
+      << report.table();
+  EXPECT_EQ(report.findings().front().severity, an::Severity::kError);
+}
+
+TEST(WeavePlan, TypeRegistryOverrideSilencesHazard) {
+  // A later translation unit can register the type as serializable out of
+  // band; the analyzer must consult the registry before flagging.
+  apar::serial::TypeRegistry::global().note("test::LateBlessed", true);
+  aop::Context ctx;
+  auto dist = passthrough_on("Dist", "Worker.process", 500);
+  dist->advice().back()->mark_distributes(
+      {aop::WireArg{"test::LateBlessed", false}});
+  ctx.attach(dist);
+  const an::Report report = an::analyze_weave_plan(ctx);
+  EXPECT_EQ(count_kind(report, an::FindingKind::kDistributionHazard), 0u)
+      << report.table();
+}
+
+TEST(WeavePlan, SerializableWireArgsAreClean) {
+  aop::Context ctx;
+  auto dist = passthrough_on("Dist", "Worker.process", 500);
+  dist->advice().back()->mark_distributes(
+      {aop::WireArg{"vector<int>", true}, aop::WireArg{"long long", true}});
+  ctx.attach(dist);
+  const an::Report report = an::analyze_weave_plan(ctx);
+  EXPECT_TRUE(report.empty()) << report.table();
+}
+
+// The acceptance sweep: every shipped Table-1 composition must analyze
+// clean — the same configurations apar-analyze runs in CI.
+TEST(WeavePlan, VersionMatrixCompositionsAreClean) {
+  std::vector<sieve::Version> versions{sieve::Version::kSequential};
+  for (const sieve::Version v : sieve::extended_versions())
+    versions.push_back(v);
+  for (const sieve::Version version : versions) {
+    sieve::SieveConfig config;
+    config.max = 2'000;
+    config.filters = 2;
+    config.pack_size = 500;
+    config.nodes = 2;
+    config.node_executors = 1;
+    config.loopback_costs = true;
+    sieve::SieveHarness harness(version, config);
+    const an::Report report = an::analyze_weave_plan(harness.context());
+    EXPECT_TRUE(report.empty())
+        << sieve::version_name(version) << ":\n" << report.table();
+  }
+}

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include "apar/aop/aspect.hpp"
 #include "apar/aop/signature.hpp"
+#include "fixtures.hpp"
 
 namespace aop = apar::aop;
 
@@ -87,4 +89,89 @@ TEST(Signature, StrFormatsClassDotMethod) {
   const aop::Signature sig{"PrimeFilter", "filter",
                            aop::JoinPointKind::kMethodCall};
   EXPECT_EQ(sig.str(), "PrimeFilter.filter");
+}
+
+// --- wildcard edge cases ----------------------------------------------------
+
+TEST(Pattern, EmptyTextParsesAsMatchEverything) {
+  const aop::Pattern p("");
+  EXPECT_EQ(p.class_pattern(), "*");
+  EXPECT_EQ(p.method_pattern(), "*");
+  EXPECT_TRUE(p.matches({"A", "b", aop::JoinPointKind::kMethodCall}));
+}
+
+TEST(Pattern, EmptyClassSegmentOnly) {
+  const aop::Pattern p(".filter");
+  EXPECT_EQ(p.class_pattern(), "*");
+  EXPECT_TRUE(
+      p.matches({"PrimeFilter", "filter", aop::JoinPointKind::kMethodCall}));
+  EXPECT_FALSE(
+      p.matches({"PrimeFilter", "process", aop::JoinPointKind::kMethodCall}));
+}
+
+TEST(Pattern, EmptyMethodSegmentOnly) {
+  const aop::Pattern p("PrimeFilter.");
+  EXPECT_EQ(p.method_pattern(), "*");
+  EXPECT_TRUE(
+      p.matches({"PrimeFilter", "filter", aop::JoinPointKind::kMethodCall}));
+  EXPECT_FALSE(p.matches({"Other", "filter", aop::JoinPointKind::kMethodCall}));
+}
+
+TEST(Pattern, OnlyFirstDotSeparatesSegments) {
+  // Later dots belong to the method segment; "a.b.c" is class "a",
+  // method "b.c" — which can never match a real (dot-free) method name.
+  const aop::Pattern p("a.b.c");
+  EXPECT_EQ(p.class_pattern(), "a");
+  EXPECT_EQ(p.method_pattern(), "b.c");
+  EXPECT_FALSE(p.matches({"a", "b", aop::JoinPointKind::kMethodCall}));
+}
+
+TEST(Glob, DoubleStarBehavesLikeSingleStar) {
+  // '**' is not a path-style recursive wildcard here: consecutive stars
+  // collapse to one "match any run" wildcard within the segment.
+  EXPECT_TRUE(aop::Pattern::glob_match("**", ""));
+  EXPECT_TRUE(aop::Pattern::glob_match("a**b", "ab"));
+  EXPECT_TRUE(aop::Pattern::glob_match("a**b", "aXYZb"));
+  EXPECT_FALSE(aop::Pattern::glob_match("a**b", "aXbY"));
+}
+
+TEST(Glob, StarOnlyPatternsMatchEmptyAndAnything) {
+  EXPECT_TRUE(aop::Pattern::glob_match("***", "x"));
+  EXPECT_TRUE(aop::Pattern::glob_match("***", ""));
+  EXPECT_FALSE(aop::Pattern::glob_match("*x*", ""));
+}
+
+TEST(Glob, EmptyPatternMatchesOnlyEmptyText) {
+  EXPECT_TRUE(aop::Pattern::glob_match("", ""));
+  EXPECT_FALSE(aop::Pattern::glob_match("", "a"));
+}
+
+TEST(Pattern, IgnoresJoinPointKindItself) {
+  // Pattern matching is purely textual; kind discrimination happens at the
+  // advice level (AdviceBase::matches), so "Point.new" as a *method* call
+  // still matches textually.
+  const aop::Pattern p("Point.new");
+  EXPECT_TRUE(
+      p.matches({"Point", "new", aop::JoinPointKind::kConstructorCall}));
+  EXPECT_TRUE(p.matches({"Point", "new", aop::JoinPointKind::kMethodCall}));
+}
+
+TEST(AdviceKind, CtorAdviceDoesNotMatchMethodCalls) {
+  // Even a match-everything pattern on constructor advice must not bleed
+  // into method-call join points (and vice versa): kinds are disjoint.
+  aop::Aspect aspect("KindCheck");
+  auto& ctor_advice = aspect.around_new<apar::test::Point, int, int>(
+      aop::order::kDefault, aop::Scope::any(),
+      [](auto& inv) { return inv.proceed(); });
+  auto& call_advice = aspect.around_call<apar::test::Point, void, int>(
+      aop::Pattern("Point.*"), aop::order::kDefault, aop::Scope::any(),
+      [](auto& inv) { return inv.proceed(); });
+
+  const aop::Signature ctor{"Point", "new",
+                            aop::JoinPointKind::kConstructorCall};
+  const aop::Signature call{"Point", "moveX", aop::JoinPointKind::kMethodCall};
+  EXPECT_TRUE(ctor_advice.matches(ctor));
+  EXPECT_FALSE(ctor_advice.matches(call));
+  EXPECT_TRUE(call_advice.matches(call));
+  EXPECT_FALSE(call_advice.matches(ctor));
 }

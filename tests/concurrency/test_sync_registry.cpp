@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -60,7 +61,57 @@ TEST(SyncRegistry, SizeTracksEntries) {
 TEST(SyncRegistry, ForgetUnknownIsHarmless) {
   acc::SyncRegistry registry;
   int a = 0;
-  EXPECT_NO_THROW(registry.forget(&a));
+  EXPECT_FALSE(registry.forget(&a));
+}
+
+TEST(SyncRegistry, ForgetIdleEntryRemovesImmediately) {
+  acc::SyncRegistry registry;
+  int a = 0;
+  { auto g = registry.acquire(&a); }
+  EXPECT_TRUE(registry.forget(&a));
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+// Regression: forget() used to erase the map entry unconditionally, which
+// destroys a recursive_mutex that is still locked — undefined behaviour.
+// Removal of a held monitor must be deferred until the last guard drops.
+TEST(SyncRegistry, ForgetWhileHeldDefersDestruction) {
+  acc::SyncRegistry registry;
+  int a = 0;
+  {
+    auto guard = registry.acquire(&a);
+    EXPECT_FALSE(registry.forget(&a));  // deferred, not destroyed
+    EXPECT_EQ(registry.size(), 1u);     // entry still alive (doomed)
+    // The monitor must still function: a contender blocks and then gets in.
+    std::atomic<bool> contender_in{false};
+    std::thread t([&] {
+      auto g2 = registry.acquire(&a);
+      contender_in = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(contender_in.load());  // still excluded by our hold
+    // Releasing our guard lets the contender in; when both guards are gone
+    // the deferred forget finally erases the entry.
+    {
+      auto release_ours = std::move(guard);
+    }
+    t.join();
+    EXPECT_TRUE(contender_in.load());
+  }
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(SyncRegistry, ReacquireAfterDeferredForgetGetsFreshEntry) {
+  acc::SyncRegistry registry;
+  int a = 0;
+  {
+    auto guard = registry.acquire(&a);
+    registry.forget(&a);
+  }
+  // The doomed entry is gone; the address maps to a brand-new monitor.
+  EXPECT_EQ(registry.size(), 0u);
+  { auto guard = registry.acquire(&a); }
+  EXPECT_EQ(registry.size(), 1u);
 }
 
 TEST(SyncRegistry, ManyObjectsAcrossShards) {

@@ -1,0 +1,281 @@
+// apar-analyze: weave-plan verifier and pluggable concurrency analysis.
+//
+// Builds each named aspect composition exactly as the benches and the
+// Table-1 version matrix do, then runs the static weave-plan analyzer
+// (src/analysis) over the plugged aspects: dead pointcuts, order
+// collisions, double synchronisation, distribution hazards. The
+// deliberately broken `demo-broken` composition additionally scripts an
+// ABBA acquisition sequence under a plugged LockOrderAspect to exercise
+// the dynamic lock-order analysis.
+//
+// Exit status: 0 when no finding at or above --threshold was reported,
+// 1 otherwise (2 for usage errors) — CI gates on this.
+//
+// Usage:
+//   apar-analyze [--threshold=info|warning|error] [--json FILE] [--list]
+//                [composition ...]
+//
+// With no compositions named, every shipped (clean) composition is
+// analyzed: the full sieve version matrix plus heat:heartbeat.
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "apar/analysis/lock_order_aspect.hpp"
+#include "apar/analysis/report.hpp"
+#include "apar/analysis/weave_plan.hpp"
+#include "apar/aop/aop.hpp"
+#include "apar/apps/heat_band.hpp"
+#include "apar/cluster/cluster.hpp"
+#include "apar/cluster/middleware.hpp"
+#include "apar/common/config.hpp"
+#include "apar/common/json.hpp"
+#include "apar/concurrency/sync_registry.hpp"
+#include "apar/sieve/versions.hpp"
+#include "apar/strategies/concurrency_aspect.hpp"
+#include "apar/strategies/distribution_aspect.hpp"
+#include "apar/strategies/heartbeat_aspect.hpp"
+
+namespace analysis = apar::analysis;
+namespace aop = apar::aop;
+namespace cluster = apar::cluster;
+namespace common = apar::common;
+namespace concurrency = apar::concurrency;
+namespace sieve = apar::sieve;
+namespace strategies = apar::strategies;
+
+namespace demo {
+
+/// A type src/serial cannot marshal — the distribution hazard seed.
+struct Opaque {
+  void* handle = nullptr;
+};
+
+/// Tiny core class for the broken demo composition.
+class Ledger {
+ public:
+  explicit Ledger(long long opening = 0) : balance_(opening) {}
+
+  void deposit(long long amount) { balance_ += amount; }
+  void put(Opaque token) { (void)token; }
+  [[nodiscard]] long long balance() const { return balance_; }
+
+ private:
+  long long balance_ = 0;
+};
+
+}  // namespace demo
+
+APAR_CLASS_NAME(demo::Ledger, "Ledger");
+APAR_METHOD_NAME(&demo::Ledger::deposit, "deposit");
+APAR_METHOD_NAME(&demo::Ledger::put, "put");
+
+namespace {
+
+analysis::Report analyze_sieve(sieve::Version version) {
+  sieve::SieveConfig config;
+  config.max = 20'000;
+  config.filters = 2;
+  config.pack_size = 2'000;
+  config.nodes = 3;
+  config.node_executors = 2;
+  config.loopback_costs = true;
+  sieve::SieveHarness harness(version, config);
+  return analysis::analyze_weave_plan(harness.context());
+}
+
+analysis::Report analyze_heartbeat() {
+  using Heart =
+      strategies::HeartbeatAspect<apar::apps::HeatBand, long long, long long,
+                                  long long, long long, double>;
+  aop::Context ctx;
+  Heart::Options opts;
+  opts.bands = 2;
+  opts.ctor_args = [](std::size_t i, std::size_t k,
+                      const std::tuple<long long, long long, long long,
+                                       long long, double>& original) {
+    const auto [rows, cols, offset, total, ns] = original;
+    (void)offset;
+    const long long share = rows / static_cast<long long>(k);
+    return std::make_tuple(share, cols,
+                           static_cast<long long>(i) * share, total, ns);
+  };
+  ctx.attach(std::make_shared<Heart>("Heartbeat", std::move(opts)));
+  auto report = analysis::analyze_weave_plan(ctx);
+  ctx.quiesce();
+  return report;
+}
+
+/// The acceptance composition: one aspect set carrying every static defect
+/// class at once, plus a scripted ABBA acquisition for the dynamic check.
+analysis::Report analyze_demo_broken() {
+  aop::Context ctx;
+
+  // (1) Dead pointcut: "Ledger.depositt" — note the typo.
+  auto typo = std::make_shared<aop::Aspect>("Audit");
+  typo->around_call<demo::Ledger, void, long long>(
+      aop::Pattern("Ledger.depositt"), aop::order::kDefault, aop::Scope::any(),
+      [](auto& inv) { return inv.proceed(); });
+  ctx.attach(typo);
+
+  // (2)+(3) Two concurrency aspects guarding the same method: equal order
+  // (kConcurrencySync twice) AND double synchronisation.
+  auto sync_a = std::make_shared<strategies::ConcurrencyAspect<demo::Ledger>>(
+      "SyncA");
+  sync_a->guarded_method<&demo::Ledger::deposit>();
+  auto sync_b = std::make_shared<strategies::ConcurrencyAspect<demo::Ledger>>(
+      "SyncB");
+  sync_b->guarded_method<&demo::Ledger::deposit>();
+  ctx.attach(sync_a);
+  ctx.attach(sync_b);
+
+  // (4) Distribution hazard: put(Opaque) cannot cross the wire.
+  cluster::Cluster::Options copts;
+  copts.nodes = 2;
+  copts.executors_per_node = 1;
+  cluster::Cluster demo_cluster(copts);
+  cluster::RmiMiddleware middleware(demo_cluster,
+                                    cluster::CostModel::loopback());
+  auto dist =
+      std::make_shared<strategies::DistributionAspect<demo::Ledger, long long>>(
+          "Distribution", demo_cluster, middleware);
+  dist->distribute_method<&demo::Ledger::put>();
+  ctx.attach(dist);
+
+  auto report = analysis::analyze_weave_plan(ctx);
+
+  // (5) Dynamic half: plug the lock-order aspect and acquire two monitors
+  // in conflicting orders — the ABBA shape, scripted sequentially so the
+  // demo itself never deadlocks.
+  auto lock_order = std::make_shared<analysis::LockOrderAspect>();
+  ctx.attach(lock_order);
+  {
+    concurrency::SyncRegistry monitors;
+    demo::Ledger a(1), b(2);
+    {
+      auto first = monitors.acquire(&a);
+      auto second = monitors.acquire(&b);
+    }
+    {
+      auto first = monitors.acquire(&b);
+      auto second = monitors.acquire(&a);
+    }
+  }
+  report.merge(lock_order->report());
+  ctx.detach(lock_order->name());
+
+  ctx.quiesce();
+  return report;
+}
+
+using Builder = std::function<analysis::Report()>;
+
+std::vector<std::pair<std::string, Builder>> all_compositions() {
+  std::vector<std::pair<std::string, Builder>> out;
+  out.emplace_back("sieve:Sequential",
+                   [] { return analyze_sieve(sieve::Version::kSequential); });
+  for (const sieve::Version v : sieve::extended_versions()) {
+    out.emplace_back("sieve:" + std::string(sieve::version_name(v)),
+                     [v] { return analyze_sieve(v); });
+  }
+  out.emplace_back("heat:heartbeat", [] { return analyze_heartbeat(); });
+  return out;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--threshold=info|warning|error] [--json FILE] "
+               "[--list] [composition ...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::Config cli(argc, argv);
+
+  const auto threshold =
+      analysis::parse_severity(cli.get("threshold", "warning"));
+  if (!threshold) {
+    std::fprintf(stderr, "apar-analyze: bad --threshold value '%s'\n",
+                 cli.get("threshold").c_str());
+    return usage(argv[0]);
+  }
+
+  auto clean = all_compositions();
+  if (cli.get_bool("list", false)) {
+    for (const auto& [name, build] : clean) std::printf("%s\n", name.c_str());
+    std::printf("demo-broken\n");
+    return 0;
+  }
+
+  // Resolve the requested compositions (default: every clean one).
+  std::vector<std::pair<std::string, Builder>> selected;
+  if (cli.positional().empty()) {
+    selected = clean;
+  } else {
+    for (const std::string& want : cli.positional()) {
+      if (want == "demo-broken") {
+        selected.emplace_back(want, [] { return analyze_demo_broken(); });
+        continue;
+      }
+      bool found = false;
+      for (const auto& [name, build] : clean) {
+        if (name == want) {
+          selected.emplace_back(name, build);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "apar-analyze: unknown composition '%s'\n",
+                     want.c_str());
+        return usage(argv[0]);
+      }
+    }
+  }
+
+  std::size_t gating = 0;
+  std::size_t total = 0;
+  std::string json = "{\n  \"threshold\": \"" +
+                     std::string(analysis::severity_name(*threshold)) +
+                     "\",\n  \"compositions\": [";
+  bool first = true;
+  for (const auto& [name, build] : selected) {
+    const analysis::Report report = build();
+    total += report.size();
+    gating += report.count_at_least(*threshold);
+
+    std::printf("== %s: %zu finding(s) ==\n", name.c_str(), report.size());
+    if (!report.empty()) std::printf("%s\n", report.table(2).c_str());
+
+    if (!first) json += ",";
+    first = false;
+    json += "\n    {\"name\": \"" + common::json_escape(name) +
+            "\", \"report\": " + report.json() + "}";
+  }
+  json += first ? "],\n" : "\n  ],\n";
+  json += "  \"total\": " + common::json_number(double(total)) +
+          ",\n  \"at_or_above_threshold\": " +
+          common::json_number(double(gating)) + "\n}\n";
+
+  if (cli.has("json")) {
+    const std::string path = cli.get("json");
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "apar-analyze: cannot write %s\n", path.c_str());
+      return 2;
+    }
+  }
+
+  std::printf("%zu finding(s) total, %zu at or above threshold '%s'\n", total,
+              gating, analysis::severity_name(*threshold).data());
+  return gating > 0 ? 1 : 0;
+}
