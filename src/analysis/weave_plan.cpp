@@ -134,11 +134,22 @@ Report analyze_weave_plan(const aop::Context& context) {
                  .value_or(false);
       }
       if (!ok) {
-        report.add({FindingKind::kDistributionHazard, Severity::kError,
+        // Against a simulated middleware an unencodable argument is
+        // advisory — the call still throws, but only if it actually goes
+        // remote. When the advice targets a real wire transport (TCP),
+        // encodability is a precondition for the call leaving the process
+        // at all, so the hazard is an error.
+        const bool mandatory = r.advice->wire_mandatory();
+        report.add({FindingKind::kDistributionHazard,
+                    mandatory ? Severity::kError : Severity::kWarning,
                     r.aspect->name() + "/" + r.advice->pattern().str(),
                     "argument type '" + arg.type_name +
-                        "' is not wire-serializable: the call works "
-                        "locally but throws on remote dispatch"});
+                        "' is not wire-serializable: " +
+                        (mandatory
+                             ? "the target middleware is a real wire "
+                               "transport, so remote dispatch is impossible"
+                             : "the call works locally but throws on "
+                               "remote dispatch")});
       }
     }
   }

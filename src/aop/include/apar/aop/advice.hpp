@@ -112,12 +112,20 @@ class AdviceBase {
 
   /// Declare that this advice marshals the join point's arguments (and
   /// result) onto a wire, listing each type it would have to encode.
-  AdviceBase& mark_distributes(std::vector<WireArg> args) {
+  /// `wire_mandatory` distinguishes a real wire (TCP: encoding MUST work or
+  /// the call cannot leave the process) from the in-process simulation
+  /// (encoding failures are a fidelity gap, not a correctness bug); the
+  /// weave-plan analyzer grades unserializable-argument hazards
+  /// accordingly.
+  AdviceBase& mark_distributes(std::vector<WireArg> args,
+                               bool wire_mandatory = false) {
     distributes_ = true;
     wire_args_ = std::move(args);
+    wire_mandatory_ = wire_mandatory;
     return *this;
   }
   [[nodiscard]] bool distributes() const { return distributes_; }
+  [[nodiscard]] bool wire_mandatory() const { return wire_mandatory_; }
   [[nodiscard]] const std::vector<WireArg>& wire_args() const {
     return wire_args_;
   }
@@ -130,6 +138,7 @@ class AdviceBase {
   Scope scope_;
   bool acquires_monitor_ = false;
   bool distributes_ = false;
+  bool wire_mandatory_ = false;
   std::vector<WireArg> wire_args_;
 };
 

@@ -1,0 +1,57 @@
+#include "apar/cluster/dispatcher.hpp"
+
+namespace apar::cluster {
+
+Dispatcher::Dispatcher(const rpc::Registry& registry, std::string label)
+    : registry_(registry), label_(std::move(label)) {}
+
+ObjectId Dispatcher::create(std::string_view class_name,
+                            serial::Reader& ctor_args) {
+  const rpc::ClassEntry& cls = registry_.find(class_name);
+  std::shared_ptr<void> instance = cls.construct(ctor_args);
+  const ObjectId oid = next_object_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(table_mutex_);
+    table_[oid] = Entry{std::move(instance), &cls};
+  }
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  return oid;
+}
+
+std::vector<std::byte> Dispatcher::call(ObjectId object,
+                                        std::string_view method,
+                                        serial::Reader& args,
+                                        serial::Format format) {
+  Entry entry;
+  {
+    std::lock_guard lock(table_mutex_);
+    auto it = table_.find(object);
+    if (it == table_.end())
+      throw rpc::RpcError(label_ + ": no object " + std::to_string(object));
+    entry = it->second;
+  }
+  const auto& m = entry.cls->method(method);
+
+  serial::Writer out(format);
+  {
+    // Per-object monitor: one call at a time per hosted object, like the
+    // paper's single-threaded MPP server loop per object.
+    auto guard = monitors_.acquire(entry.instance.get());
+    m.invoke(entry.instance.get(), args, out);
+  }
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  return out.take();
+}
+
+std::size_t Dispatcher::object_count() const {
+  std::lock_guard lock(table_mutex_);
+  return table_.size();
+}
+
+std::shared_ptr<void> Dispatcher::object(ObjectId id) const {
+  std::lock_guard lock(table_mutex_);
+  auto it = table_.find(id);
+  return it == table_.end() ? nullptr : it->second.instance;
+}
+
+}  // namespace apar::cluster

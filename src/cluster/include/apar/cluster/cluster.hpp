@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "apar/cluster/cost_model.hpp"
+#include "apar/cluster/fabric.hpp"
 #include "apar/cluster/ids.hpp"
 #include "apar/cluster/name_server.hpp"
 #include "apar/cluster/node.hpp"
@@ -19,7 +20,9 @@ namespace apar::cluster {
 /// The simulated distributed machine: N nodes, a name server, and a shared
 /// RPC registry. Substitutes the paper's 7-machine Gigabit cluster; see
 /// DESIGN.md ("Substitutions") for why relative timing shapes survive.
-class Cluster {
+/// Implements Fabric so the distribution aspect is oblivious to whether it
+/// targets these in-process nodes or real servers over net::TcpFabric.
+class Cluster : public Fabric {
  public:
   struct Options {
     std::size_t nodes = 7;           ///< paper: seven dedicated machines
@@ -28,16 +31,20 @@ class Cluster {
 
   Cluster() : Cluster(Options{}) {}
   explicit Cluster(Options options);
-  ~Cluster();
+  ~Cluster() override;
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t size() const override { return nodes_.size(); }
   [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
   [[nodiscard]] rpc::Registry& registry() { return registry_; }
   [[nodiscard]] const rpc::Registry& registry() const { return registry_; }
   [[nodiscard]] NameServer& name_server() { return name_server_; }
+
+  void bind_name(std::string name, RemoteHandle handle) override {
+    name_server_.bind(std::move(name), handle);
+  }
 
   /// Route a message to its destination node.
   bool route(Message msg);
@@ -54,7 +61,7 @@ class Cluster {
 
   /// Block until every one-way request has executed; rethrows the first
   /// one-way error as rpc::RpcError.
-  void drain();
+  void drain() override;
 
   /// Stop all nodes (drains mailboxes first).
   void shutdown();

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "apar/cluster/ids.hpp"
+
+namespace apar::cluster {
+
+/// The distribution aspect's view of "the machines out there", independent
+/// of whether they are simulated in-process nodes (Cluster) or real remote
+/// servers reached over TCP (net::TcpFabric). The aspect only ever needs
+/// three things from the fabric: how many placement targets exist, how to
+/// publish a name binding (the Figure-14 "PS<n>" registry dance), and how
+/// to wait for outstanding one-way traffic at quiesce.
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  /// Number of placement targets (NodeIds are indices into [0, size())).
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Publish `handle` under `name` in whatever name service this fabric
+  /// uses; re-binding a name replaces it.
+  virtual void bind_name(std::string name, RemoteHandle handle) = 0;
+
+  /// Block until every one-way request issued through this fabric has
+  /// executed; rethrows the first asynchronous failure.
+  virtual void drain() = 0;
+};
+
+}  // namespace apar::cluster

@@ -108,6 +108,9 @@ class FaultInjectingMiddleware final : public Middleware {
   [[nodiscard]] const CostModel& costs() const override {
     return inner_.costs();
   }
+  [[nodiscard]] bool wire_transport() const override {
+    return inner_.wire_transport();
+  }
   Middleware& route_for(std::string_view method) override {
     (void)method;
     return *this;  // keep routed calls inside the fault layer

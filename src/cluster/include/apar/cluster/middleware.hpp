@@ -19,6 +19,12 @@
 namespace apar::cluster {
 
 /// Traffic counters, maintained by every middleware implementation.
+/// Every implementation accounts BOTH directions at the same seam: the
+/// marshalled request payload it puts on the (simulated or real) wire goes
+/// into bytes_sent, and whatever payload comes back — a sync reply, a
+/// degraded one-way's echoed reply, or a transport ack — into
+/// bytes_received. tests/cluster/test_middleware_stats.cpp asserts this
+/// parity for every shipped implementation.
 struct MiddlewareStats {
   std::atomic<std::uint64_t> creates{0};
   std::atomic<std::uint64_t> sync_calls{0};
@@ -26,6 +32,56 @@ struct MiddlewareStats {
   std::atomic<std::uint64_t> bytes_sent{0};
   std::atomic<std::uint64_t> bytes_received{0};
   std::atomic<std::uint64_t> lookups{0};
+
+  /// Copyable point-in-time view. The atomic struct itself cannot be
+  /// copied, which previously forced aggregators (HybridMiddleware) to
+  /// sum field-by-field — a new counter silently vanished from the
+  /// aggregate. snapshot()/store() are now the single place that
+  /// enumerates the fields.
+  struct Snapshot {
+    std::uint64_t creates = 0;
+    std::uint64_t sync_calls = 0;
+    std::uint64_t one_way_calls = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t lookups = 0;
+
+    Snapshot& operator+=(const Snapshot& other) {
+      creates += other.creates;
+      sync_calls += other.sync_calls;
+      one_way_calls += other.one_way_calls;
+      bytes_sent += other.bytes_sent;
+      bytes_received += other.bytes_received;
+      lookups += other.lookups;
+      return *this;
+    }
+    friend Snapshot operator+(Snapshot a, const Snapshot& b) {
+      a += b;
+      return a;
+    }
+    friend bool operator==(const Snapshot&, const Snapshot&) = default;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const {
+    Snapshot s;
+    s.creates = creates.load(std::memory_order_relaxed);
+    s.sync_calls = sync_calls.load(std::memory_order_relaxed);
+    s.one_way_calls = one_way_calls.load(std::memory_order_relaxed);
+    s.bytes_sent = bytes_sent.load(std::memory_order_relaxed);
+    s.bytes_received = bytes_received.load(std::memory_order_relaxed);
+    s.lookups = lookups.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// Overwrite the counters from a snapshot (aggregation views only).
+  void store(const Snapshot& s) {
+    creates.store(s.creates, std::memory_order_relaxed);
+    sync_calls.store(s.sync_calls, std::memory_order_relaxed);
+    one_way_calls.store(s.one_way_calls, std::memory_order_relaxed);
+    bytes_sent.store(s.bytes_sent, std::memory_order_relaxed);
+    bytes_received.store(s.bytes_received, std::memory_order_relaxed);
+    lookups.store(s.lookups, std::memory_order_relaxed);
+  }
 };
 
 /// Client-side middleware interface — the seam that lets the distribution
@@ -63,6 +119,14 @@ class Middleware {
 
   [[nodiscard]] virtual const MiddlewareStats& stats() const = 0;
   [[nodiscard]] virtual const CostModel& costs() const = 0;
+
+  /// True when calls leave the process over a real wire (sockets). For
+  /// wire transports, argument serializability is a hard requirement, not
+  /// a simulation convenience — the weave-plan analysis escalates
+  /// unserializable-argument hazards from warning to error when the advice
+  /// targets such a middleware. Decorators delegate to their inner
+  /// middleware; hybrids answer true if either backend does.
+  [[nodiscard]] virtual bool wire_transport() const { return false; }
 
   /// Which middleware actually carries calls to `method` ("new" for
   /// creations). Plain middlewares return themselves; a hybrid returns one
@@ -205,32 +269,19 @@ class HybridMiddleware final : public Middleware {
 
   /// Aggregated view over BOTH backends. Reporting only the control side
   /// silently undercounts hybrid traffic — the fast path is where the bulk
-  /// of the bytes go. Per-backend breakdowns remain available through
-  /// control().stats() / fast().stats().
+  /// of the bytes go. Snapshot-based so the aggregation enumerates fields
+  /// in exactly one place (MiddlewareStats::snapshot / store) and cannot
+  /// drift when a counter is added. Per-backend breakdowns remain
+  /// available through control().stats() / fast().stats().
   [[nodiscard]] const MiddlewareStats& stats() const override {
-    const MiddlewareStats& c = control_.stats();
-    const MiddlewareStats& f = fast_.stats();
-    const auto sum = [](const std::atomic<std::uint64_t>& a,
-                       const std::atomic<std::uint64_t>& b) {
-      return a.load(std::memory_order_relaxed) +
-             b.load(std::memory_order_relaxed);
-    };
-    agg_stats_.creates.store(sum(c.creates, f.creates),
-                             std::memory_order_relaxed);
-    agg_stats_.sync_calls.store(sum(c.sync_calls, f.sync_calls),
-                                std::memory_order_relaxed);
-    agg_stats_.one_way_calls.store(sum(c.one_way_calls, f.one_way_calls),
-                                   std::memory_order_relaxed);
-    agg_stats_.bytes_sent.store(sum(c.bytes_sent, f.bytes_sent),
-                                std::memory_order_relaxed);
-    agg_stats_.bytes_received.store(sum(c.bytes_received, f.bytes_received),
-                                    std::memory_order_relaxed);
-    agg_stats_.lookups.store(sum(c.lookups, f.lookups),
-                             std::memory_order_relaxed);
+    agg_stats_.store(control_.stats().snapshot() + fast_.stats().snapshot());
     return agg_stats_;
   }
   [[nodiscard]] const CostModel& costs() const override {
     return control_.costs();
+  }
+  [[nodiscard]] bool wire_transport() const override {
+    return control_.wire_transport() || fast_.wire_transport();
   }
 
   [[nodiscard]] Middleware& control() { return control_; }

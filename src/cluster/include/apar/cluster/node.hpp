@@ -3,16 +3,14 @@
 #include <atomic>
 #include <cstddef>
 #include <functional>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "apar/cluster/dispatcher.hpp"
 #include "apar/cluster/ids.hpp"
 #include "apar/cluster/message.hpp"
 #include "apar/cluster/rpc.hpp"
-#include "apar/concurrency/sync_registry.hpp"
 #include "apar/concurrency/work_queue.hpp"
 
 namespace apar::obs {
@@ -25,13 +23,15 @@ namespace apar::cluster {
 class Cluster;
 
 /// One simulated compute node: a mailbox, a small executor pool (default 4,
-/// matching the paper's dual-Xeon-with-HyperThreading machines), and an
-/// object table holding remotely created instances.
+/// matching the paper's dual-Xeon-with-HyperThreading machines), and a
+/// Dispatcher holding remotely created instances.
 ///
-/// Executors charge each message's wire cost before dispatching it, and
-/// take a per-object monitor during execution — mirroring the paper's MPP
-/// server loop (Figure 15), which serves each object from a single receive
-/// loop and therefore never runs two calls on one object concurrently.
+/// Executors charge each message's wire cost before handing it to the
+/// shared transport-agnostic Dispatcher, which takes a per-object monitor
+/// during execution — mirroring the paper's MPP server loop (Figure 15),
+/// which serves each object from a single receive loop and therefore never
+/// runs two calls on one object concurrently. net::TcpServer drives the
+/// same Dispatcher from real socket connections.
 class Node {
  public:
   Node(Cluster& cluster, NodeId id, const rpc::Registry& registry,
@@ -68,8 +68,11 @@ class Node {
 
   // --- statistics ---------------------------------------------------------
   [[nodiscard]] std::uint64_t executed_calls() const {
-    return executed_.load(std::memory_order_relaxed);
+    return dispatcher_.executed_calls();
   }
+
+  /// The shared request-dispatch path (object table + per-object monitors).
+  [[nodiscard]] Dispatcher& dispatcher() { return dispatcher_; }
 
  private:
   void executor_loop();
@@ -77,24 +80,13 @@ class Node {
   void handle_create(Message& msg);
   void handle_call(Message& msg);
 
-  struct Entry {
-    std::shared_ptr<void> instance;
-    const rpc::ClassEntry* cls = nullptr;
-  };
-
   Cluster& cluster_;
   NodeId id_;
-  const rpc::Registry& registry_;
+  Dispatcher dispatcher_;
 
   concurrency::WorkQueue<Message> mailbox_;
   std::vector<std::thread> executors_;
 
-  mutable std::mutex table_mutex_;
-  std::map<ObjectId, Entry> table_;
-  std::atomic<ObjectId> next_object_{1};
-
-  concurrency::SyncRegistry monitors_;
-  std::atomic<std::uint64_t> executed_{0};
   std::atomic<bool> stopped_{false};
   std::atomic<bool> crashed_{false};
 

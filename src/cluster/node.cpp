@@ -10,7 +10,9 @@ namespace apar::cluster {
 
 Node::Node(Cluster& cluster, NodeId id, const rpc::Registry& registry,
            std::size_t executors)
-    : cluster_(cluster), id_(id), registry_(registry) {
+    : cluster_(cluster),
+      id_(id),
+      dispatcher_(registry, "node " + std::to_string(id)) {
   if (executors == 0) executors = 1;
   if (obs::metrics_enabled()) {
     mailbox_.enable_metrics("node" + std::to_string(id_) + ".mailbox");
@@ -28,15 +30,10 @@ Node::~Node() { shutdown(); }
 
 bool Node::deliver(Message msg) { return mailbox_.push(std::move(msg)); }
 
-std::size_t Node::object_count() const {
-  std::lock_guard lock(table_mutex_);
-  return table_.size();
-}
+std::size_t Node::object_count() const { return dispatcher_.object_count(); }
 
 std::shared_ptr<void> Node::object(ObjectId id) const {
-  std::lock_guard lock(table_mutex_);
-  auto it = table_.find(id);
-  return it == table_.end() ? nullptr : it->second.instance;
+  return dispatcher_.object(id);
 }
 
 void Node::shutdown() {
@@ -102,41 +99,15 @@ void Node::handle(Message& msg) {
 }
 
 void Node::handle_create(Message& msg) {
-  const rpc::ClassEntry& cls = registry_.find(msg.class_name);
   serial::Reader in(msg.payload, msg.format);
-  std::shared_ptr<void> instance = cls.construct(in);
-  const ObjectId oid = next_object_.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::lock_guard lock(table_mutex_);
-    table_[oid] = Entry{std::move(instance), &cls};
-  }
-  executed_.fetch_add(1, std::memory_order_relaxed);
   Reply reply;
-  reply.object = oid;
+  reply.object = dispatcher_.create(msg.class_name, in);
   msg.reply_to->set_value(std::move(reply));
 }
 
 void Node::handle_call(Message& msg) {
-  Entry entry;
-  {
-    std::lock_guard lock(table_mutex_);
-    auto it = table_.find(msg.object);
-    if (it == table_.end())
-      throw rpc::RpcError("node " + std::to_string(id_) + ": no object " +
-                          std::to_string(msg.object));
-    entry = it->second;
-  }
-  const auto& method = entry.cls->method(msg.method);
-
   serial::Reader in(msg.payload, msg.format);
-  serial::Writer out(msg.format);
-  {
-    // Per-object monitor: one call at a time per hosted object, like the
-    // paper's single-threaded MPP server loop per object.
-    auto guard = monitors_.acquire(entry.instance.get());
-    method.invoke(entry.instance.get(), in, out);
-  }
-  executed_.fetch_add(1, std::memory_order_relaxed);
+  auto out = dispatcher_.call(msg.object, msg.method, in, msg.format);
 
   if (msg.reply_to) {
     Reply reply;
@@ -147,7 +118,7 @@ void Node::handle_call(Message& msg) {
     if (crashed_.load(std::memory_order_relaxed)) {
       reply.error = "node " + std::to_string(id_) + " crashed during call";
     } else {
-      reply.payload = out.take();
+      reply.payload = std::move(out);
     }
     msg.reply_to->set_value(std::move(reply));
   } else {

@@ -1,0 +1,55 @@
+#include "apar/net/connection_pool.hpp"
+
+namespace apar::net {
+
+ConnectionPool::Checkout ConnectionPool::acquire(const Endpoint& endpoint,
+                                                 Deadline deadline) {
+  for (;;) {
+    Socket candidate;
+    {
+      std::lock_guard lock(mutex_);
+      auto it = idle_.find(endpoint);
+      if (it == idle_.end() || it->second.empty()) break;
+      candidate = std::move(it->second.back());
+      it->second.pop_back();
+    }
+    // Validate outside the lock: idle_and_healthy polls the fd.
+    if (candidate.idle_and_healthy()) {
+      std::lock_guard lock(mutex_);
+      ++stats_.reuses;
+      return {std::move(candidate), true};
+    }
+    std::lock_guard lock(mutex_);
+    ++stats_.discards;
+  }
+  Socket fresh = dial(endpoint, deadline);
+  std::lock_guard lock(mutex_);
+  ++stats_.dials;
+  return {std::move(fresh), false};
+}
+
+void ConnectionPool::give_back(const Endpoint& endpoint, Socket socket) {
+  if (!socket.valid()) return;
+  std::lock_guard lock(mutex_);
+  auto& bucket = idle_[endpoint];
+  if (bucket.size() >= max_idle_) return;  // socket closes on destruction
+  bucket.push_back(std::move(socket));
+}
+
+void ConnectionPool::clear() {
+  std::lock_guard lock(mutex_);
+  idle_.clear();
+}
+
+ConnectionPool::Stats ConnectionPool::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::size_t ConnectionPool::idle_count(const Endpoint& endpoint) const {
+  std::lock_guard lock(mutex_);
+  auto it = idle_.find(endpoint);
+  return it == idle_.end() ? 0 : it->second.size();
+}
+
+}  // namespace apar::net

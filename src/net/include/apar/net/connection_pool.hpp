@@ -1,0 +1,62 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "apar/net/socket.hpp"
+
+namespace apar::net {
+
+/// Per-endpoint pool of idle TCP connections. Checkout order:
+///
+///   1. Pop an idle connection for the endpoint and poll-validate it
+///      (Socket::idle_and_healthy). Stale connections — the server
+///      restarted, or the peer pushed unexpected bytes — are discarded,
+///      not repaired.
+///   2. No healthy idle connection: dial a new one before `deadline`.
+///
+/// Callers return healthy connections with give_back() after a complete
+/// request/reply exchange; a connection in an unknown state (an exchange
+/// failed mid-way) must simply be dropped, which closes it.
+class ConnectionPool {
+ public:
+  struct Stats {
+    std::uint64_t dials = 0;    ///< fresh connections established
+    std::uint64_t reuses = 0;   ///< healthy idle connections handed out
+    std::uint64_t discards = 0; ///< stale idle connections thrown away
+  };
+
+  explicit ConnectionPool(std::size_t max_idle_per_endpoint = 8)
+      : max_idle_(max_idle_per_endpoint) {}
+
+  /// What acquire() handed out: the connection plus whether it was a
+  /// reused idle one (callers count fresh dials as connects/reconnects).
+  struct Checkout {
+    Socket socket;
+    bool reused = false;
+  };
+
+  /// Get a connection to `endpoint`, reusing an idle one when possible.
+  Checkout acquire(const Endpoint& endpoint, Deadline deadline);
+
+  /// Return a connection that completed its exchange cleanly. Beyond the
+  /// per-endpoint idle cap the connection is closed instead.
+  void give_back(const Endpoint& endpoint, Socket socket);
+
+  /// Drop every idle connection.
+  void clear();
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t idle_count(const Endpoint& endpoint) const;
+
+ private:
+  const std::size_t max_idle_;
+  mutable std::mutex mutex_;
+  std::map<Endpoint, std::vector<Socket>> idle_;
+  Stats stats_;
+};
+
+}  // namespace apar::net

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace apar::net {
+
+/// Transport-layer failure taxonomy. Every socket-level problem a caller
+/// can see surfaces as a NetError with a Kind, so tests and retry policy
+/// can branch on WHAT failed (connect vs deadline vs peer-close vs
+/// malformed frame) without parsing message text.
+///
+/// Application-level failures — the server executed the request and it
+/// threw — are NOT NetErrors; they come back as rpc::RpcError carrying the
+/// server's message, exactly like the simulated middleware.
+class NetError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kConnect,   ///< could not establish a connection
+    kTimeout,   ///< deadline expired while connecting, sending or receiving
+    kClosed,    ///< peer closed the connection mid-exchange
+    kProtocol,  ///< malformed frame (bad magic/version/length)
+    kIo,        ///< other socket error (ECONNRESET, EPIPE, ...)
+  };
+
+  NetError(Kind kind, const std::string& message)
+      : std::runtime_error(message), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+  [[nodiscard]] static const char* kind_name(Kind kind) {
+    switch (kind) {
+      case Kind::kConnect: return "connect";
+      case Kind::kTimeout: return "timeout";
+      case Kind::kClosed: return "closed";
+      case Kind::kProtocol: return "protocol";
+      case Kind::kIo: return "io";
+    }
+    return "unknown";
+  }
+
+ private:
+  Kind kind_;
+};
+
+}  // namespace apar::net

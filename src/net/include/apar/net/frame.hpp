@@ -1,0 +1,108 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apar/serial/archive.hpp"
+
+namespace apar::net {
+
+/// Length-prefixed wire framing for the TCP transport.
+///
+/// Every message is one frame: an 18-byte fixed header followed by
+/// `payload_len` payload bytes. All header integers are little-endian and
+/// written byte-by-byte (never memcpy'd from host structs), so the frame
+/// bytes are identical on every platform — tests/net/test_frame.cpp pins
+/// them as golden vectors.
+///
+///   offset  size  field
+///   ------  ----  -----------------------------------------------
+///        0     2  magic 0x5041 ("AP" when read as LE u16)
+///        2     1  protocol version (kProtocolVersion)
+///        3     1  serial::Format of the payload (0 compact, 1 verbose)
+///        4     1  Op
+///        5     1  flags (reserved, must be 0)
+///        6     4  payload length in bytes (u32 LE)
+///       10     8  request id (u64 LE) — echoed verbatim in the reply
+///
+/// The payload of request ops starts with a fixed *envelope* (object ids
+/// and method/class names, encoded with the explicit LE helpers below,
+/// independent of the serial format) followed by the serial-encoded
+/// argument bytes in the header's declared format. Keeping the envelope
+/// out of serial::Writer means the server can route a frame without
+/// knowing how to decode its arguments.
+struct FrameHeader {
+  static constexpr std::uint16_t kMagic = 0x5041;  // "AP" little-endian
+  static constexpr std::uint8_t kProtocolVersion = 1;
+  static constexpr std::size_t kSize = 18;
+  /// Upper bound on payload_len; a peer announcing more is treated as a
+  /// protocol error rather than an allocation request.
+  static constexpr std::uint32_t kMaxPayload = 64u * 1024u * 1024u;
+
+  enum class Op : std::uint8_t {
+    kCreate = 1,      ///< construct a registered class on the server
+    kCall = 2,        ///< synchronous method invocation
+    kOneWay = 3,      ///< method invocation answered by an empty ack
+    kLookup = 4,      ///< name-server lookup
+    kBind = 5,        ///< name-server bind
+    kReplyOk = 6,     ///< success reply; payload depends on the request op
+    kReplyError = 7,  ///< failure reply; payload is the UTF-8 error message
+  };
+
+  serial::Format format = serial::Format::kCompact;
+  Op op = Op::kCall;
+  std::uint8_t flags = 0;
+  std::uint32_t payload_len = 0;
+  std::uint64_t request_id = 0;
+};
+
+/// Render a header into its canonical 18 bytes.
+std::array<std::byte, FrameHeader::kSize> encode_header(
+    const FrameHeader& header);
+
+/// Parse and validate 18 header bytes. Throws NetError{kProtocol} on bad
+/// magic, unsupported version, unknown op/format, nonzero flags, or a
+/// payload length above kMaxPayload.
+FrameHeader decode_header(const std::byte* data, std::size_t size);
+
+// --- envelope helpers -----------------------------------------------------
+// Explicit little-endian scalars and u16-length-prefixed strings used for
+// the request envelopes, independent of serial::Format.
+
+void put_u16(std::vector<std::byte>& out, std::uint16_t v);
+void put_u32(std::vector<std::byte>& out, std::uint32_t v);
+void put_u64(std::vector<std::byte>& out, std::uint64_t v);
+void put_string(std::vector<std::byte>& out, std::string_view s);
+
+/// Sequential envelope reader over a payload. Throws NetError{kProtocol}
+/// when a read runs past the end.
+class EnvelopeReader {
+ public:
+  EnvelopeReader(const std::byte* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit EnvelopeReader(const std::vector<std::byte>& buf)
+      : EnvelopeReader(buf.data(), buf.size()) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::string string();
+
+  /// Pointer/size of the unread tail (the serial-encoded argument bytes).
+  [[nodiscard]] const std::byte* rest_data() const { return data_ + pos_; }
+  [[nodiscard]] std::size_t rest_size() const { return size_ - pos_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  const std::byte* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace apar::net

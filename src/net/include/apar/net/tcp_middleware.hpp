@@ -1,0 +1,185 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apar/cluster/fabric.hpp"
+#include "apar/cluster/middleware.hpp"
+#include "apar/net/connection_pool.hpp"
+#include "apar/net/frame.hpp"
+#include "apar/net/socket.hpp"
+
+namespace apar::obs {
+class Counter;
+class Histogram;
+}  // namespace apar::obs
+
+namespace apar::net {
+
+/// cluster::Middleware over real TCP sockets — the point of the subsystem:
+/// DistributionAspect, FaultInjectingMiddleware and HybridMiddleware
+/// compose over it unchanged, because the aspect seam only ever sees the
+/// Middleware interface.
+///
+/// NodeId maps to Options::endpoints by index, so the aspect's placement
+/// policies (round-robin, random) spread objects across real servers the
+/// same way they spread them across simulated nodes. Name bindings and
+/// lookups go to endpoints[0], the designated registry server (the RMI
+/// registry analogue).
+///
+/// Failure semantics:
+///   - Transport problems throw NetError (connect/timeout/closed/...).
+///   - Server-side execution failures throw rpc::RpcError with the
+///     server's message, exactly like the simulated middleware.
+///   - Only LOOKUPS retry: they are idempotent, so a retry after a lost
+///     reply cannot double-execute anything. Retries use bounded
+///     exponential backoff and reconnect through the pool. Creations and
+///     calls are NOT retried — a lost reply leaves "did it execute?"
+///     ambiguous, and surfacing that as NetError is the honest answer.
+class TcpMiddleware final : public cluster::Middleware {
+ public:
+  struct Options {
+    /// Placement targets; NodeId n dispatches to endpoints[n]. Must be
+    /// non-empty. endpoints[0] doubles as the name registry.
+    std::vector<Endpoint> endpoints;
+    serial::Format format = serial::Format::kCompact;
+    /// Advertise one-way support. One-ways still read the server's empty
+    /// ack frame, which keeps the connection state unambiguous and makes
+    /// TcpFabric::drain() a no-op.
+    bool one_way = true;
+    std::chrono::milliseconds connect_deadline{2000};
+    std::chrono::milliseconds io_deadline{5000};
+    std::size_t max_lookup_retries = 3;
+    std::chrono::milliseconds backoff_initial{10};
+    std::chrono::milliseconds backoff_max{500};
+    std::string name = "TCP";
+  };
+
+  /// Wire-level accounting (frame bytes INCLUDING headers; the inherited
+  /// MiddlewareStats counts payload bytes only, mirroring what the
+  /// simulated middlewares charge). Copyable snapshot.
+  struct NetCounters {
+    std::uint64_t connects = 0;     ///< fresh dials
+    std::uint64_t reconnects = 0;   ///< dials after the first, per endpoint
+    std::uint64_t retries = 0;      ///< lookup retry attempts
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t wire_bytes_sent = 0;
+    std::uint64_t wire_bytes_received = 0;
+  };
+
+  explicit TcpMiddleware(Options options);
+
+  // --- Middleware interface ----------------------------------------------
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] serial::Format wire_format() const override {
+    return options_.format;
+  }
+  [[nodiscard]] bool supports_one_way() const override {
+    return options_.one_way;
+  }
+  [[nodiscard]] bool wire_transport() const override { return true; }
+
+  cluster::RemoteHandle create(cluster::NodeId node,
+                               std::string_view class_name,
+                               std::vector<std::byte> ctor_args) override;
+  std::vector<std::byte> invoke(const cluster::RemoteHandle& target,
+                                std::string_view method,
+                                std::vector<std::byte> args) override;
+  void invoke_one_way(const cluster::RemoteHandle& target,
+                      std::string_view method,
+                      std::vector<std::byte> args) override;
+  std::optional<cluster::RemoteHandle> lookup(std::string_view name) override;
+
+  [[nodiscard]] const cluster::MiddlewareStats& stats() const override {
+    return stats_;
+  }
+  [[nodiscard]] const cluster::CostModel& costs() const override {
+    return costs_;
+  }
+
+  // --- TCP-specific surface ----------------------------------------------
+
+  /// Publish a binding on the registry server (endpoints[0]).
+  void bind_name(std::string name, cluster::RemoteHandle handle);
+
+  [[nodiscard]] const std::vector<Endpoint>& endpoints() const {
+    return options_.endpoints;
+  }
+  [[nodiscard]] NetCounters net_counters() const;
+  [[nodiscard]] ConnectionPool& pool() { return pool_; }
+
+ private:
+  struct Exchange {
+    FrameHeader header;
+    std::vector<std::byte> payload;
+  };
+
+  /// One framed request/reply over a pooled connection. Throws NetError
+  /// on transport failure (the connection is dropped, not returned) and
+  /// rpc::RpcError when the server answered kReplyError.
+  Exchange roundtrip(std::size_t endpoint_index, FrameHeader::Op op,
+                     std::vector<std::byte> payload);
+
+  const Endpoint& endpoint_for(cluster::NodeId node) const;
+
+  Options options_;
+  std::string name_;
+  cluster::CostModel costs_{};  ///< TCP costs are real; nothing is charged
+  cluster::MiddlewareStats stats_;
+  ConnectionPool pool_;
+  std::atomic<std::uint64_t> next_request_id_{1};
+  /// Per-endpoint "ever dialed" flags: a dial after the first is a
+  /// reconnect (the previous connection went away).
+  std::unique_ptr<std::atomic<bool>[]> dialed_;
+
+  struct AtomicNetCounters {
+    std::atomic<std::uint64_t> connects{0};
+    std::atomic<std::uint64_t> reconnects{0};
+    std::atomic<std::uint64_t> retries{0};
+    std::atomic<std::uint64_t> frames_sent{0};
+    std::atomic<std::uint64_t> frames_received{0};
+    std::atomic<std::uint64_t> wire_bytes_sent{0};
+    std::atomic<std::uint64_t> wire_bytes_received{0};
+  };
+  AtomicNetCounters net_;
+
+  /// Per-endpoint registry mirrors, indexed like endpoints; empty unless
+  /// obs::metrics_enabled() at construction. Labelled
+  /// {"endpoint": "<host:port>"}.
+  struct EndpointProbes {
+    std::shared_ptr<obs::Counter> connects;
+    std::shared_ptr<obs::Counter> reconnects;
+    std::shared_ptr<obs::Counter> retries;
+    std::shared_ptr<obs::Counter> bytes_sent;
+    std::shared_ptr<obs::Counter> bytes_received;
+    std::shared_ptr<obs::Histogram> rtt_us;
+  };
+  std::vector<EndpointProbes> probes_;
+};
+
+/// The distribution aspect's placement view over a set of TCP servers.
+/// size() is how many endpoints exist, bind_name publishes to the
+/// registry server, and drain() is a no-op because every one-way already
+/// waited for its ack.
+class TcpFabric final : public cluster::Fabric {
+ public:
+  explicit TcpFabric(TcpMiddleware& middleware) : middleware_(middleware) {}
+
+  [[nodiscard]] std::size_t size() const override {
+    return middleware_.endpoints().size();
+  }
+  void bind_name(std::string name, cluster::RemoteHandle handle) override {
+    middleware_.bind_name(std::move(name), handle);
+  }
+  void drain() override {}
+
+ private:
+  TcpMiddleware& middleware_;
+};
+
+}  // namespace apar::net

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "apar/cluster/dispatcher.hpp"
+#include "apar/cluster/name_server.hpp"
+#include "apar/cluster/rpc.hpp"
+#include "apar/concurrency/thread_pool.hpp"
+#include "apar/net/frame.hpp"
+#include "apar/net/socket.hpp"
+
+namespace apar::net {
+
+/// One TCP "machine": a loopback-or-LAN server hosting a
+/// cluster::Dispatcher behind the frame protocol. This is the real-wire
+/// counterpart of cluster::Node — both drive the SAME Dispatcher, so a
+/// request does exactly the same thing whether it arrived on a simulated
+/// mailbox or a socket.
+///
+/// Threading: one acceptor thread plus a concurrency::ThreadPool of
+/// `workers` connection handlers. A connection occupies a worker until
+/// the client disconnects (thread-per-connection), so at most `workers`
+/// clients are served concurrently; additional connections queue in the
+/// pool. Fine for the paper's scale (a handful of client threads), wrong
+/// for C10K — documented in docs/networking.md.
+class TcpServer {
+ public:
+  struct Options {
+    std::uint16_t port = 0;      ///< 0 = pick an ephemeral port
+    std::size_t workers = 4;     ///< concurrent connections served
+    /// Per-frame I/O deadline once a frame has started arriving. Idle
+    /// time between frames is unlimited (a quiet client is not an error).
+    std::chrono::milliseconds io_deadline{5000};
+    /// Dispatcher error-message prefix; default "tcp:<port>".
+    std::string label;
+
+    // --- chaos knobs (tests only) ---------------------------------------
+    /// Close the connection instead of replying for the first N request
+    /// frames — the reply is "lost", clients see NetError{kClosed}.
+    std::uint64_t chaos_drop_frames = 0;
+    /// Stall the first N replies by `chaos_stall_ms` — lets tests force a
+    /// client-side deadline expiry deterministically.
+    std::uint64_t chaos_stall_frames = 0;
+    std::chrono::milliseconds chaos_stall_ms{0};
+  };
+
+  /// Byte/frame accounting, captured as a plain copyable snapshot.
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t frames_in = 0;
+    std::uint64_t frames_out = 0;
+    std::uint64_t bytes_in = 0;    ///< header + payload, received
+    std::uint64_t bytes_out = 0;   ///< header + payload, sent
+    std::uint64_t protocol_errors = 0;
+    std::uint64_t dispatch_errors = 0;  ///< requests answered kReplyError
+    std::uint64_t chaos_dropped = 0;
+    std::uint64_t chaos_stalled = 0;
+  };
+
+  explicit TcpServer(const cluster::rpc::Registry& registry)
+      : TcpServer(registry, Options{}) {}
+  TcpServer(const cluster::rpc::Registry& registry, Options options);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Actual listening port (useful with Options::port = 0).
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+
+  [[nodiscard]] cluster::Dispatcher& dispatcher() { return dispatcher_; }
+  [[nodiscard]] cluster::NameServer& name_server() { return name_server_; }
+  [[nodiscard]] Stats stats() const;
+
+  /// Stop accepting, close the listener and join all handler threads.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(Socket socket);
+  /// Handle one request frame; returns false when the connection must
+  /// close (chaos drop).
+  bool handle_frame(Socket& socket, const FrameHeader& header,
+                    const std::vector<std::byte>& payload);
+  void send_frame(Socket& socket, FrameHeader header,
+                  const std::vector<std::byte>& payload);
+
+  Options options_;
+  Listener listener_;
+  cluster::Dispatcher dispatcher_;
+  cluster::NameServer name_server_;
+
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> request_seq_{0};  ///< chaos decision index
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> frames_in{0};
+    std::atomic<std::uint64_t> frames_out{0};
+    std::atomic<std::uint64_t> bytes_in{0};
+    std::atomic<std::uint64_t> bytes_out{0};
+    std::atomic<std::uint64_t> protocol_errors{0};
+    std::atomic<std::uint64_t> dispatch_errors{0};
+    std::atomic<std::uint64_t> chaos_dropped{0};
+    std::atomic<std::uint64_t> chaos_stalled{0};
+  };
+  AtomicStats stats_;
+
+  // Last members: workers_ and acceptor_ run code touching everything
+  // above, so they must be destroyed (joined) first.
+  std::unique_ptr<concurrency::ThreadPool> workers_;
+  std::thread acceptor_;
+};
+
+}  // namespace apar::net

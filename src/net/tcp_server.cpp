@@ -1,0 +1,203 @@
+#include "apar/net/tcp_server.hpp"
+
+#include <poll.h>
+
+#include <utility>
+#include <vector>
+
+#include "apar/common/log.hpp"
+#include "apar/net/error.hpp"
+#include "apar/serial/archive.hpp"
+
+namespace apar::net {
+
+namespace {
+
+std::vector<std::byte> message_bytes(const std::string& text) {
+  std::vector<std::byte> out(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i)
+    out[i] = static_cast<std::byte>(text[i]);
+  return out;
+}
+
+}  // namespace
+
+TcpServer::TcpServer(const cluster::rpc::Registry& registry, Options options)
+    : options_(std::move(options)),
+      listener_(options_.port),
+      dispatcher_(registry, options_.label.empty()
+                                ? "tcp:" + std::to_string(listener_.port())
+                                : options_.label) {
+  if (options_.workers == 0) options_.workers = 1;
+  workers_ = std::make_unique<concurrency::ThreadPool>(options_.workers);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::stop() {
+  if (stopped_.exchange(true)) return;
+  // The acceptor polls in 100ms chunks and re-checks stopped_, so it can
+  // be joined without touching the listener; closing the fd only after
+  // the join keeps it single-threaded (closing it out from under the
+  // poll is a data race).
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.close();
+  workers_.reset();  // drains queued connections (they exit on stopped_)
+}
+
+TcpServer::Stats TcpServer::stats() const {
+  Stats s;
+  s.accepted = stats_.accepted.load(std::memory_order_relaxed);
+  s.frames_in = stats_.frames_in.load(std::memory_order_relaxed);
+  s.frames_out = stats_.frames_out.load(std::memory_order_relaxed);
+  s.bytes_in = stats_.bytes_in.load(std::memory_order_relaxed);
+  s.bytes_out = stats_.bytes_out.load(std::memory_order_relaxed);
+  s.protocol_errors = stats_.protocol_errors.load(std::memory_order_relaxed);
+  s.dispatch_errors = stats_.dispatch_errors.load(std::memory_order_relaxed);
+  s.chaos_dropped = stats_.chaos_dropped.load(std::memory_order_relaxed);
+  s.chaos_stalled = stats_.chaos_stalled.load(std::memory_order_relaxed);
+  return s;
+}
+
+void TcpServer::accept_loop() {
+  while (!stopped_.load(std::memory_order_relaxed)) {
+    Socket client = listener_.accept(std::chrono::milliseconds(100));
+    if (!client.valid()) continue;
+    stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+    auto shared = std::make_shared<Socket>(std::move(client));
+    try {
+      workers_->post([this, shared] {
+        serve_connection(std::move(*shared));
+      });
+    } catch (...) {
+      // Pool shutting down: the accepted connection just closes.
+    }
+  }
+}
+
+void TcpServer::serve_connection(Socket socket) {
+  std::array<std::byte, FrameHeader::kSize> header_bytes;
+  while (!stopped_.load(std::memory_order_relaxed)) {
+    // Idle wait between frames: unbounded, but chunked so stop() is
+    // honoured promptly.
+    pollfd pfd{socket.fd(), POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 100);
+    if (rc < 0) return;
+    if (rc == 0) continue;
+
+    try {
+      const Deadline deadline = deadline_after(options_.io_deadline);
+      recv_exact(socket, header_bytes.data(), header_bytes.size(), deadline);
+      const FrameHeader header =
+          decode_header(header_bytes.data(), header_bytes.size());
+      std::vector<std::byte> payload(header.payload_len);
+      if (header.payload_len > 0)
+        recv_exact(socket, payload.data(), payload.size(), deadline);
+      stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
+      stats_.bytes_in.fetch_add(FrameHeader::kSize + payload.size(),
+                                std::memory_order_relaxed);
+      if (!handle_frame(socket, header, payload)) return;
+    } catch (const NetError& e) {
+      // kClosed on the header boundary is a normal disconnect; anything
+      // else means the stream cannot be trusted — drop the connection
+      // (frame sync is lost, there is no way to answer reliably).
+      if (e.kind() == NetError::Kind::kProtocol)
+        stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      return;
+    } catch (...) {
+      return;
+    }
+  }
+}
+
+bool TcpServer::handle_frame(Socket& socket, const FrameHeader& header,
+                             const std::vector<std::byte>& payload) {
+  const std::uint64_t seq =
+      request_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (seq <= options_.chaos_drop_frames) {
+    stats_.chaos_dropped.fetch_add(1, std::memory_order_relaxed);
+    return false;  // "lose" the request: close without replying
+  }
+
+  FrameHeader reply_header;
+  reply_header.format = header.format;
+  reply_header.request_id = header.request_id;
+  std::vector<std::byte> reply;
+
+  try {
+    EnvelopeReader env(payload);
+    switch (header.op) {
+      case FrameHeader::Op::kCreate: {
+        const std::string class_name = env.string();
+        serial::Reader args(env.rest_data(), env.rest_size(), header.format);
+        const cluster::ObjectId oid = dispatcher_.create(class_name, args);
+        put_u64(reply, oid);
+        break;
+      }
+      case FrameHeader::Op::kCall:
+      case FrameHeader::Op::kOneWay: {
+        const cluster::ObjectId oid = env.u64();
+        const std::string method = env.string();
+        serial::Reader args(env.rest_data(), env.rest_size(), header.format);
+        auto out = dispatcher_.call(oid, method, args, header.format);
+        // One-way acks are empty: the client charged the call as
+        // fire-and-forget, so no reply payload travels back.
+        if (header.op == FrameHeader::Op::kCall) reply = std::move(out);
+        break;
+      }
+      case FrameHeader::Op::kLookup: {
+        const std::string name = env.string();
+        const auto handle = name_server_.lookup(name);
+        reply.push_back(static_cast<std::byte>(handle ? 1 : 0));
+        put_u32(reply, handle ? handle->node : 0);
+        put_u64(reply, handle ? handle->object : 0);
+        break;
+      }
+      case FrameHeader::Op::kBind: {
+        std::string name = env.string();
+        cluster::RemoteHandle handle;
+        handle.node = env.u32();
+        handle.object = env.u64();
+        name_server_.bind(std::move(name), handle);
+        break;
+      }
+      default:
+        throw NetError(NetError::Kind::kProtocol,
+                       "unexpected op " +
+                           std::to_string(static_cast<int>(header.op)) +
+                           " on server");
+    }
+    reply_header.op = FrameHeader::Op::kReplyOk;
+  } catch (const std::exception& e) {
+    APAR_DEBUG("net") << dispatcher_.label() << " request failed: "
+                      << e.what();
+    stats_.dispatch_errors.fetch_add(1, std::memory_order_relaxed);
+    reply_header.op = FrameHeader::Op::kReplyError;
+    reply = message_bytes(e.what());
+  }
+
+  if (seq <= options_.chaos_stall_frames &&
+      options_.chaos_stall_ms.count() > 0) {
+    stats_.chaos_stalled.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(options_.chaos_stall_ms);
+  }
+
+  send_frame(socket, reply_header, reply);
+  return true;
+}
+
+void TcpServer::send_frame(Socket& socket, FrameHeader header,
+                           const std::vector<std::byte>& payload) {
+  header.payload_len = static_cast<std::uint32_t>(payload.size());
+  const auto bytes = encode_header(header);
+  const Deadline deadline = deadline_after(options_.io_deadline);
+  send_all(socket, bytes.data(), bytes.size(), deadline);
+  if (!payload.empty())
+    send_all(socket, payload.data(), payload.size(), deadline);
+  stats_.frames_out.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_out.fetch_add(bytes.size() + payload.size(),
+                             std::memory_order_relaxed);
+}
+
+}  // namespace apar::net

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "apar/aop/aop.hpp"
+#include "apar/cluster/fabric.hpp"
 #include "apar/cluster/middleware.hpp"
 #include "apar/common/rng.hpp"
 #include "apar/serial/archive.hpp"
@@ -97,10 +98,13 @@ class DistributionAspect : public aop::Aspect {
     std::uint64_t seed = 7;  ///< for kRandom placement
   };
 
-  DistributionAspect(std::string name, cluster::Cluster& cluster,
+  /// `fabric` is the set of placement targets — the in-process Cluster or
+  /// a net::TcpFabric of real servers; the aspect cannot tell the
+  /// difference (that is the point of the seam).
+  DistributionAspect(std::string name, cluster::Fabric& fabric,
                      cluster::Middleware& middleware, Options options = {})
       : Aspect(std::move(name)),
-        cluster_(cluster),
+        fabric_(fabric),
         middleware_(middleware),
         options_(options),
         rng_(options.seed) {
@@ -175,12 +179,14 @@ class DistributionAspect : public aop::Aspect {
                 }
               }
             })
-        .mark_distributes(detail::note_wire_args(
-            std::type_identity<typename Traits::ArgsTuple>{}));
+        .mark_distributes(
+            detail::note_wire_args(
+                std::type_identity<typename Traits::ArgsTuple>{}),
+            middleware_.wire_transport());
     return *this;
   }
 
-  void on_quiesce(aop::Context&) override { cluster_.drain(); }
+  void on_quiesce(aop::Context&) override { fabric_.drain(); }
 
   /// Objects placed so far.
   [[nodiscard]] std::size_t placed() const {
@@ -216,7 +222,7 @@ class DistributionAspect : public aop::Aspect {
               // reference up again through the registry.
               const auto n = created_.load(std::memory_order_relaxed) + 1;
               const std::string bound_name = "PS" + std::to_string(n);
-              cluster_.name_server().bind(bound_name, handle);
+              fabric_.bind_name(bound_name, handle);
               auto resolved = mw.lookup(bound_name);
               if (resolved) handle = *resolved;
             }
@@ -226,12 +232,14 @@ class DistributionAspect : public aop::Aspect {
                                                       class_name));
           }
         })
-        .mark_distributes(detail::note_wire_args(
-            std::type_identity<std::tuple<std::decay_t<CtorArgs>...>>{}));
+        .mark_distributes(
+            detail::note_wire_args(
+                std::type_identity<std::tuple<std::decay_t<CtorArgs>...>>{}),
+            middleware_.wire_transport());
   }
 
   cluster::NodeId pick_node() {
-    const std::size_t n = cluster_.size();
+    const std::size_t n = fabric_.size();
     if (options_.placement == PlacementPolicy::kRandom) {
       std::lock_guard lock(rng_mutex_);
       return static_cast<cluster::NodeId>(rng_.uniform(0, n - 1));
@@ -240,7 +248,7 @@ class DistributionAspect : public aop::Aspect {
         next_node_.fetch_add(1, std::memory_order_relaxed) % n);
   }
 
-  cluster::Cluster& cluster_;
+  cluster::Fabric& fabric_;
   cluster::Middleware& middleware_;
   Options options_;
   std::atomic<std::size_t> next_node_{0};

@@ -149,9 +149,26 @@ TEST(WeavePlan, UnserializableWireArgIsDistributionHazard) {
   aop::Context ctx;
   auto dist = passthrough_on("Dist", "Worker.process", 500);
   // Simulate what DistributionAspect records for a non-marshallable
-  // argument type without spinning up a cluster.
+  // argument type without spinning up a cluster. Against a simulated
+  // middleware the hazard is advisory (warning): the call only throws if
+  // it actually dispatches remotely.
   dist->advice().back()->mark_distributes(
       {aop::WireArg{"test::Handle", false}});
+  ctx.attach(dist);
+  const an::Report report = an::analyze_weave_plan(ctx);
+  ASSERT_EQ(count_kind(report, an::FindingKind::kDistributionHazard), 1u)
+      << report.table();
+  EXPECT_EQ(report.findings().front().severity, an::Severity::kWarning);
+}
+
+TEST(WeavePlan, WireMandatoryUnserializableArgIsError) {
+  aop::Context ctx;
+  auto dist = passthrough_on("Dist", "Worker.process", 500);
+  // What DistributionAspect records when its middleware reports
+  // wire_transport() == true (TCP): encoding is a precondition for the
+  // call leaving the process, so the same hazard escalates to an error.
+  dist->advice().back()->mark_distributes(
+      {aop::WireArg{"test::Handle", false}}, /*wire_mandatory=*/true);
   ctx.attach(dist);
   const an::Report report = an::analyze_weave_plan(ctx);
   ASSERT_EQ(count_kind(report, an::FindingKind::kDistributionHazard), 1u)

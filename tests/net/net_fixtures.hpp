@@ -1,0 +1,39 @@
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../cluster/fixtures.hpp"
+#include "apar/net/tcp_middleware.hpp"
+#include "apar/net/tcp_server.hpp"
+
+// Sandboxes without network namespaces cannot open loopback sockets; every
+// socket-touching test skips there instead of failing.
+#define APAR_REQUIRE_LOOPBACK()                                  \
+  do {                                                           \
+    if (!apar::net::loopback_available())                        \
+      GTEST_SKIP() << "loopback TCP unavailable in this sandbox"; \
+  } while (0)
+
+namespace apar::test {
+
+/// One loopback server hosting Counter plus a client middleware wired to
+/// it — the standard two-ended rig for transport tests.
+struct TcpRig {
+  explicit TcpRig(serial::Format format = serial::Format::kCompact,
+                  net::TcpServer::Options server_options = {}) {
+    register_counter(registry);
+    server = std::make_unique<net::TcpServer>(registry, server_options);
+    net::TcpMiddleware::Options mw;
+    mw.endpoints = {{"127.0.0.1", server->port()}};
+    mw.format = format;
+    middleware = std::make_unique<net::TcpMiddleware>(mw);
+  }
+
+  cluster::rpc::Registry registry;
+  std::unique_ptr<net::TcpServer> server;
+  std::unique_ptr<net::TcpMiddleware> middleware;
+};
+
+}  // namespace apar::test

@@ -1,0 +1,165 @@
+// Frame codec: golden byte layouts (pinned so the wire format cannot
+// drift silently), rejection of corrupt/truncated headers, and envelope
+// round-trips. No sockets involved.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "apar/net/error.hpp"
+#include "apar/net/frame.hpp"
+
+namespace net = apar::net;
+namespace serial = apar::serial;
+using net::FrameHeader;
+
+namespace {
+
+std::vector<std::byte> bytes_of(const std::array<std::byte, 18>& a) {
+  return {a.begin(), a.end()};
+}
+
+std::vector<std::byte> golden(std::initializer_list<unsigned> values) {
+  std::vector<std::byte> out;
+  for (unsigned v : values) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+}  // namespace
+
+TEST(Frame, GoldenHeaderCompact) {
+  FrameHeader h;
+  h.format = serial::Format::kCompact;
+  h.op = FrameHeader::Op::kCall;
+  h.payload_len = 0x0102;
+  h.request_id = 0x1122334455667788ULL;
+  // magic "AP" LE, version 1, format 0, op 2, flags 0, len LE, id LE.
+  EXPECT_EQ(bytes_of(net::encode_header(h)),
+            golden({0x41, 0x50, 0x01, 0x00, 0x02, 0x00,
+                    0x02, 0x01, 0x00, 0x00,
+                    0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11}));
+}
+
+TEST(Frame, GoldenHeaderVerbose) {
+  FrameHeader h;
+  h.format = serial::Format::kVerbose;
+  h.op = FrameHeader::Op::kLookup;
+  h.payload_len = 7;
+  h.request_id = 1;
+  EXPECT_EQ(bytes_of(net::encode_header(h)),
+            golden({0x41, 0x50, 0x01, 0x01, 0x04, 0x00,
+                    0x07, 0x00, 0x00, 0x00,
+                    0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00}));
+}
+
+TEST(Frame, HeaderRoundTripsAllOps) {
+  for (auto op : {FrameHeader::Op::kCreate, FrameHeader::Op::kCall,
+                  FrameHeader::Op::kOneWay, FrameHeader::Op::kLookup,
+                  FrameHeader::Op::kBind, FrameHeader::Op::kReplyOk,
+                  FrameHeader::Op::kReplyError}) {
+    for (auto format : {serial::Format::kCompact, serial::Format::kVerbose}) {
+      FrameHeader h;
+      h.format = format;
+      h.op = op;
+      h.payload_len = 12345;
+      h.request_id = 987654321;
+      const auto encoded = net::encode_header(h);
+      const FrameHeader back =
+          net::decode_header(encoded.data(), encoded.size());
+      EXPECT_EQ(back.format, format);
+      EXPECT_EQ(back.op, op);
+      EXPECT_EQ(back.payload_len, h.payload_len);
+      EXPECT_EQ(back.request_id, h.request_id);
+    }
+  }
+}
+
+TEST(Frame, RejectsTruncatedHeader) {
+  const auto encoded = net::encode_header(FrameHeader{});
+  try {
+    net::decode_header(encoded.data(), 10);
+    FAIL() << "expected NetError";
+  } catch (const net::NetError& e) {
+    EXPECT_EQ(e.kind(), net::NetError::Kind::kProtocol);
+  }
+}
+
+TEST(Frame, RejectsCorruptMagicVersionOpFormatFlagsAndOversize) {
+  const auto expect_protocol_error = [](std::array<std::byte, 18> bytes) {
+    try {
+      net::decode_header(bytes.data(), bytes.size());
+      FAIL() << "expected NetError{kProtocol}";
+    } catch (const net::NetError& e) {
+      EXPECT_EQ(e.kind(), net::NetError::Kind::kProtocol);
+    }
+  };
+  auto base = net::encode_header(FrameHeader{});
+
+  auto bad = base;
+  bad[0] = static_cast<std::byte>(0xde);  // magic
+  expect_protocol_error(bad);
+
+  bad = base;
+  bad[2] = static_cast<std::byte>(99);  // version
+  expect_protocol_error(bad);
+
+  bad = base;
+  bad[3] = static_cast<std::byte>(7);  // unknown format
+  expect_protocol_error(bad);
+
+  bad = base;
+  bad[4] = static_cast<std::byte>(0);  // op below range
+  expect_protocol_error(bad);
+
+  bad = base;
+  bad[5] = static_cast<std::byte>(1);  // reserved flags
+  expect_protocol_error(bad);
+
+  FrameHeader big;
+  big.payload_len = FrameHeader::kMaxPayload + 1;
+  expect_protocol_error(net::encode_header(big));
+}
+
+TEST(Frame, EnvelopeRoundTrip) {
+  std::vector<std::byte> buf;
+  net::put_u64(buf, 0xdeadbeefcafef00dULL);
+  net::put_string(buf, "PrimeFilter.filter");
+  net::put_u32(buf, 42);
+  net::put_u16(buf, 7);
+
+  net::EnvelopeReader env(buf);
+  EXPECT_EQ(env.u64(), 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(env.string(), "PrimeFilter.filter");
+  EXPECT_EQ(env.u32(), 42u);
+  EXPECT_EQ(env.u16(), 7u);
+  EXPECT_EQ(env.rest_size(), 0u);
+}
+
+TEST(Frame, EnvelopeRejectsTruncation) {
+  std::vector<std::byte> buf;
+  net::put_string(buf, "abc");
+  buf.pop_back();  // cut the last string byte
+  net::EnvelopeReader env(buf);
+  try {
+    (void)env.string();
+    FAIL() << "expected NetError";
+  } catch (const net::NetError& e) {
+    EXPECT_EQ(e.kind(), net::NetError::Kind::kProtocol);
+  }
+}
+
+TEST(Frame, EnvelopeExposesArgumentTail) {
+  std::vector<std::byte> buf;
+  net::put_u64(buf, 5);
+  net::put_string(buf, "m");
+  const auto args = serial::encode(serial::Format::kCompact, 123LL);
+  buf.insert(buf.end(), args.begin(), args.end());
+
+  net::EnvelopeReader env(buf);
+  (void)env.u64();
+  (void)env.string();
+  serial::Reader reader(env.rest_data(), env.rest_size(),
+                        serial::Format::kCompact);
+  long long v = 0;
+  reader.value(v);
+  EXPECT_EQ(v, 123);
+}

@@ -1,0 +1,225 @@
+// End-to-end transport behaviour over real loopback sockets: round trips
+// in both wire formats, name service, error propagation, deadlines,
+// retry-after-drop and server kill/restart.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "apar/cluster/rpc.hpp"
+#include "apar/net/error.hpp"
+#include "net_fixtures.hpp"
+
+namespace ac = apar::cluster;
+namespace as = apar::serial;
+namespace net = apar::net;
+using apar::test::TcpRig;
+
+class TcpRoundTrip : public ::testing::TestWithParam<as::Format> {};
+
+INSTANTIATE_TEST_SUITE_P(Formats, TcpRoundTrip,
+                         ::testing::Values(as::Format::kCompact,
+                                           as::Format::kVerbose),
+                         [](const auto& info) {
+                           return info.param == as::Format::kCompact
+                                      ? "compact"
+                                      : "verbose";
+                         });
+
+TEST_P(TcpRoundTrip, CreateInvokeAndCopyRestore) {
+  APAR_REQUIRE_LOOPBACK();
+  TcpRig rig(GetParam());
+  auto& mw = *rig.middleware;
+
+  const auto handle = mw.create(0, "Counter", as::encode(GetParam(), 10LL));
+  EXPECT_EQ(handle.node, 0u);
+  mw.invoke(handle, "add", as::encode(GetParam(), 5LL));
+  const auto reply = mw.invoke(handle, "get", as::encode(GetParam()));
+  const auto [value] = as::decode<long long>(reply, GetParam());
+  EXPECT_EQ(value, 15);
+
+  // Copy-restore: the server mutates the pack and echoes it back.
+  const std::vector<long long> pack{5, 6, 7};
+  const auto absorbed =
+      mw.invoke(handle, "absorb", as::encode(GetParam(), pack));
+  const auto [restored] =
+      as::decode<std::vector<long long>>(absorbed, GetParam());
+  EXPECT_EQ(restored, (std::vector<long long>{0, 0, 0}));
+
+  EXPECT_EQ(rig.server->dispatcher().object_count(), 1u);
+  EXPECT_EQ(mw.stats().sync_calls.load(), 3u);
+  EXPECT_GT(mw.stats().bytes_sent.load(), 0u);
+  EXPECT_GT(mw.stats().bytes_received.load(), 0u);
+}
+
+TEST(TcpTransport, OneWayIsAckedAndExecuted) {
+  APAR_REQUIRE_LOOPBACK();
+  TcpRig rig;
+  auto& mw = *rig.middleware;
+  const auto handle =
+      mw.create(0, "Counter", as::encode(mw.wire_format(), 0LL));
+  mw.invoke_one_way(handle, "add", as::encode(mw.wire_format(), 42LL));
+  // The ack already ordered the side effect before this sync call.
+  const auto [value] = as::decode<long long>(
+      mw.invoke(handle, "get", as::encode(mw.wire_format())),
+      mw.wire_format());
+  EXPECT_EQ(value, 42);
+  EXPECT_EQ(mw.stats().one_way_calls.load(), 1u);
+}
+
+TEST(TcpTransport, BindAndLookupThroughRegistryServer) {
+  APAR_REQUIRE_LOOPBACK();
+  TcpRig rig;
+  auto& mw = *rig.middleware;
+  const auto handle =
+      mw.create(0, "Counter", as::encode(mw.wire_format(), 1LL));
+  mw.bind_name("PS1", handle);
+  const auto resolved = mw.lookup("PS1");
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(*resolved, handle);
+  EXPECT_FALSE(mw.lookup("unbound").has_value());
+  EXPECT_EQ(mw.stats().lookups.load(), 2u);
+}
+
+TEST(TcpTransport, ServerSideFailureSurfacesAsRpcError) {
+  APAR_REQUIRE_LOOPBACK();
+  TcpRig rig;
+  auto& mw = *rig.middleware;
+  const auto handle =
+      mw.create(0, "Counter", as::encode(mw.wire_format(), 0LL));
+  try {
+    mw.invoke(handle, "no_such_method", as::encode(mw.wire_format()));
+    FAIL() << "expected RpcError";
+  } catch (const ac::rpc::RpcError& e) {
+    EXPECT_NE(std::string(e.what()).find("no_such_method"),
+              std::string::npos);
+  }
+  // Unknown object ids carry the server's dispatcher label.
+  try {
+    mw.invoke({0, 999}, "get", as::encode(mw.wire_format()));
+    FAIL() << "expected RpcError";
+  } catch (const ac::rpc::RpcError& e) {
+    EXPECT_NE(std::string(e.what()).find("no object 999"), std::string::npos);
+  }
+  // The connection survives application errors: no reconnect happened.
+  EXPECT_EQ(mw.net_counters().connects, 1u);
+  EXPECT_EQ(mw.net_counters().reconnects, 0u);
+}
+
+TEST(TcpTransport, ConnectionPoolReusesOneConnection) {
+  APAR_REQUIRE_LOOPBACK();
+  TcpRig rig;
+  auto& mw = *rig.middleware;
+  const auto handle =
+      mw.create(0, "Counter", as::encode(mw.wire_format(), 0LL));
+  for (int i = 0; i < 10; ++i)
+    mw.invoke(handle, "add", as::encode(mw.wire_format(), 1LL));
+  EXPECT_EQ(mw.net_counters().connects, 1u);
+  EXPECT_EQ(mw.pool().stats().reuses, 10u);
+}
+
+TEST(TcpTransport, StalledServerHitsClientDeadlineNotAHang) {
+  APAR_REQUIRE_LOOPBACK();
+  net::TcpServer::Options sopts;
+  sopts.chaos_stall_frames = 1;
+  sopts.chaos_stall_ms = std::chrono::milliseconds(2000);
+  TcpRig rig(as::Format::kCompact, sopts);
+
+  net::TcpMiddleware::Options mopts;
+  mopts.endpoints = {{"127.0.0.1", rig.server->port()}};
+  mopts.io_deadline = std::chrono::milliseconds(150);
+  net::TcpMiddleware fast_deadline(mopts);
+
+  const auto started = std::chrono::steady_clock::now();
+  try {
+    fast_deadline.create(0, "Counter",
+                         as::encode(mopts.format, 0LL));
+    FAIL() << "expected NetError{kTimeout}";
+  } catch (const net::NetError& e) {
+    EXPECT_EQ(e.kind(), net::NetError::Kind::kTimeout);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  // The deadline bounded the wait: well under the server's 2s stall.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(1500));
+}
+
+TEST(TcpTransport, LookupRetriesThroughDroppedReplies) {
+  APAR_REQUIRE_LOOPBACK();
+  net::TcpServer::Options sopts;
+  sopts.chaos_drop_frames = 2;  // server eats the first two requests
+  TcpRig rig(as::Format::kCompact, sopts);
+  auto& mw = *rig.middleware;
+
+  // Looking up an unbound name still proves the retry loop: the call
+  // must SUCCEED (returning nullopt) despite two lost replies.
+  EXPECT_FALSE(mw.lookup("PS1").has_value());
+  EXPECT_EQ(mw.net_counters().retries, 2u);
+  // Each dropped reply killed a connection, so two reconnect dials.
+  EXPECT_EQ(mw.net_counters().connects, 3u);
+  EXPECT_EQ(mw.net_counters().reconnects, 2u);
+  EXPECT_EQ(rig.server->stats().chaos_dropped, 2u);
+}
+
+TEST(TcpTransport, NonIdempotentCallsDoNotRetry) {
+  APAR_REQUIRE_LOOPBACK();
+  net::TcpServer::Options sopts;
+  sopts.chaos_drop_frames = 1;
+  TcpRig rig(as::Format::kCompact, sopts);
+  auto& mw = *rig.middleware;
+  // The dropped create surfaces as NetError{kClosed}: executing it twice
+  // behind the caller's back could double-place an object.
+  try {
+    mw.create(0, "Counter", as::encode(mw.wire_format(), 0LL));
+    FAIL() << "expected NetError";
+  } catch (const net::NetError& e) {
+    EXPECT_EQ(e.kind(), net::NetError::Kind::kClosed);
+  }
+  EXPECT_EQ(mw.net_counters().retries, 0u);
+}
+
+TEST(TcpTransport, KilledServerSurfacesAsNetErrorWithinDeadline) {
+  APAR_REQUIRE_LOOPBACK();
+  TcpRig rig;
+  auto& mw = *rig.middleware;
+  const auto handle =
+      mw.create(0, "Counter", as::encode(mw.wire_format(), 3LL));
+  rig.server->stop();
+
+  const auto started = std::chrono::steady_clock::now();
+  try {
+    mw.invoke(handle, "get", as::encode(mw.wire_format()));
+    FAIL() << "expected NetError";
+  } catch (const net::NetError& e) {
+    // kClosed when the pooled connection's death is seen mid-exchange,
+    // kConnect when the pool discarded it and the redial was refused.
+    EXPECT_NE(e.kind(), net::NetError::Kind::kProtocol);
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - started,
+            std::chrono::seconds(3));
+}
+
+TEST(TcpTransport, ReconnectsToRestartedServer) {
+  APAR_REQUIRE_LOOPBACK();
+  apar::cluster::rpc::Registry registry;
+  apar::test::register_counter(registry);
+  auto server = std::make_unique<net::TcpServer>(registry);
+  const std::uint16_t port = server->port();
+
+  net::TcpMiddleware::Options mopts;
+  mopts.endpoints = {{"127.0.0.1", port}};
+  net::TcpMiddleware mw(mopts);
+  EXPECT_FALSE(mw.lookup("PS1").has_value());
+
+  // Kill and restart on the same port: the pooled connection is now
+  // stale. The idempotent lookup reconnects and succeeds by itself.
+  server.reset();
+  net::TcpServer::Options sopts;
+  sopts.port = port;
+  server = std::make_unique<net::TcpServer>(registry, sopts);
+  server->name_server().bind("PS1", {0, 11});
+
+  const auto resolved = mw.lookup("PS1");
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(resolved->object, 11u);
+  EXPECT_GE(mw.net_counters().reconnects, 1u);
+}

@@ -35,9 +35,11 @@
 #include "apar/common/config.hpp"
 #include "apar/common/json.hpp"
 #include "apar/concurrency/sync_registry.hpp"
+#include "apar/net/tcp_middleware.hpp"
 #include "apar/sieve/versions.hpp"
 #include "apar/strategies/concurrency_aspect.hpp"
 #include "apar/strategies/distribution_aspect.hpp"
+#include "apar/strategies/farm_aspect.hpp"
 #include "apar/strategies/heartbeat_aspect.hpp"
 
 namespace analysis = apar::analysis;
@@ -45,6 +47,7 @@ namespace aop = apar::aop;
 namespace cluster = apar::cluster;
 namespace common = apar::common;
 namespace concurrency = apar::concurrency;
+namespace net = apar::net;
 namespace sieve = apar::sieve;
 namespace strategies = apar::strategies;
 
@@ -105,6 +108,71 @@ analysis::Report analyze_heartbeat() {
                            static_cast<long long>(i) * share, total, ns);
   };
   ctx.attach(std::make_shared<Heart>("Heartbeat", std::move(opts)));
+  auto report = analysis::analyze_weave_plan(ctx);
+  ctx.quiesce();
+  return report;
+}
+
+/// A TcpMiddleware wired to an endpoint that is never dialed: the
+/// middleware connects lazily, so static analysis can inspect a real-wire
+/// composition without any server process running.
+net::TcpMiddleware::Options undialed_tcp() {
+  net::TcpMiddleware::Options opts;
+  opts.endpoints = {{"127.0.0.1", 1}};
+  return opts;
+}
+
+/// The two-process sieve weave (examples/sieve_client.cpp): farm +
+/// concurrency + distribution over the REAL TCP transport. Verifying it
+/// here is stronger than for the simulated middlewares — wire-transport
+/// targets promote serialization findings to errors, so a clean report
+/// means every distributed argument genuinely crosses the socket.
+analysis::Report analyze_sieve_tcp() {
+  using Farm = strategies::FarmAspect<sieve::PrimeFilter, long long,
+                                      long long, long long, double>;
+  using Conc = strategies::ConcurrencyAspect<sieve::PrimeFilter>;
+  using Dist = strategies::DistributionAspect<sieve::PrimeFilter, long long,
+                                              long long, double>;
+  net::TcpMiddleware middleware(undialed_tcp());
+  net::TcpFabric fabric(middleware);
+
+  aop::Context ctx;
+  Farm::Options fopts;
+  fopts.duplicates = 2;
+  fopts.pack_size = 2'000;
+  ctx.attach(std::make_shared<Farm>("Partition", fopts));
+  auto conc = std::make_shared<Conc>("Concurrency");
+  conc->async_method<&sieve::PrimeFilter::process>()
+      .async_method<&sieve::PrimeFilter::filter>()
+      .guarded_method<&sieve::PrimeFilter::collect>();
+  ctx.attach(conc);
+  auto dist = std::make_shared<Dist>("Distribution", fabric, middleware);
+  dist->distribute_method<&sieve::PrimeFilter::filter>()
+      .distribute_method<&sieve::PrimeFilter::process>(/*allow_one_way=*/true)
+      .distribute_method<&sieve::PrimeFilter::collect>(/*allow_one_way=*/true)
+      .distribute_method<&sieve::PrimeFilter::take_results>();
+  ctx.attach(dist);
+
+  auto report = analysis::analyze_weave_plan(ctx);
+  ctx.quiesce();
+  return report;
+}
+
+/// demo-broken's distribution hazard, retargeted at the real wire: over
+/// the simulated RMI the unserializable put(Opaque) is a warning (local
+/// dispatch still works); over TcpMiddleware there IS no local dispatch,
+/// so the same weave must gate as an error.
+analysis::Report analyze_demo_broken_tcp() {
+  net::TcpMiddleware middleware(undialed_tcp());
+  net::TcpFabric fabric(middleware);
+
+  aop::Context ctx;
+  auto dist =
+      std::make_shared<strategies::DistributionAspect<demo::Ledger, long long>>(
+          "Distribution", fabric, middleware);
+  dist->distribute_method<&demo::Ledger::put>();
+  ctx.attach(dist);
+
   auto report = analysis::analyze_weave_plan(ctx);
   ctx.quiesce();
   return report;
@@ -183,6 +251,7 @@ std::vector<std::pair<std::string, Builder>> all_compositions() {
                      [v] { return analyze_sieve(v); });
   }
   out.emplace_back("heat:heartbeat", [] { return analyze_heartbeat(); });
+  out.emplace_back("sieve:FarmTCP", [] { return analyze_sieve_tcp(); });
   return out;
 }
 
@@ -211,6 +280,7 @@ int main(int argc, char** argv) {
   if (cli.get_bool("list", false)) {
     for (const auto& [name, build] : clean) std::printf("%s\n", name.c_str());
     std::printf("demo-broken\n");
+    std::printf("demo-broken-tcp\n");
     return 0;
   }
 
@@ -222,6 +292,11 @@ int main(int argc, char** argv) {
     for (const std::string& want : cli.positional()) {
       if (want == "demo-broken") {
         selected.emplace_back(want, [] { return analyze_demo_broken(); });
+        continue;
+      }
+      if (want == "demo-broken-tcp") {
+        selected.emplace_back(want,
+                              [] { return analyze_demo_broken_tcp(); });
         continue;
       }
       bool found = false;

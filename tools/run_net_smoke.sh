@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Two-process sieve smoke over real TCP (docs/networking.md): start a
+# sieve_server, run sieve_client against it in BOTH wire formats, then
+# shut the server down cleanly. The client verifies its own prime count
+# against the reference sieve and exits nonzero on a mismatch, so this
+# script passing means bytes genuinely crossed a process boundary and
+# came back right.
+#
+# Usage:
+#   tools/run_net_smoke.sh [build-dir]     # default: build
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+SERVER="$BUILD/examples/sieve_server"
+CLIENT="$BUILD/examples/sieve_client"
+if [ ! -x "$SERVER" ] || [ ! -x "$CLIENT" ]; then
+  echo "run_net_smoke: build the examples first ($SERVER, $CLIENT)" >&2
+  exit 2
+fi
+
+PORT_FILE="$(mktemp)"
+rm -f "$PORT_FILE"
+"$SERVER" --port-file "$PORT_FILE" --run-seconds 120 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 200); do
+  [ -s "$PORT_FILE" ] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    # The server self-skips (exit 2) where the sandbox forbids sockets.
+    wait "$SERVER_PID" && rc=0 || rc=$?
+    if [ "$rc" -eq 2 ]; then
+      echo "run_net_smoke: loopback TCP unavailable — skipping"
+      trap - EXIT
+      exit 0
+    fi
+    echo "run_net_smoke: server died before publishing a port (rc=$rc)" >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+[ -s "$PORT_FILE" ] || { echo "run_net_smoke: no port published" >&2; exit 1; }
+PORT="$(cat "$PORT_FILE")"
+
+for fmt in compact verbose; do
+  echo "=== sieve over tcp://127.0.0.1:$PORT ($fmt) ==="
+  "$CLIENT" --port "$PORT" --format "$fmt" --max 100000 --filters 3
+done
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+trap - EXIT
+rm -f "$PORT_FILE"
+echo "net smoke clean: both formats, two processes, one socket"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Run the stress suite (`ctest -L stress`) under ThreadSanitizer and
-# AddressSanitizer. Any sanitizer report fails the run: halt_on_error
-# turns the first finding into a nonzero test exit.
+# Run the stress suite (`ctest -L stress`) plus the real-TCP transport
+# suite (`-L net`) under ThreadSanitizer and AddressSanitizer. Any
+# sanitizer report fails the run: halt_on_error turns the first finding
+# into a nonzero test exit.
 #
 # Usage:
 #   tools/run_stress.sh              # tsan + asan
@@ -28,8 +29,8 @@ for preset in "${presets[@]}"; do
   cmake --preset "$preset"
   echo "=== [$preset] build ==="
   cmake --build --preset "$preset" -j "$(nproc)"
-  echo "=== [$preset] ctest -L stress ==="
-  ctest --test-dir "build-$preset" -L stress --output-on-failure -j 2
+  echo "=== [$preset] ctest -L 'stress|net' ==="
+  ctest --test-dir "build-$preset" -L 'stress|net' --output-on-failure -j 2
 done
 
-echo "stress suite clean under: ${presets[*]}"
+echo "stress + net suites clean under: ${presets[*]}"
