@@ -52,6 +52,43 @@ void fire_continuations(FutureState<T>& st,
   out.swap(st.continuations);
 }
 
+/// Deliver into a raw FutureState (shared by Promise and the ThreadPool's
+/// single-allocation submit(), which folds the state into the task storage
+/// instead of going through a separate Promise object). `store` runs under
+/// the state lock and must make ready_locked() true.
+template <class T, class Store>
+void deliver_to_state(FutureState<T>& st, Store&& store) {
+  std::vector<std::function<void()>> conts;
+  {
+    std::lock_guard lock(st.mutex);
+    if (st.ready_locked())
+      throw std::logic_error("Promise already satisfied");
+    store(st);
+    fire_continuations(st, conts);
+    st.cv.notify_all();
+  }
+  for (auto& c : conts) c();
+}
+
+/// Producer vanished without delivering: wake waiters with BrokenPromise.
+/// Idempotent — a state that is already ready is left alone.
+template <class T>
+void abandon_state(FutureState<T>& st) {
+  std::vector<std::function<void()>> conts;
+  {
+    std::lock_guard lock(st.mutex);
+    if (st.ready_locked()) return;
+    st.broken = true;
+    fire_continuations(st, conts);
+    st.cv.notify_all();
+  }
+  for (auto& c : conts) c();
+}
+
+/// Grants Future construction from a bare state pointer to in-tree
+/// executors (ThreadPool::submit) without widening Future's public surface.
+struct FutureAccess;
+
 }  // namespace detail
 
 template <class T>
@@ -119,6 +156,7 @@ class Future {
 
  private:
   friend class Promise<T>;
+  friend struct detail::FutureAccess;
   explicit Future(std::shared_ptr<detail::FutureState<T>> s)
       : state_(std::move(s)) {}
 
@@ -177,6 +215,7 @@ class Future<void> {
 
  private:
   friend class Promise<void>;
+  friend struct detail::FutureAccess;
   explicit Future(std::shared_ptr<detail::FutureState<void>> s)
       : state_(std::move(s)) {}
 
@@ -199,45 +238,23 @@ class Promise {
   Promise& operator=(const Promise&) = delete;
 
   ~Promise() {
-    if (!state_) return;
-    std::vector<std::function<void()>> conts;
-    {
-      std::lock_guard lock(state_->mutex);
-      if (!state_->ready_locked()) {
-        state_->broken = true;
-        detail::fire_continuations(*state_, conts);
-        state_->cv.notify_all();
-      }
-    }
-    for (auto& c : conts) c();
+    if (state_) detail::abandon_state(*state_);
   }
 
   [[nodiscard]] Future<T> future() const { return Future<T>(state_); }
 
   template <class U>
   void set_value(U&& v) {
-    deliver([&](auto& st) { st.value.emplace(std::forward<U>(v)); });
+    detail::deliver_to_state(
+        *state_, [&](auto& st) { st.value.emplace(std::forward<U>(v)); });
   }
 
   void set_exception(std::exception_ptr e) {
-    deliver([&](auto& st) { st.error = std::move(e); });
+    detail::deliver_to_state(*state_,
+                             [&](auto& st) { st.error = std::move(e); });
   }
 
  private:
-  template <class F>
-  void deliver(F&& store) {
-    std::vector<std::function<void()>> conts;
-    {
-      std::lock_guard lock(state_->mutex);
-      if (state_->ready_locked())
-        throw std::logic_error("Promise already satisfied");
-      store(*state_);
-      detail::fire_continuations(*state_, conts);
-      state_->cv.notify_all();
-    }
-    for (auto& c : conts) c();
-  }
-
   std::shared_ptr<detail::FutureState<T>> state_;
 };
 
@@ -252,46 +269,34 @@ class Promise<void> {
   Promise& operator=(const Promise&) = delete;
 
   ~Promise() {
-    if (!state_) return;
-    std::vector<std::function<void()>> conts;
-    {
-      std::lock_guard lock(state_->mutex);
-      if (!state_->ready_locked()) {
-        state_->broken = true;
-        detail::fire_continuations(*state_, conts);
-        state_->cv.notify_all();
-      }
-    }
-    for (auto& c : conts) c();
+    if (state_) detail::abandon_state(*state_);
   }
 
   [[nodiscard]] Future<void> future() const { return Future<void>(state_); }
 
   void set_value() {
-    deliver([](auto& st) { st.done = true; });
+    detail::deliver_to_state(*state_, [](auto& st) { st.done = true; });
   }
 
   void set_exception(std::exception_ptr e) {
-    deliver([&](auto& st) { st.error = std::move(e); });
+    detail::deliver_to_state(*state_,
+                             [&](auto& st) { st.error = std::move(e); });
   }
 
  private:
-  template <class F>
-  void deliver(F&& store) {
-    std::vector<std::function<void()>> conts;
-    {
-      std::lock_guard lock(state_->mutex);
-      if (state_->ready_locked())
-        throw std::logic_error("Promise already satisfied");
-      store(*state_);
-      detail::fire_continuations(*state_, conts);
-      state_->cv.notify_all();
-    }
-    for (auto& c : conts) c();
-  }
-
   std::shared_ptr<detail::FutureState<void>> state_;
 };
+
+namespace detail {
+
+struct FutureAccess {
+  template <class T>
+  static Future<T> wrap(std::shared_ptr<FutureState<T>> state) {
+    return Future<T>(std::move(state));
+  }
+};
+
+}  // namespace detail
 
 /// Wait for every future in the range; rethrows the first stored exception.
 template <class T>

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "apar/concurrency/task.hpp"
+#include "apar/concurrency/thread_pool.hpp"
+
+namespace apar::concurrency {
+
+/// Run `fn(i)` for every i in [first, last) on the pool, chunked by `grain`
+/// indices per task.
+///
+/// The chunks are seeded with ONE bulk_post (one accounting pass, one wake
+/// sweep) instead of N locked posts — this is the batch path the farm
+/// partition advice rides. The calling thread runs the first chunk itself
+/// and then HELPS the scheduler (ThreadPool::try_execute_one) while
+/// waiting, so calling parallel_for from inside a pool task — recursive
+/// data parallelism — cannot deadlock even on a one-worker pool.
+///
+/// `grain == 0` auto-picks ceil(n / (4 * workers)), clamped to >= 1: about
+/// four chunks per worker, enough slack for stealing to balance uneven
+/// chunk costs without drowning in per-task overhead (docs/scheduler.md
+/// discusses the trade-off).
+///
+/// Exceptions thrown by `fn` are collected; the first one is rethrown after
+/// ALL chunks have finished (no chunk is cancelled — same semantics as
+/// running the loop serially would give for the surviving iterations).
+/// If the pool is shutting down, the loop degrades to running every chunk
+/// inline on the caller.
+template <class Fn>
+void parallel_for(ThreadPool& pool, std::size_t first, std::size_t last,
+                  std::size_t grain, Fn&& fn) {
+  if (first >= last) return;
+  const std::size_t n = last - first;
+  if (grain == 0) {
+    const std::size_t target = 4 * pool.size();
+    grain = std::max<std::size_t>(1, (n + target - 1) / target);
+  }
+  const std::size_t chunks = (n + grain - 1) / grain;
+
+  struct Control {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t remaining = 0;
+    std::exception_ptr error;
+  };
+  Control control;
+  control.remaining = chunks;
+
+  auto run_chunk = [&control, &fn](std::size_t begin, std::size_t end) {
+    std::exception_ptr err;
+    try {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    std::lock_guard lock(control.mutex);
+    if (err && !control.error) control.error = err;
+    if (--control.remaining == 0) control.cv.notify_all();
+  };
+
+  if (chunks > 1) {
+    std::vector<Task> tasks;
+    tasks.reserve(chunks - 1);
+    for (std::size_t c = 1; c < chunks; ++c) {
+      const std::size_t begin = first + c * grain;
+      const std::size_t end = std::min(last, begin + grain);
+      tasks.emplace_back([&run_chunk, begin, end] { run_chunk(begin, end); });
+    }
+    try {
+      pool.bulk_post(tasks);
+    } catch (...) {
+      // Pool shutting down: bulk_post is all-or-nothing, so the tasks are
+      // intact — run them inline.
+      for (auto& task : tasks) task();
+    }
+  }
+  run_chunk(first, std::min(last, first + grain));
+
+  // Help-first wait: execute other pool tasks (often our own chunks) while
+  // any chunk is outstanding. The timed wait is a belt-and-braces fallback
+  // against claim races; the cv notify from the last chunk is the normal
+  // wake-up.
+  for (;;) {
+    {
+      std::unique_lock lock(control.mutex);
+      if (control.remaining == 0) break;
+    }
+    if (!pool.try_execute_one()) {
+      std::unique_lock lock(control.mutex);
+      control.cv.wait_for(lock, std::chrono::milliseconds(10),
+                          [&] { return control.remaining == 0; });
+      if (control.remaining == 0) break;
+    }
+  }
+  if (control.error) std::rethrow_exception(control.error);
+}
+
+}  // namespace apar::concurrency

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace apar::concurrency {
+
+/// Bounded Chase–Lev work-stealing deque over `T*` elements.
+///
+/// One owner thread pushes and pops at the bottom (LIFO, cache-warm); any
+/// number of thieves steal from the top (FIFO, oldest first). The owner's
+/// push/pop never block and never allocate; thieves synchronise through a
+/// single CAS on `top_`. When the ring is full, push() refuses and the
+/// caller overflows into a locked injection queue (see ThreadPool).
+///
+/// Memory-ordering argument (docs/scheduler.md has the long form):
+///
+///  * Cells are `std::atomic<T*>`, so the speculative cell read a losing
+///    thief performs while the owner wraps around and overwrites that slot
+///    is a benign atomic race — the value is discarded when the `top_` CAS
+///    fails. A non-atomic cell would make that same read undefined
+///    behaviour (and a TSan report).
+///  * The owner may only overwrite a cell after observing `top_` past it
+///    (the full check), which happens-after the winning thief's release
+///    CAS on `top_`; the winner's read of the cell precedes its CAS in
+///    program order, so the winner never reads an overwritten cell.
+///  * pop() racing steal() for the LAST element is a classic store/load
+///    (Dekker) conflict: pop publishes the reduced `bottom_` and then reads
+///    `top_`; steal reads `top_` then `bottom_`. Both sides use seq_cst on
+///    those four accesses (instead of the textbook standalone fences, which
+///    ThreadSanitizer does not model), so at least one side observes the
+///    other and the element is claimed exactly once via the `top_` CAS.
+///
+/// Indices are 64-bit and monotonically increasing; they never wrap in any
+/// realistic run, which rules out ABA on the `top_` CAS.
+template <class T>
+class StealDeque {
+ public:
+  /// `capacity` is rounded up to a power of two, minimum 2.
+  explicit StealDeque(std::size_t capacity = 256)
+      : cells_(round_up_pow2(capacity)), mask_(cells_.size() - 1) {}
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  /// Owner only. False when the ring is full (caller must overflow).
+  bool push(T* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<std::int64_t>(cells_.size())) return false;
+    cells_[static_cast<std::size_t>(b) & mask_].store(
+        item, std::memory_order_relaxed);
+    // seq_cst publish: thieves that observe bottom_ > t also observe the
+    // cell store above; doubles as the release edge of the push.
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  /// Owner only. Null when empty.
+  T* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    const std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Already empty: undo the reservation.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T* item =
+        cells_[static_cast<std::size_t>(b) & mask_].load(
+            std::memory_order_relaxed);
+    if (t != b) return item;  // more than one element: no thief can reach b
+    // Last element: race any thief for it through the top_ CAS.
+    std::int64_t expected = t;
+    if (!top_.compare_exchange_strong(expected, t + 1,
+                                      std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      item = nullptr;  // a thief won
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return item;
+  }
+
+  /// Any thread. Null when empty OR when the steal lost a race — callers
+  /// treat both as a miss and pick another victim.
+  T* steal() {
+    const std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    // Speculative read: only valid if the CAS below wins (see class note).
+    T* item =
+        cells_[static_cast<std::size_t>(t) & mask_].load(
+            std::memory_order_relaxed);
+    std::int64_t expected = t;
+    if (!top_.compare_exchange_strong(expected, t + 1,
+                                      std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return item;
+  }
+
+  /// Racy size estimate (diagnostics; never negative).
+  [[nodiscard]] std::size_t size_estimate() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  [[nodiscard]] bool empty() const { return size_estimate() == 0; }
+
+  [[nodiscard]] std::size_t capacity() const { return cells_.size(); }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) {
+    std::size_t p = 2;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  // top_ and bottom_ on separate cache lines: thieves hammer top_, the
+  // owner hammers bottom_.
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  std::vector<std::atomic<T*>> cells_;
+  std::size_t mask_;
+};
+
+}  // namespace apar::concurrency

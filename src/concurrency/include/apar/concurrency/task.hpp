@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace apar::concurrency {
+
+/// Move-only type-erased task envelope with small-buffer optimisation.
+///
+/// Replaces `std::function<void()>` on the ThreadPool hot path: callables up
+/// to kInlineBytes (a captured shared promise plus a function object — the
+/// typical submit() closure) are stored inline, so posting a task performs no
+/// heap allocation for the callable itself. Larger or throwing-move callables
+/// fall back to one heap allocation, exactly like std::function — but with a
+/// 64-byte budget instead of std::function's 16, the fallback is rare.
+///
+/// Unlike std::function, Task is move-only, so callables owning move-only
+/// resources (std::promise, unique_ptr) can be posted directly.
+class Task {
+ public:
+  /// Inline storage budget. Sized for the common pool closure: a shared_ptr
+  /// (16 bytes) plus a lambda with a few captured words.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  Task() noexcept = default;
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, Task> &&
+                std::is_invocable_v<std::decay_t<F>&>>>
+  Task(F&& fn) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (storage()) Fn(std::forward<F>(fn));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      *static_cast<Fn**>(storage()) = new Fn(std::forward<F>(fn));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  Task(Task&& other) noexcept { move_from(other); }
+
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  ~Task() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  /// Invoke the callable. The callable survives the call (destroyed by the
+  /// Task destructor), matching std::function semantics.
+  void operator()() {
+    ops_->invoke(storage());
+  }
+
+  /// Destroy the held callable, returning to the empty state.
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(storage());
+      ops_ = nullptr;
+    }
+  }
+
+  /// True when the callable lives in the inline buffer (diagnostics/tests).
+  [[nodiscard]] bool is_inline() const noexcept {
+    return ops_ && ops_->inline_storage;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-construct into dst from src, then destroy src's callable.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool inline_storage;
+  };
+
+  template <class Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <class Fn>
+  static constexpr Ops kInlineOps{
+      [](void* s) { (*static_cast<Fn*>(s))(); },
+      [](void* dst, void* src) noexcept {
+        auto* from = static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* s) noexcept { static_cast<Fn*>(s)->~Fn(); },
+      /*inline_storage=*/true,
+  };
+
+  template <class Fn>
+  static constexpr Ops kHeapOps{
+      [](void* s) { (**static_cast<Fn**>(s))(); },
+      [](void* dst, void* src) noexcept {
+        *static_cast<Fn**>(dst) = *static_cast<Fn**>(src);
+      },
+      [](void* s) noexcept { delete *static_cast<Fn**>(s); },
+      /*inline_storage=*/false,
+  };
+
+  void move_from(Task& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_) {
+      ops_->relocate(storage(), other.storage());
+      other.ops_ = nullptr;
+    }
+  }
+
+  void* storage() noexcept { return static_cast<void*>(storage_); }
+  [[nodiscard]] const void* storage() const noexcept { return storage_; }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace apar::concurrency

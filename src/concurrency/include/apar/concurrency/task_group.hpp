@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "apar/concurrency/task.hpp"
+
 namespace apar::concurrency {
 
 class ThreadPool;
@@ -28,10 +30,39 @@ class TaskGroup {
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
 
+  /// RAII batching for partition advice: while a BatchScope for this group
+  /// is active on the calling thread, run_on() calls targeting one pool are
+  /// collected and submitted as a single ThreadPool::bulk_post when the
+  /// scope closes (one accounting pass and one wake sweep instead of N
+  /// locked posts). Accounting is live — outstanding() rises as tasks are
+  /// batched — and a run_on() for a different pool (or group) bypasses the
+  /// batch. If the pool rejects the flush (shutdown), the batched tasks run
+  /// inline on the flushing thread so nothing is lost and the destructor
+  /// never throws. Scopes nest per-thread (inner scope shadows outer).
+  class BatchScope {
+   public:
+    explicit BatchScope(TaskGroup& group);
+    ~BatchScope();
+
+    BatchScope(const BatchScope&) = delete;
+    BatchScope& operator=(const BatchScope&) = delete;
+
+    /// Submit everything batched so far without closing the scope.
+    void flush();
+
+   private:
+    friend class TaskGroup;
+    TaskGroup& group_;
+    ThreadPool* pool_ = nullptr;
+    std::vector<Task> tasks_;
+    BatchScope* prev_ = nullptr;
+  };
+
   /// Run `task` on a fresh thread (the paper's `new Thread(){run(){...}}`).
   void spawn(std::function<void()> task);
 
-  /// Run `task` on `pool`, still tracked by this group.
+  /// Run `task` on `pool`, still tracked by this group. Inside an active
+  /// BatchScope for this group, the task is deferred into the batch.
   void run_on(ThreadPool& pool, std::function<void()> task);
 
   /// Manual bracketing for advice that manages its own execution: balance

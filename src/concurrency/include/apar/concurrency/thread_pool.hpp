@@ -9,11 +9,14 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "apar/concurrency/future.hpp"
+#include "apar/concurrency/task.hpp"
 
 namespace apar::obs {
 class Counter;
@@ -23,12 +26,74 @@ class Histogram;
 
 namespace apar::concurrency {
 
-/// Fixed-size thread pool (CP.4: think in terms of tasks, not threads).
+namespace detail {
+
+/// Heap block shared by a submit() call: the future's state and the callable
+/// in ONE allocation (the old path allocated the Promise state, the
+/// std::function callable, and the queue node separately).
+template <class R, class Fn>
+struct SubmitState {
+  FutureState<R> state;
+  Fn fn;
+  template <class G>
+  explicit SubmitState(G&& g) : fn(std::forward<G>(g)) {}
+};
+
+/// The task body for submit(): runs the callable, delivers into the folded
+/// state. If the runner is destroyed without running (pool shut down before
+/// the task was accepted), waiters get BrokenPromise — the same contract a
+/// dropped Promise gives.
+template <class R, class Fn>
+struct SubmitRunner {
+  std::shared_ptr<SubmitState<R, Fn>> shared;
+
+  explicit SubmitRunner(std::shared_ptr<SubmitState<R, Fn>> s)
+      : shared(std::move(s)) {}
+  SubmitRunner(SubmitRunner&&) noexcept = default;
+  SubmitRunner& operator=(SubmitRunner&&) noexcept = default;
+  SubmitRunner(const SubmitRunner&) = delete;
+  SubmitRunner& operator=(const SubmitRunner&) = delete;
+
+  ~SubmitRunner() {
+    if (shared) abandon_state(shared->state);
+  }
+
+  void operator()() {
+    auto s = std::move(shared);
+    try {
+      if constexpr (std::is_void_v<R>) {
+        s->fn();
+        deliver_to_state(s->state, [](auto& st) { st.done = true; });
+      } else {
+        auto result = s->fn();
+        deliver_to_state(s->state, [&](auto& st) {
+          st.value.emplace(std::move(result));
+        });
+      }
+    } catch (...) {
+      deliver_to_state(s->state, [&](auto& st) {
+        st.error = std::current_exception();
+      });
+    }
+  }
+};
+
+}  // namespace detail
+
+/// Fixed-size work-stealing thread pool (CP.4: think in terms of tasks, not
+/// threads).
 ///
 /// The pool is the substrate for the ThreadPoolAspect optimisation (paper
 /// §4.4): instead of spawning a thread per asynchronous method call, the
-/// concurrency aspect can route calls here. Destruction drains queued tasks
-/// and joins all workers (CP.23/CP.25: threads are scoped; never detached).
+/// concurrency aspect routes calls here. Internally each worker owns a
+/// bounded Chase–Lev deque (lock-free owner push/pop, randomized stealing);
+/// external post() goes through a mutex-protected injection queue that
+/// workers drain in chunks, re-seeding their own deques so thieves can
+/// spread the work. docs/scheduler.md describes the algorithm and its
+/// memory-ordering argument.
+///
+/// Destruction drains queued tasks and joins all workers (CP.23/CP.25:
+/// threads are scoped; never detached).
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t threads);
@@ -38,32 +103,46 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue fire-and-forget work. Throws if the pool is shutting down.
-  void post(std::function<void()> task);
+  /// Accepts any nullary callable (std::function, lambdas, Task); callables
+  /// up to Task::kInlineBytes are stored without a heap allocation of their
+  /// own. Posts from a worker thread of this pool go to that worker's own
+  /// deque (lock-free); external posts take the injection lock once.
+  template <class F>
+  void post(F&& fn) {
+    post_node(make_node(Task(std::forward<F>(fn))));
+  }
 
-  /// Enqueue work and obtain a future for its result.
+  /// Enqueue a batch under ONE accounting pass and one wake-up sweep
+  /// instead of `tasks.size()` locked posts. From a worker thread the batch
+  /// seeds the worker's own deque (thieves spread it); from outside it is
+  /// spliced into the injection queue under a single lock. Tasks are moved
+  /// from; on failure (pool shutting down) the span is left untouched.
+  void bulk_post(std::span<Task> tasks);
+
+  /// Enqueue work and obtain a future for its result. One heap allocation
+  /// total: the future state and the callable share a block, and the task
+  /// envelope holding it comes from the node cache.
   template <class F>
   auto submit(F&& fn) -> Future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
-    auto promise = std::make_shared<Promise<R>>();
-    auto future = promise->future();
-    post([promise, fn = std::forward<F>(fn)]() mutable {
-      try {
-        if constexpr (std::is_void_v<R>) {
-          fn();
-          promise->set_value();
-        } else {
-          promise->set_value(fn());
-        }
-      } catch (...) {
-        promise->set_exception(std::current_exception());
-      }
-    });
+    using Fn = std::decay_t<F>;
+    auto shared =
+        std::make_shared<detail::SubmitState<R, Fn>>(std::forward<F>(fn));
+    auto future = detail::FutureAccess::wrap(
+        std::shared_ptr<detail::FutureState<R>>(shared, &shared->state));
+    post(detail::SubmitRunner<R, Fn>(std::move(shared)));
     return future;
   }
 
+  /// Run one queued task on the calling thread if any is available; false
+  /// when nothing could be claimed. Lets blocked producers (parallel_for)
+  /// help instead of deadlocking the pool from inside a worker.
+  bool try_execute_one();
+
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
-  /// Tasks currently queued (diagnostic; racy by nature).
+  /// Tasks currently queued (diagnostic; racy by nature). Counts the
+  /// injection queue AND all worker deques.
   [[nodiscard]] std::size_t pending() const;
 
   /// Posted tasks whose exceptions escaped. Fire-and-forget tasks should
@@ -73,27 +152,80 @@ class ThreadPool {
     return task_failures_.load(std::memory_order_relaxed);
   }
 
-  /// Block until the queue is empty and all workers are idle.
+  /// Successful steals (diagnostic; also exported as threadpool.steals).
+  [[nodiscard]] std::uint64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+  /// Owner-deque overflows routed to the injection queue (diagnostic; also
+  /// exported as threadpool.overflow).
+  [[nodiscard]] std::uint64_t overflows() const {
+    return overflows_.load(std::memory_order_relaxed);
+  }
+
+  /// Block until no task is queued anywhere and all workers are idle.
   void drain();
 
  private:
-  /// A queued task with its enqueue time (zeroed when metrics are off, so
-  /// the unobserved path never reads the clock).
-  struct QueuedTask {
-    std::function<void()> fn;
-    std::chrono::steady_clock::time_point enqueued{};
-  };
+  struct TaskNode;
+  struct WorkerSlot;
+  struct NodeCache;
 
-  void worker_loop();
+  /// Per-thread cache of recycled TaskNodes (capped); avoids a malloc per
+  /// post in steady state without any cross-thread synchronisation.
+  static NodeCache& local_node_cache();
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::deque<QueuedTask> queue_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
-  std::atomic<std::uint64_t> task_failures_{0};
+  TaskNode* make_node(Task task);
+  void destroy_node(TaskNode* node) noexcept;
+  /// Full accounting for one accepted node: pending++, stopping check,
+  /// enqueue, wake. Throws (after destroying the node) when shutting down.
+  void post_node(TaskNode* node);
+  /// Place an accepted node: own deque when called from a worker of this
+  /// pool (overflow -> injection), injection queue otherwise.
+  void enqueue_node(TaskNode* node);
+  TaskNode* find_work(std::size_t index);
+  TaskNode* take_injected(std::size_t index);
+  TaskNode* take_injected_external();
+  TaskNode* steal_task(std::size_t self_index);
+  void run_node(TaskNode* node);
+  void worker_loop(std::size_t index);
+  void wake_one();
+  void wake_all();
+
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
   std::vector<std::thread> workers_;
+
+  /// Shared overflow free-stack for TaskNodes. Nodes are freed on worker
+  /// threads but allocated on producer threads, so the thread-local caches
+  /// alone never recycle across that boundary: workers push surplus nodes
+  /// here (lock-free CAS; push-only, so no ABA), producers adopt the whole
+  /// stack in one exchange when their local cache runs dry. Drained in the
+  /// destructor after the workers are joined.
+  std::atomic<TaskNode*> free_nodes_{nullptr};
+
+  mutable std::mutex inject_mutex_;
+  std::deque<TaskNode*> inject_;
+
+  // Sleep/idle coordination. Workers sleep only when pending_ == 0 — i.e.
+  // both the injection queue and every deque are empty — and every enqueue
+  // (deque or injection) bumps pending_ before waking, so no task can be
+  // stranded behind a sleeping worker. The Dekker pattern between
+  // pending_/sleepers_ (both seq_cst) plus lock-then-notify closes the
+  // missed-wakeup races; see docs/scheduler.md.
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::condition_variable idle_cv_;
+  std::atomic<std::size_t> sleepers_{0};
+
+  /// Tasks enqueued but not yet claimed by a runner.
+  std::atomic<std::int64_t> pending_count_{0};
+  /// Tasks currently executing.
+  std::atomic<std::int64_t> active_{0};
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<std::uint64_t> task_failures_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> overflows_{0};
 
   // Registry probes, created at construction only when obs::metrics_enabled()
   // — null means every instrumentation branch below is a single pointer
@@ -101,13 +233,16 @@ class ThreadPool {
   // Series (process-wide aggregate over all pools):
   //   threadpool.queue_depth (gauge), threadpool.workers (gauge),
   //   threadpool.wait_us / threadpool.run_us (histograms),
-  //   threadpool.tasks / threadpool.busy_us (counters).
+  //   threadpool.tasks / threadpool.busy_us (counters),
+  //   threadpool.steals / threadpool.overflow (counters).
   std::shared_ptr<obs::Gauge> queue_depth_;
   std::shared_ptr<obs::Gauge> workers_gauge_;
   std::shared_ptr<obs::Histogram> wait_us_;
   std::shared_ptr<obs::Histogram> run_us_;
   std::shared_ptr<obs::Counter> tasks_counter_;
   std::shared_ptr<obs::Counter> busy_us_counter_;
+  std::shared_ptr<obs::Counter> steals_counter_;
+  std::shared_ptr<obs::Counter> overflow_counter_;
 };
 
 }  // namespace apar::concurrency

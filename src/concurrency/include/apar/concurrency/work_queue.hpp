@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -8,6 +9,7 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "apar/obs/metrics.hpp"
 
@@ -53,6 +55,57 @@ class WorkQueue {
     }
     cv_.notify_one();
     return true;
+  }
+
+  /// Push a whole batch under ONE lock acquisition and one notify_all
+  /// (instead of size() lock/notify pairs — the DynamicFarm feeder pushes
+  /// every pack of a partition at once). Items are moved from `items`.
+  /// Returns the number actually enqueued: all of them, or 0 if the queue
+  /// is closed (all-or-nothing; the vector is left untouched on refusal so
+  /// the caller can dispose of the work). Metrics stay exact: depth/pushed
+  /// advance by the batch size in one step.
+  std::size_t push_batch(std::vector<T>& items) {
+    if (items.empty()) return 0;
+    const auto n = items.size();
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return 0;
+      for (auto& item : items)
+        items_.push_back(std::move(item));
+    }
+    items.clear();
+    if (depth_) {
+      depth_->add(static_cast<std::int64_t>(n));
+      pushed_->add(n);
+    }
+    if (n == 1)
+      cv_.notify_one();
+    else
+      cv_.notify_all();
+    return n;
+  }
+
+  /// Block until at least one item is available (or the queue is closed and
+  /// empty), then take up to `max_n` items under the single lock hold.
+  /// Empty result means closed-and-drained, mirroring pop().
+  std::vector<T> pop_batch(std::size_t max_n) {
+    std::vector<T> out;
+    if (max_n == 0) return out;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      const std::size_t take = std::min(max_n, items_.size());
+      out.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    if (depth_ && !out.empty()) {
+      depth_->add(-static_cast<std::int64_t>(out.size()));
+      popped_->add(out.size());
+    }
+    return out;
   }
 
   /// Block until an item is available or the queue is closed and empty.

@@ -4,6 +4,36 @@
 
 namespace apar::concurrency {
 
+namespace {
+thread_local TaskGroup::BatchScope* tls_batch = nullptr;
+}
+
+TaskGroup::BatchScope::BatchScope(TaskGroup& group) : group_(group) {
+  prev_ = tls_batch;
+  tls_batch = this;
+}
+
+TaskGroup::BatchScope::~BatchScope() {
+  tls_batch = prev_;
+  flush();
+}
+
+void TaskGroup::BatchScope::flush() {
+  if (tasks_.empty()) return;
+  if (pool_) {
+    try {
+      pool_->bulk_post(tasks_);
+      tasks_.clear();
+      return;
+    } catch (...) {
+      // Pool shutting down; bulk_post is all-or-nothing, so fall through
+      // and run the intact batch inline (each wrapper still finish()es).
+    }
+  }
+  for (auto& task : tasks_) task();
+  tasks_.clear();
+}
+
 TaskGroup::~TaskGroup() {
   // A TaskGroup is a scoped container of threads (CP.23): joining here keeps
   // destruction safe even if the owner forgot to wait().
@@ -34,6 +64,22 @@ void TaskGroup::spawn(std::function<void()> task) {
 }
 
 void TaskGroup::run_on(ThreadPool& pool, std::function<void()> task) {
+  if (BatchScope* scope = tls_batch;
+      scope && &scope->group_ == this &&
+      (scope->pool_ == nullptr || scope->pool_ == &pool)) {
+    scope->pool_ = &pool;
+    enter();
+    scope->tasks_.emplace_back([this, task = std::move(task)]() mutable {
+      std::exception_ptr error;
+      try {
+        task();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      finish(std::move(error));
+    });
+    return;
+  }
   enter();
   try {
     pool.post([this, task = std::move(task)] {

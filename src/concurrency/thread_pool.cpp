@@ -1,10 +1,123 @@
 #include "apar/concurrency/thread_pool.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "apar/concurrency/steal_deque.hpp"
 #include "apar/obs/metrics.hpp"
 
 namespace apar::concurrency {
+
+namespace {
+
+/// Identifies the pool worker running on this thread (if any), so post()
+/// from inside a task can target the worker's own deque lock-free.
+struct CurrentWorker {
+  ThreadPool* pool = nullptr;
+  std::size_t index = 0;
+};
+thread_local CurrentWorker tls_worker;
+
+constexpr std::size_t kNoWorker = static_cast<std::size_t>(-1);
+/// Injection-queue tasks moved into the claiming worker's deque per grab,
+/// so one locked visit feeds several lock-free pops (and gives thieves
+/// something to steal).
+constexpr std::size_t kInjectChunk = 16;
+constexpr std::size_t kNodeCacheCap = 64;
+constexpr std::size_t kDequeCapacity = 1024;
+
+/// xorshift64* per-thread RNG for victim selection; no locking, no
+/// std::random_device syscall on the steal path.
+std::uint64_t next_rand() {
+  static thread_local std::uint64_t state =
+      0x9e3779b97f4a7c15ull ^
+      static_cast<std::uint64_t>(
+          std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545f4914f6cdd1dull;
+}
+
+}  // namespace
+
+struct ThreadPool::TaskNode {
+  Task task;
+  std::chrono::steady_clock::time_point enqueued{};
+  TaskNode* next = nullptr;  ///< node-cache freelist link
+};
+
+struct ThreadPool::WorkerSlot {
+  StealDeque<TaskNode> deque{kDequeCapacity};
+};
+
+struct ThreadPool::NodeCache {
+  TaskNode* head = nullptr;
+  std::size_t count = 0;
+
+  ~NodeCache() {
+    while (head) {
+      TaskNode* node = head;
+      head = node->next;
+      delete node;
+    }
+  }
+};
+
+ThreadPool::NodeCache& ThreadPool::local_node_cache() {
+  static thread_local NodeCache cache;
+  return cache;
+}
+
+ThreadPool::TaskNode* ThreadPool::make_node(Task task) {
+  NodeCache& cache = local_node_cache();
+  if (!cache.head) {
+    // Reclaim nodes freed on other threads (typically the workers) in one
+    // ABA-safe swap; without this, a pure producer thread would pay a
+    // malloc per post because its own cache never refills. The whole list
+    // is adopted — possibly past the cap; destroy_node stops adding beyond
+    // the cap and the cache frees everything at thread exit.
+    TaskNode* list = free_nodes_.exchange(nullptr, std::memory_order_acquire);
+    while (list) {
+      TaskNode* reclaimed = list;
+      list = reclaimed->next;
+      reclaimed->next = cache.head;
+      cache.head = reclaimed;
+      ++cache.count;
+    }
+  }
+  TaskNode* node;
+  if (cache.head) {
+    node = cache.head;
+    cache.head = node->next;
+    --cache.count;
+    node->next = nullptr;
+  } else {
+    node = new TaskNode();
+  }
+  node->task = std::move(task);
+  if (wait_us_) node->enqueued = std::chrono::steady_clock::now();
+  return node;
+}
+
+void ThreadPool::destroy_node(TaskNode* node) noexcept {
+  node->task.reset();
+  NodeCache& cache = local_node_cache();
+  if (cache.count < kNodeCacheCap) {
+    node->next = cache.head;
+    cache.head = node;
+    ++cache.count;
+  } else {
+    // Local cache full: hand the node to the pool's shared free-stack so
+    // producer threads (which allocate but never free) can recycle it.
+    TaskNode* head = free_nodes_.load(std::memory_order_relaxed);
+    do {
+      node->next = head;
+    } while (!free_nodes_.compare_exchange_weak(head, node,
+                                                std::memory_order_release,
+                                                std::memory_order_relaxed));
+  }
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = 1;
@@ -16,92 +129,277 @@ ThreadPool::ThreadPool(std::size_t threads) {
     run_us_ = registry.histogram("threadpool.run_us");
     tasks_counter_ = registry.counter("threadpool.tasks");
     busy_us_counter_ = registry.counter("threadpool.busy_us");
+    steals_counter_ = registry.counter("threadpool.steals");
+    overflow_counter_ = registry.counter("threadpool.overflow");
     workers_gauge_->add(static_cast<std::int64_t>(threads));
   }
+  slots_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    slots_.push_back(std::make_unique<WorkerSlot>());
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
+  stopping_.store(true, std::memory_order_seq_cst);
   {
-    std::lock_guard lock(mutex_);
-    stopping_ = true;
+    // Fence against the sleep predicate: a worker past its predicate check
+    // either holds the mutex (we wait here) or is already blocked (the
+    // notify reaches it).
+    std::lock_guard lock(sleep_mutex_);
   }
-  cv_.notify_all();
+  sleep_cv_.notify_all();
   for (auto& w : workers_) w.join();
+  TaskNode* list = free_nodes_.exchange(nullptr, std::memory_order_acquire);
+  while (list) {
+    TaskNode* node = list;
+    list = node->next;
+    delete node;
+  }
   if (workers_gauge_)
     workers_gauge_->add(-static_cast<std::int64_t>(workers_.size()));
 }
 
-void ThreadPool::post(std::function<void()> task) {
-  QueuedTask queued{std::move(task), {}};
-  if (wait_us_) queued.enqueued = std::chrono::steady_clock::now();
-  {
-    std::lock_guard lock(mutex_);
-    if (stopping_) throw std::runtime_error("ThreadPool is shutting down");
-    queue_.push_back(std::move(queued));
+void ThreadPool::post_node(TaskNode* node) {
+  // Accept/reject protocol (both sides seq_cst): pending++ happens BEFORE
+  // the stopping check, and the destructor stores stopping BEFORE workers
+  // re-check pending on their way out. In the seq_cst total order either
+  // this post sees stopping (rejects, undoes the increment) or its
+  // increment precedes the store, in which case every exiting worker still
+  // sees pending > 0 and keeps draining. Tasks are never lost at shutdown.
+  pending_count_.fetch_add(1, std::memory_order_seq_cst);
+  if (stopping_.load(std::memory_order_seq_cst)) {
+    pending_count_.fetch_sub(1, std::memory_order_seq_cst);
+    destroy_node(node);
+    {
+      std::lock_guard lock(sleep_mutex_);
+    }
+    idle_cv_.notify_all();
+    throw std::runtime_error("ThreadPool is shutting down");
   }
   if (queue_depth_) queue_depth_->add(1);
-  cv_.notify_one();
+  enqueue_node(node);
+  wake_one();
+}
+
+void ThreadPool::enqueue_node(TaskNode* node) {
+  if (tls_worker.pool == this) {
+    if (slots_[tls_worker.index]->deque.push(node)) return;
+    overflows_.fetch_add(1, std::memory_order_relaxed);
+    if (overflow_counter_) overflow_counter_->add(1);
+  }
+  std::lock_guard lock(inject_mutex_);
+  inject_.push_back(node);
+}
+
+void ThreadPool::bulk_post(std::span<Task> tasks) {
+  if (tasks.empty()) return;
+  const auto n = static_cast<std::int64_t>(tasks.size());
+  pending_count_.fetch_add(n, std::memory_order_seq_cst);
+  if (stopping_.load(std::memory_order_seq_cst)) {
+    // All-or-nothing: no task has been moved from yet, so the caller can
+    // still run the span inline.
+    pending_count_.fetch_sub(n, std::memory_order_seq_cst);
+    {
+      std::lock_guard lock(sleep_mutex_);
+    }
+    idle_cv_.notify_all();
+    throw std::runtime_error("ThreadPool is shutting down");
+  }
+  if (queue_depth_) queue_depth_->add(n);
+  if (tls_worker.pool == this) {
+    // Seed our own deque (lock-free); spill the rest under one lock.
+    auto& deque = slots_[tls_worker.index]->deque;
+    std::vector<TaskNode*> spill;
+    for (auto& task : tasks) {
+      TaskNode* node = make_node(std::move(task));
+      if (!deque.push(node)) {
+        overflows_.fetch_add(1, std::memory_order_relaxed);
+        if (overflow_counter_) overflow_counter_->add(1);
+        spill.push_back(node);
+      }
+    }
+    if (!spill.empty()) {
+      std::lock_guard lock(inject_mutex_);
+      inject_.insert(inject_.end(), spill.begin(), spill.end());
+    }
+  } else {
+    std::vector<TaskNode*> nodes;
+    nodes.reserve(tasks.size());
+    for (auto& task : tasks) nodes.push_back(make_node(std::move(task)));
+    std::lock_guard lock(inject_mutex_);
+    inject_.insert(inject_.end(), nodes.begin(), nodes.end());
+  }
+  wake_all();
+}
+
+ThreadPool::TaskNode* ThreadPool::take_injected(std::size_t index) {
+  std::lock_guard lock(inject_mutex_);
+  if (inject_.empty()) return nullptr;
+  TaskNode* first = inject_.front();
+  inject_.pop_front();
+  // Re-seed our deque so the next grabs are lock-free and thieves can
+  // spread the backlog.
+  auto& deque = slots_[index]->deque;
+  std::size_t moved = 0;
+  while (moved < kInjectChunk && !inject_.empty()) {
+    if (!deque.push(inject_.front())) break;
+    inject_.pop_front();
+    ++moved;
+  }
+  return first;
+}
+
+ThreadPool::TaskNode* ThreadPool::take_injected_external() {
+  std::lock_guard lock(inject_mutex_);
+  if (inject_.empty()) return nullptr;
+  TaskNode* first = inject_.front();
+  inject_.pop_front();
+  return first;
+}
+
+ThreadPool::TaskNode* ThreadPool::steal_task(std::size_t self_index) {
+  const std::size_t n = slots_.size();
+  for (int round = 0; round < 2; ++round) {
+    const std::size_t start = static_cast<std::size_t>(next_rand()) % n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t victim = (start + i) % n;
+      if (victim == self_index) continue;
+      if (TaskNode* node = slots_[victim]->deque.steal()) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        if (steals_counter_) steals_counter_->add(1);
+        return node;
+      }
+    }
+  }
+  return nullptr;
+}
+
+ThreadPool::TaskNode* ThreadPool::find_work(std::size_t index) {
+  if (TaskNode* node = slots_[index]->deque.pop()) return node;
+  if (TaskNode* node = take_injected(index)) return node;
+  return steal_task(index);
+}
+
+void ThreadPool::run_node(TaskNode* node) {
+  // Claim order matters for drain(): active++ BEFORE pending--, so there
+  // is no instant where a claimed-but-running task is invisible to the
+  // idle predicate (pending == 0 && active == 0).
+  active_.fetch_add(1, std::memory_order_seq_cst);
+  pending_count_.fetch_sub(1, std::memory_order_seq_cst);
+  if (queue_depth_) queue_depth_->add(-1);
+  std::chrono::steady_clock::time_point started{};
+  if (wait_us_) {
+    started = std::chrono::steady_clock::now();
+    wait_us_->record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         started - node->enqueued)
+                         .count() /
+                     1000.0);
+  }
+  // A fire-and-forget task that throws must not take the process down
+  // (an escaped exception on a worker thread is std::terminate). This
+  // matters during shutdown: a task that post()s while the pool is
+  // stopping gets a runtime_error, and if it lets that propagate the
+  // whole run would die instead of finishing the drain.
+  try {
+    node->task();
+  } catch (...) {
+    task_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (run_us_) {
+    const double us = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - started)
+                          .count() /
+                      1000.0;
+    run_us_->record(us);
+    tasks_counter_->add(1);
+    busy_us_counter_->add(static_cast<std::uint64_t>(us));
+  }
+  destroy_node(node);
+  if (active_.fetch_sub(1, std::memory_order_seq_cst) == 1 &&
+      pending_count_.load(std::memory_order_seq_cst) == 0) {
+    std::lock_guard lock(sleep_mutex_);
+    idle_cv_.notify_all();
+  }
+}
+
+bool ThreadPool::try_execute_one() {
+  TaskNode* node = nullptr;
+  if (tls_worker.pool == this) {
+    node = find_work(tls_worker.index);
+  } else {
+    node = take_injected_external();
+    if (!node) node = steal_task(kNoWorker);
+  }
+  if (!node) return false;
+  run_node(node);
+  return true;
 }
 
 std::size_t ThreadPool::pending() const {
-  std::lock_guard lock(mutex_);
-  return queue_.size();
+  const auto p = pending_count_.load(std::memory_order_seq_cst);
+  return p > 0 ? static_cast<std::size_t>(p) : 0;
 }
 
 void ThreadPool::drain() {
-  std::unique_lock lock(mutex_);
-  idle_cv_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+  std::unique_lock lock(sleep_mutex_);
+  idle_cv_.wait(lock, [&] {
+    return pending_count_.load(std::memory_order_seq_cst) == 0 &&
+           active_.load(std::memory_order_seq_cst) == 0;
+  });
 }
 
-void ThreadPool::worker_loop() {
-  while (true) {
-    QueuedTask task;
-    {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
-    }
-    if (queue_depth_) queue_depth_->add(-1);
-    std::chrono::steady_clock::time_point started{};
-    if (wait_us_) {
-      started = std::chrono::steady_clock::now();
-      wait_us_->record(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              started - task.enqueued)
-              .count() /
-          1000.0);
-    }
-    // A fire-and-forget task that throws must not take the process down
-    // (an escaped exception on a worker thread is std::terminate). This
-    // matters during shutdown: a task that post()s while the pool is
-    // stopping gets a runtime_error, and if it lets that propagate the
-    // whole run would die instead of finishing the drain.
-    try {
-      task.fn();
-    } catch (...) {
-      task_failures_.fetch_add(1, std::memory_order_relaxed);
-    }
-    if (run_us_) {
-      const double us = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                            std::chrono::steady_clock::now() - started)
-                            .count() /
-                        1000.0;
-      run_us_->record(us);
-      tasks_counter_->add(1);
-      busy_us_counter_->add(static_cast<std::uint64_t>(us));
-    }
-    {
-      std::lock_guard lock(mutex_);
-      --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
-    }
+void ThreadPool::wake_one() {
+  // Dekker pairing with the sleep path: enqueue did pending++ (seq_cst)
+  // before this sleepers_ read; a worker does sleepers++ (seq_cst) before
+  // re-reading pending under the mutex. At least one side sees the other,
+  // so a task is never published to a fully sleeping pool without a notify.
+  if (sleepers_.load(std::memory_order_seq_cst) == 0) return;
+  {
+    std::lock_guard lock(sleep_mutex_);
   }
+  sleep_cv_.notify_one();
+}
+
+void ThreadPool::wake_all() {
+  if (sleepers_.load(std::memory_order_seq_cst) == 0) return;
+  {
+    std::lock_guard lock(sleep_mutex_);
+  }
+  sleep_cv_.notify_all();
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_worker = CurrentWorker{this, index};
+  while (true) {
+    if (TaskNode* node = find_work(index)) {
+      run_node(node);
+      continue;
+    }
+    // Nothing claimable right now. If tasks are accounted somewhere
+    // (being enqueued, or sitting in a deque we raced on), spin-yield;
+    // sleeping here could strand a task behind the wake protocol.
+    if (pending_count_.load(std::memory_order_seq_cst) > 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    if (stopping_.load(std::memory_order_seq_cst)) {
+      // Exit only when stopping AND nothing pending anywhere — the
+      // destructor drains queued work (see post_node protocol).
+      if (pending_count_.load(std::memory_order_seq_cst) == 0) break;
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock lock(sleep_mutex_);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    sleep_cv_.wait(lock, [&] {
+      return stopping_.load(std::memory_order_seq_cst) ||
+             pending_count_.load(std::memory_order_seq_cst) > 0;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  tls_worker = CurrentWorker{};
 }
 
 }  // namespace apar::concurrency

@@ -7,9 +7,10 @@
 
 #include "apar/cluster/middleware.hpp"
 #include "apar/common/stopwatch.hpp"
-#include "apar/concurrency/barrier.hpp"
+#include "apar/concurrency/parallel_for.hpp"
 #include "apar/concurrency/sync_registry.hpp"
 #include "apar/concurrency/task_group.hpp"
+#include "apar/concurrency/thread_pool.hpp"
 #include "apar/sieve/workload.hpp"
 #include "apar/strategies/partition_common.hpp"
 
@@ -108,19 +109,19 @@ SieveResult run_farm_threads(const SieveConfig& config) {
 
   auto packs =
       strategies::split_into_packs<long long>(candidates, config.pack_size);
-  concurrency::TaskGroup group;
+  // Hand-coded counterpart of the farm+pool weave: a work-stealing pool
+  // sized to the CPU-slot budget (so no ParallelismLimiter is needed — the
+  // pool IS the limiter) and one bulk submission for all packs. Packs are
+  // routed round-robin by index; the per-worker monitor keeps PrimeFilter's
+  // non-thread-safe process() serialised per duplicate.
+  concurrency::ThreadPool pool(config.local_cpu_slots);
   concurrency::SyncRegistry monitors;
-  concurrency::ParallelismLimiter cpu(config.local_cpu_slots);
-  std::size_t next = 0;
-  for (auto& pack : packs) {
-    PrimeFilter* worker = workers[next++ % workers.size()].get();
-    group.spawn([&, worker, pack]() mutable {
-      auto permit = cpu.permit();
-      auto guard = monitors.acquire(worker);
-      worker->process(pack);
-    });
-  }
-  group.wait();
+  concurrency::parallel_for(
+      pool, 0, packs.size(), /*grain=*/1, [&](std::size_t p) {
+        PrimeFilter* worker = workers[p % workers.size()].get();
+        auto guard = monitors.acquire(worker);
+        worker->process(packs[p]);
+      });
   result.seconds = sw.seconds();
 
   long long survivors = 0;

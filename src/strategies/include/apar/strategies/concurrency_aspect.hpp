@@ -4,7 +4,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "apar/aop/aop.hpp"
@@ -60,8 +59,11 @@ class ConcurrencyAspect : public aop::Aspect, public AsyncControl {
   // --- AsyncControl -------------------------------------------------------
 
   void use_pool(std::size_t threads) override {
-    std::lock_guard lock(pool_mutex_);
-    pool_ = std::make_unique<concurrency::ThreadPool>(threads);
+    // Swap the pool handle atomically: dispatches in flight hold their own
+    // shared_ptr, so the old pool is destroyed (draining its queue) only
+    // when the last dispatch lets go.
+    pool_.store(std::make_shared<concurrency::ThreadPool>(threads),
+                std::memory_order_release);
     pooled_.store(true, std::memory_order_release);
   }
 
@@ -87,12 +89,16 @@ class ConcurrencyAspect : public aop::Aspect, public AsyncControl {
           auto continuation = inv.continuation();
           spawned_.fetch_add(1, std::memory_order_relaxed);
           if (pooled()) {
-            std::lock_guard lock(pool_mutex_);
-            inv.context().tasks().run_on(*pool_, std::move(continuation));
-          } else {
-            // The paper's `new Thread() { run() { proceed(); } }.start()`.
-            inv.context().tasks().spawn(std::move(continuation));
+            // Lock-free dispatch: the atomic shared_ptr load pins the pool
+            // for the duration of the post, so use_pool()/unplug can swap
+            // it concurrently without a mutex on this hot path.
+            if (auto pool = pool_.load(std::memory_order_acquire)) {
+              inv.context().tasks().run_on(*pool, std::move(continuation));
+              return;
+            }
           }
+          // The paper's `new Thread() { run() { proceed(); } }.start()`.
+          inv.context().tasks().spawn(std::move(continuation));
         });
   }
 
@@ -110,8 +116,7 @@ class ConcurrencyAspect : public aop::Aspect, public AsyncControl {
   }
 
   concurrency::SyncRegistry monitors_;
-  std::mutex pool_mutex_;
-  std::unique_ptr<concurrency::ThreadPool> pool_;
+  std::atomic<std::shared_ptr<concurrency::ThreadPool>> pool_;
   std::atomic<bool> pooled_{false};
   std::atomic<std::uint64_t> spawned_{0};
 };

@@ -109,12 +109,20 @@ class DynamicFarmAspect : public aop::Aspect {
         [this](auto& inv) {
           auto& [data] = inv.args();
           auto packs = split_into_packs<E>(data, options_.pack_size);
-          for (auto& pack : packs) {
-            {
-              std::lock_guard lock(pending_mutex_);
-              ++pending_;
-            }
-            queue_->push(std::move(pack));
+          if (packs.empty()) return;
+          const std::size_t n = packs.size();
+          {
+            std::lock_guard lock(pending_mutex_);
+            pending_ += n;
+          }
+          // One lock acquisition + one notify_all for the whole partition
+          // instead of a lock/notify pair per pack.
+          if (queue_->push_batch(packs) == 0) {
+            // Queue closed under us (detach raced the split): nothing was
+            // enqueued, so roll the accounting back or quiesce() hangs.
+            std::lock_guard lock(pending_mutex_);
+            pending_ -= n;
+            if (pending_ == 0) idle_cv_.notify_all();
           }
         });
   }

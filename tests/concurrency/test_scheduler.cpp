@@ -1,0 +1,456 @@
+// Scheduler-specific coverage for the work-stealing ThreadPool internals:
+// recursive submission, bulk posting, steal-path accounting, shutdown and
+// wake-up edge cases. Basic pool semantics live in test_thread_pool.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apar/concurrency/parallel_for.hpp"
+#include "apar/concurrency/task.hpp"
+#include "apar/concurrency/thread_pool.hpp"
+
+namespace {
+
+using apar::concurrency::parallel_for;
+using apar::concurrency::Task;
+using apar::concurrency::ThreadPool;
+
+// --- Task envelope ---------------------------------------------------------
+
+TEST(TaskEnvelope, SmallCallableIsStoredInline) {
+  int x = 0;
+  Task task([&x] { x = 42; });
+  EXPECT_TRUE(task.is_inline());
+  task();
+  EXPECT_EQ(x, 42);
+}
+
+TEST(TaskEnvelope, LargeCallableFallsBackToHeap) {
+  struct Big {
+    char payload[128] = {};
+  };
+  int runs = 0;
+  Task task([big = Big{}, &runs] {
+    (void)big;
+    ++runs;
+  });
+  EXPECT_FALSE(task.is_inline());
+  task();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(TaskEnvelope, HoldsMoveOnlyCallables) {
+  auto flag = std::make_unique<int>(7);
+  Task task([flag = std::move(flag)] { EXPECT_EQ(*flag, 7); });
+  EXPECT_TRUE(task.is_inline());
+  Task moved = std::move(task);
+  EXPECT_FALSE(static_cast<bool>(task));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(moved));
+  moved();
+}
+
+TEST(TaskEnvelope, MoveTransfersHeapCallableWithoutRunningIt) {
+  struct Big {
+    char payload[128] = {};
+  };
+  std::shared_ptr<int> counter = std::make_shared<int>(0);
+  Task a([big = Big{}, counter] {
+    (void)big;
+    ++*counter;
+  });
+  Task b = std::move(a);
+  Task c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(*counter, 1);
+}
+
+TEST(TaskEnvelope, ResetDestroysCapturedState) {
+  auto witness = std::make_shared<int>(1);
+  std::weak_ptr<int> weak = witness;
+  Task task([witness = std::move(witness)] {});
+  EXPECT_FALSE(weak.expired());
+  task.reset();
+  EXPECT_TRUE(weak.expired());
+  EXPECT_FALSE(static_cast<bool>(task));
+}
+
+// --- Recursive submission --------------------------------------------------
+
+TEST(Scheduler, RecursiveSubmitFromWorkerDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  // Each task posts two children until the tree bottoms out: 2^7 - 1 tasks,
+  // most of them posted from worker threads (own-deque path).
+  std::function<void(int)> node = [&](int depth) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+    if (depth == 0) return;
+    pool.post([&node, depth] { node(depth - 1); });
+    pool.post([&node, depth] { node(depth - 1); });
+  };
+  pool.post([&node] { node(6); });
+  pool.drain();
+  EXPECT_EQ(ran.load(), 127);
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(Scheduler, RecursiveParallelForFromWorkerDoesNotDeadlock) {
+  // One worker: the nested parallel_for can only finish if the caller
+  // help-executes its own chunks instead of blocking the sole worker.
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  auto outer = pool.submit([&] {
+    parallel_for(pool, 0, 100, 10,
+                 [&](std::size_t i) {
+                   sum.fetch_add(static_cast<int>(i),
+                                 std::memory_order_relaxed);
+                 });
+    return sum.load();
+  });
+  EXPECT_EQ(outer.get(), 4950);
+}
+
+TEST(Scheduler, DrainWaitsOutInFlightSteals) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> ran{0};
+    // Seed from a worker so the tasks land in ONE deque and the other
+    // three workers must steal them while we drain.
+    pool.post([&] {
+      for (int i = 0; i < 64; ++i)
+        pool.post([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    });
+    pool.drain();
+    ASSERT_EQ(ran.load(), 64) << "round " << round;
+    ASSERT_EQ(pool.pending(), 0u);
+  }
+}
+
+TEST(Scheduler, DestructorDuringActiveStealingRunsEveryAcceptedTask) {
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> ran{0};
+    std::atomic<int> accepted{0};
+    {
+      ThreadPool pool(4);
+      pool.post([&] {
+        // Posts racing the destructor may be rejected (that is the
+        // documented shutdown contract) — but every ACCEPTED task must
+        // still run before the destructor returns.
+        for (int i = 0; i < 128; ++i) {
+          try {
+            pool.post(
+                [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+            accepted.fetch_add(1, std::memory_order_relaxed);
+          } catch (const std::runtime_error&) {
+            break;  // pool is shutting down
+          }
+        }
+      });
+      // Destroy immediately: workers are mid-claim/mid-steal; the pool
+      // must still drain everything that was accepted.
+    }
+    ASSERT_EQ(ran.load(), accepted.load()) << "round " << round;
+  }
+}
+
+// --- Bulk submission -------------------------------------------------------
+
+TEST(Scheduler, BulkPostRunsExactlyTheBatch) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  std::vector<Task> tasks;
+  for (int i = 0; i < 257; ++i)
+    tasks.emplace_back([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.bulk_post(tasks);
+  pool.drain();
+  EXPECT_EQ(ran.load(), 257);
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(Scheduler, BulkPostFromWorkerSeedsOwnDeque) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.post([&] {
+    std::vector<Task> tasks;
+    for (int i = 0; i < 100; ++i)
+      tasks.emplace_back(
+          [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    pool.bulk_post(tasks);
+  });
+  pool.drain();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(Scheduler, BulkPostEmptySpanIsANoOp) {
+  ThreadPool pool(1);
+  std::vector<Task> tasks;
+  pool.bulk_post(tasks);
+  pool.drain();
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+// --- Failure accounting ----------------------------------------------------
+
+TEST(Scheduler, TaskFailuresCountedOnStealPath) {
+  ThreadPool pool(4);
+  // Seed all failures into one worker's deque so most are claimed by
+  // thieves; the counter must not care who ran the task.
+  pool.post([&] {
+    for (int i = 0; i < 32; ++i)
+      pool.post([] { throw std::runtime_error("expected failure"); });
+  });
+  pool.drain();
+  EXPECT_EQ(pool.task_failures(), 32u);
+}
+
+// --- Stealing and wake-up behaviour ---------------------------------------
+
+TEST(Scheduler, StealsHappenWhenOneWorkerHoardsWork) {
+  // A worker seeding its own deque while blocked means every other claim
+  // MUST be a steal. Retry a few rounds: on a single-CPU host a round can
+  // legitimately finish on the owner after it unblocks.
+  ThreadPool pool(4);
+  for (int round = 0; round < 50 && pool.steals() == 0; ++round) {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool release = false;
+    std::atomic<int> ran{0};
+    pool.post([&] {
+      for (int i = 0; i < 64; ++i)
+        pool.post([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      std::unique_lock lock(mutex);
+      cv.wait(lock, [&] { return release; });
+    });
+    while (ran.load(std::memory_order_relaxed) < 64 && pool.steals() == 0)
+      std::this_thread::yield();
+    {
+      std::lock_guard lock(mutex);
+      release = true;
+    }
+    cv.notify_all();
+    pool.drain();
+  }
+  EXPECT_GT(pool.steals(), 0u);
+}
+
+TEST(Scheduler, WorkersWakeForTasksParkedInAnotherWorkersDeque) {
+  // Regression for the wake-up accounting satellite: tasks sitting in a
+  // blocked worker's deque (injection queue empty) must keep the other
+  // workers awake — they may not sleep until deques are empty too.
+  ThreadPool pool(2);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> ran{0};
+  pool.post([&] {
+    // Runs on some worker; its 16 children land in this worker's deque.
+    for (int i = 0; i < 16; ++i)
+      pool.post([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return release; });
+  });
+  // The second worker must steal and run all 16 while the owner stays
+  // blocked; generous deadline, normally instant.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (ran.load(std::memory_order_relaxed) < 16 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::yield();
+  EXPECT_EQ(ran.load(), 16);
+  {
+    std::lock_guard lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  pool.drain();
+}
+
+TEST(Scheduler, PendingCountsTasksParkedInWorkerDeques) {
+  ThreadPool pool(1);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool seeded = false;
+  bool release = false;
+  pool.post([&] {
+    for (int i = 0; i < 5; ++i) pool.post([] {});
+    {
+      std::lock_guard lock(mutex);
+      seeded = true;
+    }
+    cv.notify_all();
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return release; });
+  });
+  {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return seeded; });
+  }
+  // The 5 children live in the (sole, blocked) worker's deque; pending()
+  // must see them even though the injection queue is empty.
+  EXPECT_EQ(pool.pending(), 5u);
+  {
+    std::lock_guard lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  pool.drain();
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(Scheduler, OverflowSpillsToInjectionQueueWithoutLosingTasks) {
+  // A single worker floods its own bounded deque past capacity; the excess
+  // must overflow to the injection queue and still run.
+  ThreadPool pool(1);
+  constexpr int kTasks = 3000;  // deque capacity is 1024
+  std::atomic<int> ran{0};
+  pool.post([&] {
+    for (int i = 0; i < kTasks; ++i)
+      pool.post([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  });
+  pool.drain();
+  EXPECT_EQ(ran.load(), kTasks);
+  EXPECT_GT(pool.overflows(), 0u);
+}
+
+TEST(Scheduler, WakesAfterLongIdlePeriod) {
+  // Workers that went to sleep must wake for a task posted much later
+  // (missed-wakeup regression).
+  ThreadPool pool(2);
+  pool.post([] {});
+  pool.drain();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::atomic<bool> ran{false};
+  pool.post([&] { ran.store(true, std::memory_order_release); });
+  pool.drain();
+  EXPECT_TRUE(ran.load(std::memory_order_acquire));
+}
+
+// --- try_execute_one -------------------------------------------------------
+
+TEST(Scheduler, TryExecuteOneHelpsFromExternalThread) {
+  ThreadPool pool(1);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> blocked{false};
+  // Block the only worker, then queue work the external caller can help
+  // with.
+  pool.post([&] {
+    blocked.store(true, std::memory_order_release);
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return release; });
+  });
+  // Wait until the WORKER owns the blocker; otherwise our try_execute_one
+  // below could claim it and self-deadlock waiting for our own release.
+  while (!blocked.load(std::memory_order_acquire)) std::this_thread::yield();
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i)
+    pool.post([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  while (pool.try_execute_one()) {
+  }
+  EXPECT_EQ(ran.load(), 4);
+  {
+    std::lock_guard lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  pool.drain();
+}
+
+TEST(Scheduler, TryExecuteOneReturnsFalseWhenIdle) {
+  ThreadPool pool(2);
+  pool.drain();
+  EXPECT_FALSE(pool.try_execute_one());
+}
+
+// --- parallel_for ----------------------------------------------------------
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(pool, 0, kN, 7,
+               [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  int runs = 0;
+  parallel_for(pool, 5, 5, 1, [&](std::size_t) { ++runs; });
+  parallel_for(pool, 7, 3, 1, [&](std::size_t) { ++runs; });
+  EXPECT_EQ(runs, 0);
+}
+
+TEST(ParallelFor, AutoGrainCoversRange) {
+  ThreadPool pool(3);
+  std::atomic<long long> sum{0};
+  parallel_for(pool, 0, 10000, 0, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long long>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
+}
+
+TEST(ParallelFor, SubRangeRespectsBounds) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::atomic<bool> out_of_range{false};
+  parallel_for(pool, 100, 200, 9, [&](std::size_t i) {
+    if (i < 100 || i >= 200) out_of_range.store(true);
+    count.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_FALSE(out_of_range.load());
+}
+
+TEST(ParallelFor, RethrowsFirstExceptionAfterAllChunksFinish) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  try {
+    parallel_for(pool, 0, 100, 5, [&](std::size_t i) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      if (i == 42) throw std::runtime_error("boom at 42");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom at 42");
+  }
+  // No chunk is cancelled: every index still ran (the throwing chunk
+  // stopped at its throw).
+  EXPECT_GE(ran.load(), 95);
+  pool.drain();
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+// --- submit on the new scheduler -------------------------------------------
+
+TEST(Scheduler, SubmitChainsFromWorkerThreads) {
+  ThreadPool pool(2);
+  auto outer = pool.submit([&] {
+    auto inner = pool.submit([] { return std::string("nested"); });
+    return inner.get() + " result";
+  });
+  EXPECT_EQ(outer.get(), "nested result");
+}
+
+TEST(Scheduler, ManyConcurrentSubmitsDeliverDistinctValues) {
+  ThreadPool pool(4);
+  constexpr int kN = 500;
+  std::vector<apar::concurrency::Future<int>> futures;
+  futures.reserve(kN);
+  for (int i = 0; i < kN; ++i)
+    futures.push_back(pool.submit([i] { return i * 3; }));
+  for (int i = 0; i < kN; ++i) ASSERT_EQ(futures[i].get(), i * 3);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+#include "apar/concurrency/steal_deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using apar::concurrency::StealDeque;
+
+TEST(StealDeque, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(StealDeque<int>(1).capacity(), 2u);
+  EXPECT_EQ(StealDeque<int>(2).capacity(), 2u);
+  EXPECT_EQ(StealDeque<int>(3).capacity(), 4u);
+  EXPECT_EQ(StealDeque<int>(100).capacity(), 128u);
+  EXPECT_EQ(StealDeque<int>(256).capacity(), 256u);
+}
+
+TEST(StealDeque, OwnerPopIsLifo) {
+  StealDeque<int> deque(8);
+  int values[3] = {1, 2, 3};
+  for (int& v : values) ASSERT_TRUE(deque.push(&v));
+  EXPECT_EQ(deque.pop(), &values[2]);
+  EXPECT_EQ(deque.pop(), &values[1]);
+  EXPECT_EQ(deque.pop(), &values[0]);
+  EXPECT_EQ(deque.pop(), nullptr);
+}
+
+TEST(StealDeque, StealIsFifo) {
+  StealDeque<int> deque(8);
+  int values[3] = {1, 2, 3};
+  for (int& v : values) ASSERT_TRUE(deque.push(&v));
+  EXPECT_EQ(deque.steal(), &values[0]);
+  EXPECT_EQ(deque.steal(), &values[1]);
+  EXPECT_EQ(deque.steal(), &values[2]);
+  EXPECT_EQ(deque.steal(), nullptr);
+}
+
+TEST(StealDeque, PushRefusesWhenFull) {
+  StealDeque<int> deque(4);
+  int values[5] = {};
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(deque.push(&values[i]));
+  EXPECT_FALSE(deque.push(&values[4]));
+  // Draining one element makes room again.
+  EXPECT_NE(deque.steal(), nullptr);
+  EXPECT_TRUE(deque.push(&values[4]));
+}
+
+TEST(StealDeque, SizeEstimateTracksContents) {
+  StealDeque<int> deque(8);
+  EXPECT_TRUE(deque.empty());
+  int v = 0;
+  deque.push(&v);
+  EXPECT_EQ(deque.size_estimate(), 1u);
+  deque.pop();
+  EXPECT_TRUE(deque.empty());
+}
+
+TEST(StealDeque, RingReusesSlotsAcrossManyCycles) {
+  StealDeque<int> deque(4);
+  int v = 0;
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    ASSERT_TRUE(deque.push(&v));
+    ASSERT_EQ(deque.pop(), &v);
+  }
+  EXPECT_TRUE(deque.empty());
+}
+
+// Owner pops while thieves steal: every element is claimed exactly once.
+TEST(StealDeque, ConcurrentOwnerAndThievesClaimEachElementOnce) {
+  constexpr std::size_t kItems = 20000;
+  constexpr int kThieves = 3;
+  StealDeque<std::size_t> deque(256);
+  std::vector<std::size_t> items(kItems);
+  for (std::size_t i = 0; i < kItems; ++i) items[i] = i;
+
+  std::vector<std::atomic<int>> claims(kItems);
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (std::size_t* item = deque.steal())
+          claims[*item].fetch_add(1, std::memory_order_relaxed);
+        else
+          std::this_thread::yield();
+      }
+      // Final sweep after the owner finished producing.
+      while (std::size_t* item = deque.steal())
+        claims[*item].fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+
+  // Owner: interleave pushes with occasional pops, overflow-spinning when
+  // the bounded ring is full.
+  std::size_t produced = 0;
+  while (produced < kItems) {
+    if (deque.push(&items[produced])) {
+      ++produced;
+    } else if (std::size_t* item = deque.pop()) {
+      claims[*item].fetch_add(1, std::memory_order_relaxed);
+    }
+    if (produced % 64 == 0) {
+      if (std::size_t* item = deque.pop())
+        claims[*item].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  while (std::size_t* item = deque.pop())
+    claims[*item].fetch_add(1, std::memory_order_relaxed);
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+
+  for (std::size_t i = 0; i < kItems; ++i)
+    ASSERT_EQ(claims[i].load(), 1) << "item " << i;
+}
+
+}  // namespace

@@ -116,3 +116,89 @@ TEST(TaskGroup, DestructorJoinsOutstandingWork) {
   }
   EXPECT_EQ(count.load(), 5);
 }
+
+TEST(TaskGroupBatch, BatchScopeDefersAndFlushesRunOn) {
+  acc::ThreadPool pool(2);
+  acc::TaskGroup group;
+  std::atomic<int> ran{0};
+  {
+    acc::TaskGroup::BatchScope batch(group);
+    for (int i = 0; i < 10; ++i)
+      group.run_on(pool, [&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    // Accounting is live even while the tasks are still batched.
+    EXPECT_EQ(group.outstanding(), 10u);
+  }
+  group.wait();
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(TaskGroupBatch, ExplicitFlushSubmitsEarly) {
+  acc::ThreadPool pool(2);
+  acc::TaskGroup group;
+  std::atomic<int> ran{0};
+  acc::TaskGroup::BatchScope batch(group);
+  for (int i = 0; i < 4; ++i)
+    group.run_on(pool, [&] { ran.fetch_add(1, std::memory_order_relaxed); });
+  batch.flush();
+  group.wait();  // must not deadlock: flush() already submitted the batch
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(TaskGroupBatch, DifferentGroupBypassesTheScope) {
+  acc::ThreadPool pool(2);
+  acc::TaskGroup batched;
+  acc::TaskGroup direct;
+  std::atomic<int> ran{0};
+  {
+    acc::TaskGroup::BatchScope batch(batched);
+    // run_on against a DIFFERENT group must not be captured by the scope.
+    direct.run_on(pool, [&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    direct.wait();  // completes while the scope is still open
+    EXPECT_EQ(ran.load(), 1);
+  }
+  batched.wait();
+}
+
+TEST(TaskGroupBatch, ExceptionsInsideBatchedTasksStillPropagate) {
+  acc::ThreadPool pool(2);
+  acc::TaskGroup group;
+  {
+    acc::TaskGroup::BatchScope batch(group);
+    group.run_on(pool, [] { throw std::runtime_error("batched boom"); });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(TaskGroupBatch, FlushRunsInlineWhenPoolIsShuttingDown) {
+  // A batch flushed against a pool that is shutting down must run its
+  // tasks inline instead of losing them (bulk_post is all-or-nothing).
+  // Arrange that from inside a worker task, which keeps running while the
+  // destructor drains: once post() starts throwing, the pool is stopping.
+  acc::TaskGroup group;
+  std::atomic<int> ran{0};
+  std::atomic<bool> entered{false};
+  {
+    acc::ThreadPool pool(1);
+    pool.post([&] {
+      entered.store(true, std::memory_order_release);
+      for (;;) {
+        try {
+          pool.post([] {});
+        } catch (const std::runtime_error&) {
+          break;  // shutdown observed
+        }
+        std::this_thread::yield();
+      }
+      acc::TaskGroup::BatchScope batch(group);
+      group.run_on(pool,
+                   [&] { ran.fetch_add(1, std::memory_order_relaxed); });
+      group.run_on(pool,
+                   [&] { ran.fetch_add(1, std::memory_order_relaxed); });
+      // Scope closes here: bulk_post throws (stopping) and the batch runs
+      // inline on this worker thread.
+    });
+    while (!entered.load(std::memory_order_acquire)) std::this_thread::yield();
+  }
+  group.wait();
+  EXPECT_EQ(ran.load(), 2);
+}

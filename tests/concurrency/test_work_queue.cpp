@@ -97,3 +97,91 @@ TEST(WorkQueue, MoveOnlyPayload) {
   ASSERT_TRUE(item.has_value());
   EXPECT_EQ(**item, 7);
 }
+
+TEST(WorkQueueBatch, PushBatchEnqueuesAllInOrder) {
+  acc::WorkQueue<int> q;
+  std::vector<int> batch{1, 2, 3, 4};
+  EXPECT_EQ(q.push_batch(batch), 4u);
+  EXPECT_TRUE(batch.empty());  // moved from on success
+  EXPECT_EQ(q.size(), 4u);
+  for (int expect = 1; expect <= 4; ++expect) EXPECT_EQ(q.pop(), expect);
+}
+
+TEST(WorkQueueBatch, PushBatchRefusedWhenClosedLeavesItemsIntact) {
+  acc::WorkQueue<int> q;
+  q.close();
+  std::vector<int> batch{1, 2, 3};
+  EXPECT_EQ(q.push_batch(batch), 0u);
+  EXPECT_EQ(batch.size(), 3u);  // all-or-nothing: caller keeps the work
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(WorkQueueBatch, PushBatchEmptyIsANoOp) {
+  acc::WorkQueue<int> q;
+  std::vector<int> batch;
+  EXPECT_EQ(q.push_batch(batch), 0u);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(WorkQueueBatch, PopBatchTakesUpToMax) {
+  acc::WorkQueue<int> q;
+  std::vector<int> batch{1, 2, 3, 4, 5};
+  q.push_batch(batch);
+  auto first = q.pop_batch(3);
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0], 1);
+  EXPECT_EQ(first[2], 3);
+  auto rest = q.pop_batch(10);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[1], 5);
+}
+
+TEST(WorkQueueBatch, PopBatchReturnsEmptyWhenClosedAndDrained) {
+  acc::WorkQueue<int> q;
+  q.push(9);
+  q.close();
+  EXPECT_EQ(q.pop_batch(4).size(), 1u);
+  EXPECT_TRUE(q.pop_batch(4).empty());
+}
+
+TEST(WorkQueueBatch, PushBatchWakesAllConsumers) {
+  acc::WorkQueue<int> q;
+  std::atomic<int> got{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c)
+    consumers.emplace_back([&] {
+      if (q.pop().has_value()) got.fetch_add(1);
+    });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::vector<int> batch{1, 2, 3};
+  q.push_batch(batch);
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(got.load(), 3);
+}
+
+TEST(WorkQueueBatch, BatchAndSingleInterleaveKeepEveryItem) {
+  acc::WorkQueue<int> q;
+  constexpr int kBatches = 50;
+  constexpr int kPerBatch = 20;
+  std::mutex seen_mutex;
+  std::set<int> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c)
+    consumers.emplace_back([&] {
+      for (;;) {
+        auto items = q.pop_batch(7);
+        if (items.empty()) return;
+        std::lock_guard lock(seen_mutex);
+        for (int item : items)
+          EXPECT_TRUE(seen.insert(item).second) << "duplicate " << item;
+      }
+    });
+  for (int b = 0; b < kBatches; ++b) {
+    std::vector<int> batch;
+    for (int i = 0; i < kPerBatch; ++i) batch.push_back(b * kPerBatch + i);
+    q.push_batch(batch);
+  }
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kBatches * kPerBatch));
+}

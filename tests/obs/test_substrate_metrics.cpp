@@ -3,7 +3,9 @@
 // non-zero series into the global registry; with it off, nothing does.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "../cluster/fixtures.hpp"
 #include "apar/cluster/fault_injection.hpp"
@@ -88,6 +90,47 @@ TEST(SubstrateMetrics, WorkQueueDepthAndThroughput) {
   EXPECT_EQ(reg.gauge("workqueue.depth", labels)->value(), 0);
   EXPECT_EQ(counter_value("workqueue.pushed", {{"queue", "test.queue"}}), 2u);
   EXPECT_EQ(counter_value("workqueue.popped", {{"queue", "test.queue"}}), 2u);
+}
+
+TEST(SubstrateMetrics, WorkQueueBatchOpsKeepCountsExact) {
+  MetricsOn on;
+  auto& reg = obs::MetricsRegistry::global();
+  cc::WorkQueue<int> queue;
+  queue.enable_metrics("batch.queue");
+  const obs::Labels labels{{"queue", "batch.queue"}};
+  const auto pushed0 = counter_value("workqueue.pushed", labels);
+  const auto popped0 = counter_value("workqueue.popped", labels);
+  std::vector<int> batch{1, 2, 3, 4, 5};
+  queue.push_batch(batch);
+  EXPECT_EQ(reg.gauge("workqueue.depth", labels)->value(), 5);
+  EXPECT_EQ(counter_value("workqueue.pushed", labels), pushed0 + 5);
+  EXPECT_EQ(queue.pop_batch(3).size(), 3u);
+  EXPECT_EQ(reg.gauge("workqueue.depth", labels)->value(), 2);
+  EXPECT_EQ(queue.pop_batch(10).size(), 2u);
+  EXPECT_EQ(reg.gauge("workqueue.depth", labels)->value(), 0);
+  EXPECT_EQ(counter_value("workqueue.popped", labels), popped0 + 5);
+}
+
+TEST(SubstrateMetrics, SchedulerStealAndOverflowSeries) {
+  MetricsOn on;
+  const auto steals0 = counter_value("threadpool.steals");
+  const auto overflow0 = counter_value("threadpool.overflow");
+  std::uint64_t steals_seen = 0;
+  std::uint64_t overflows_seen = 0;
+  {
+    cc::ThreadPool pool(4);
+    // Flood one worker's own deque past its capacity from inside a task:
+    // the excess overflows, and idle workers steal from the hoarder.
+    pool.post([&pool] {
+      for (int i = 0; i < 2000; ++i) pool.post([] {});
+    });
+    pool.drain();
+    steals_seen = pool.steals();
+    overflows_seen = pool.overflows();
+  }
+  // The registry counters aggregate exactly what the pool itself counted.
+  EXPECT_EQ(counter_value("threadpool.steals"), steals0 + steals_seen);
+  EXPECT_EQ(counter_value("threadpool.overflow"), overflow0 + overflows_seen);
 }
 
 TEST(SubstrateMetrics, SieveRunFeedsMiddlewareAndNodeSeries) {

@@ -1,0 +1,170 @@
+// Seeded stress for the work-stealing scheduler: randomized mixes of
+// post / submit / bulk_post / parallel_for from external threads and from
+// inside worker tasks, drains and pool teardowns racing active stealing.
+// Designed to run under APAR_SANITIZE=thread|address (tools/run_stress.sh);
+// every task is accounted for, so any lost wakeup or dropped task hangs or
+// fails loudly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "apar/common/rng.hpp"
+#include "apar/concurrency/parallel_for.hpp"
+#include "apar/concurrency/task.hpp"
+#include "apar/concurrency/thread_pool.hpp"
+#include "stress_common.hpp"
+
+namespace {
+
+using apar::common::Rng;
+using apar::concurrency::parallel_for;
+using apar::concurrency::Task;
+using apar::concurrency::ThreadPool;
+
+TEST(StressScheduler, MixedProducersEveryTaskRunsExactlyOnce) {
+  const std::uint64_t seed = apar::test::announce_stress_seed(0x5CED11ULL);
+  ThreadPool pool(4);
+  constexpr int kProducers = 4;
+  constexpr int kOpsPerProducer = 400;
+  std::atomic<std::uint64_t> ran{0};
+  std::atomic<std::uint64_t> posted{0};
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(seed + static_cast<std::uint64_t>(p) * 7919);
+      for (int op = 0; op < kOpsPerProducer; ++op) {
+        switch (rng.uniform(0, 3)) {
+          case 0:  // single external post
+            posted.fetch_add(1, std::memory_order_relaxed);
+            pool.post([&ran] {
+              ran.fetch_add(1, std::memory_order_relaxed);
+            });
+            break;
+          case 1: {  // bulk post
+            const std::size_t n = rng.uniform(1, 16);
+            std::vector<Task> tasks;
+            tasks.reserve(n);
+            for (std::size_t i = 0; i < n; ++i)
+              tasks.emplace_back([&ran] {
+                ran.fetch_add(1, std::memory_order_relaxed);
+              });
+            posted.fetch_add(n, std::memory_order_relaxed);
+            pool.bulk_post(tasks);
+            break;
+          }
+          case 2: {  // task that recursively posts from the worker
+            const std::size_t n = rng.uniform(0, 8);
+            posted.fetch_add(n + 1, std::memory_order_relaxed);
+            pool.post([&pool, &ran, n] {
+              ran.fetch_add(1, std::memory_order_relaxed);
+              for (std::size_t i = 0; i < n; ++i)
+                pool.post([&ran] {
+                  ran.fetch_add(1, std::memory_order_relaxed);
+                });
+            });
+            break;
+          }
+          default:  // submit with a result
+            posted.fetch_add(1, std::memory_order_relaxed);
+            if (pool.submit([&ran] {
+                      ran.fetch_add(1, std::memory_order_relaxed);
+                      return 17;
+                    })
+                    .get() != 17)
+              ADD_FAILURE() << "submit returned wrong value";
+            break;
+        }
+        if (op % 64 == 0) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.drain();
+  EXPECT_EQ(ran.load(), posted.load());
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(StressScheduler, TeardownRacesActiveStealing) {
+  const std::uint64_t seed = apar::test::announce_stress_seed(0x7EA12ULL);
+  Rng rng(seed);
+  for (int round = 0; round < 30; ++round) {
+    std::atomic<std::uint64_t> ran{0};
+    std::atomic<std::uint64_t> accepted{1};  // the seeder itself
+    {
+      ThreadPool pool(3);
+      const std::size_t fan = rng.uniform(8, 64);
+      // Seed one worker's deque so teardown overlaps in-flight steals.
+      // Posts racing the destructor may be rejected (documented shutdown
+      // contract); every ACCEPTED task must still run before the
+      // destructor returns.
+      pool.post([&pool, &ran, &accepted, fan] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        for (std::size_t i = 0; i < fan; ++i) {
+          try {
+            pool.post(
+                [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+            accepted.fetch_add(1, std::memory_order_relaxed);
+          } catch (const std::runtime_error&) {
+            break;  // pool is shutting down
+          }
+        }
+      });
+      // Sometimes give the workers a head start, sometimes tear down
+      // immediately.
+      if (rng.uniform(0, 1) == 0) std::this_thread::yield();
+    }
+    ASSERT_EQ(ran.load(), accepted.load()) << "round " << round;
+  }
+}
+
+TEST(StressScheduler, RandomizedParallelForNestingStaysExact) {
+  const std::uint64_t seed = apar::test::announce_stress_seed(0x4E57ULL);
+  Rng rng(seed);
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    const std::size_t outer = rng.uniform(4, 32);
+    const std::size_t inner = rng.uniform(4, 64);
+    const std::size_t grain = rng.uniform(1, 8);
+    std::atomic<std::uint64_t> hits{0};
+    parallel_for(pool, 0, outer, 1, [&](std::size_t) {
+      // Nested parallel_for from inside a pool task: must help, not
+      // deadlock, even with all workers busy in the outer loop.
+      parallel_for(pool, 0, inner, grain, [&](std::size_t) {
+        hits.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+    ASSERT_EQ(hits.load(), outer * inner) << "round " << round;
+    pool.drain();
+    ASSERT_EQ(pool.pending(), 0u);
+  }
+}
+
+TEST(StressScheduler, FailingTasksNeverPoisonTheScheduler) {
+  const std::uint64_t seed = apar::test::announce_stress_seed(0xFA11ULL);
+  Rng rng(seed);
+  ThreadPool pool(3);
+  std::uint64_t expected_failures = 0;
+  std::atomic<std::uint64_t> survivors{0};
+  for (int i = 0; i < 2000; ++i) {
+    if (rng.uniform(0, 3) == 0) {
+      ++expected_failures;
+      pool.post([] { throw std::runtime_error("stress failure"); });
+    } else {
+      pool.post([&survivors] {
+        survivors.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }
+  pool.drain();
+  EXPECT_EQ(pool.task_failures(), expected_failures);
+  EXPECT_EQ(survivors.load(), 2000 - expected_failures);
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Run a google-benchmark binary and distill median-of-N timings to JSON.
+
+Default target is the scheduler ablation (bench/scheduler_scaling):
+
+    tools/run_bench.py --binary build/bench/scheduler_scaling \
+        --out BENCH_scheduler.json --repetitions 5
+
+The binary is run once with --benchmark_repetitions=N and JSON output;
+per-benchmark medians (real ns/op and items/s) are computed here rather
+than trusting the binary's aggregate rows, so partial runs and filters
+behave predictably. The output records enough machine context (cores,
+load, date from the benchmark's own header) to keep numbers honest when
+they are quoted in EXPERIMENTS.md.
+
+Exit status is nonzero when the benchmark binary fails or produces no
+usable entries, so CI can gate on it.
+"""
+
+import argparse
+import json
+import statistics
+import subprocess
+import sys
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", default="build/bench/scheduler_scaling",
+                        help="google-benchmark binary to run")
+    parser.add_argument("--out", default="BENCH_scheduler.json",
+                        help="output JSON path")
+    parser.add_argument("--repetitions", type=int, default=5,
+                        help="repetitions per benchmark (median is reported)")
+    parser.add_argument("--min-time", type=float, default=0.2,
+                        help="per-repetition minimum running time, seconds")
+    parser.add_argument("--filter", default="",
+                        help="--benchmark_filter regex (empty: all)")
+    parser.add_argument("--quick", action="store_true",
+                        help="1 repetition, 0.05s min time: CI smoke mode")
+    return parser.parse_args(argv)
+
+
+def run_benchmark(args):
+    repetitions = 1 if args.quick else args.repetitions
+    min_time = 0.05 if args.quick else args.min_time
+    cmd = [
+        args.binary,
+        f"--benchmark_repetitions={repetitions}",
+        f"--benchmark_min_time={min_time}",
+        "--benchmark_report_aggregates_only=false",
+        "--benchmark_format=json",
+    ]
+    if args.filter:
+        cmd.append(f"--benchmark_filter={args.filter}")
+    print("+ " + " ".join(cmd), file=sys.stderr)
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"benchmark binary failed ({proc.returncode})")
+    return json.loads(proc.stdout), repetitions
+
+
+def to_ns(value, unit):
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    return value * scale[unit]
+
+
+def distill(doc, repetitions):
+    """Group raw iteration rows by benchmark name; median each metric."""
+    samples = {}
+    for row in doc.get("benchmarks", []):
+        if row.get("run_type", "iteration") != "iteration":
+            continue  # skip the binary's own aggregate rows
+        name = row["name"]
+        entry = samples.setdefault(
+            name, {"real_ns": [], "cpu_ns": [], "items_per_second": []})
+        entry["real_ns"].append(to_ns(row["real_time"], row["time_unit"]))
+        entry["cpu_ns"].append(to_ns(row["cpu_time"], row["time_unit"]))
+        if "items_per_second" in row:
+            entry["items_per_second"].append(row["items_per_second"])
+
+    results = {}
+    for name, entry in sorted(samples.items()):
+        results[name] = {
+            "median_real_ns": statistics.median(entry["real_ns"]),
+            "median_cpu_ns": statistics.median(entry["cpu_ns"]),
+            "repetitions": len(entry["real_ns"]),
+        }
+        if entry["items_per_second"]:
+            results[name]["median_items_per_second"] = statistics.median(
+                entry["items_per_second"])
+    if not results:
+        raise SystemExit("no benchmark entries produced (bad --filter?)")
+    return {
+        "context": doc.get("context", {}),
+        "requested_repetitions": repetitions,
+        "benchmarks": results,
+    }
+
+
+def summarize(results):
+    """Print central-queue vs work-stealing speedups where pairs line up."""
+    pairs = []
+    for name in results["benchmarks"]:
+        if name.startswith("BM_WorkStealing_"):
+            continue
+        if not name.startswith("BM_CentralQueue_"):
+            continue
+        shape_arg = name[len("BM_CentralQueue_"):]
+        for ws_shape in ("ParallelFor", "ExternalPost", "RecursiveFan"):
+            cq_shape = "ChunkedFor" if ws_shape == "ParallelFor" else ws_shape
+            if not shape_arg.startswith(cq_shape):
+                continue
+            suffix = shape_arg[len(cq_shape):]
+            ws_name = f"BM_WorkStealing_{ws_shape}{suffix}"
+            if ws_name in results["benchmarks"]:
+                pairs.append((name, ws_name))
+    for cq_name, ws_name in pairs:
+        cq = results["benchmarks"][cq_name]["median_real_ns"]
+        ws = results["benchmarks"][ws_name]["median_real_ns"]
+        print(f"{ws_name}: {ws:12.0f} ns  vs  {cq_name}: {cq:12.0f} ns  "
+              f"-> speedup {cq / ws:5.2f}x")
+
+
+def main(argv):
+    args = parse_args(argv)
+    doc, repetitions = run_benchmark(args)
+    results = distill(doc, repetitions)
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out} ({len(results['benchmarks'])} benchmarks, "
+          f"median of {repetitions})")
+    summarize(results)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])
