@@ -44,6 +44,17 @@ enum class FindingKind {
   /// The signature table is empty: nothing self-registered, so dead-
   /// pointcut analysis is vacuous (usually an un-woven binary).
   kEmptySignatureTable,
+  /// A caching advice memoizes a method nobody declared idempotent
+  /// (APAR_METHOD_IDEMPOTENT): replaying a recorded effect may diverge
+  /// from re-execution. Escalated to an error when the join point is also
+  /// distributed over a real wire transport — there the cache silently
+  /// swallows remote state transitions.
+  kCacheNonIdempotent,
+  /// A caching advice would record an effect (argument or result type)
+  /// that src/serial cannot encode: the advice degrades to pass-through
+  /// and the cache never fires. Escalated to an error over a real wire
+  /// transport, where the cache was presumably meant to save round-trips.
+  kCacheUnserializable,
 };
 
 [[nodiscard]] std::string_view finding_kind_name(FindingKind kind);

@@ -30,6 +30,8 @@ std::string_view finding_kind_name(FindingKind kind) {
     case FindingKind::kLockOrderCycle: return "lock-order-cycle";
     case FindingKind::kWaitWithMonitorHeld: return "wait-with-monitor";
     case FindingKind::kEmptySignatureTable: return "empty-signature-table";
+    case FindingKind::kCacheNonIdempotent: return "cache-non-idempotent";
+    case FindingKind::kCacheUnserializable: return "cache-unserializable";
   }
   return "?";
 }

@@ -154,6 +154,64 @@ Report analyze_weave_plan(const aop::Context& context) {
     }
   }
 
+  // --- cache safety -------------------------------------------------------
+  // A caching advice replays a recorded effect instead of executing the
+  // body. Two declared-contract violations are statically visible from the
+  // mark_caches metadata: memoizing a method nobody declared idempotent,
+  // and memoizing an effect the serial layer cannot record. Both escalate
+  // from warning to error when the same join point is also carried by a
+  // wire-mandatory distribution advice — over a real transport the cache
+  // either swallows remote state transitions or silently never fires.
+  for (const Rec& r : records) {
+    if (!r.advice->caches()) continue;
+
+    bool over_wire = false;
+    for (const aop::Signature& sig : signatures) {
+      if (!r.advice->matches(sig)) continue;
+      for (const Rec& other : records) {
+        if (other.advice->distributes() && other.advice->wire_mandatory() &&
+            other.advice->matches(sig)) {
+          over_wire = true;
+          break;
+        }
+      }
+      if (over_wire) break;
+    }
+    const Severity severity = over_wire ? Severity::kError : Severity::kWarning;
+    const std::string subject =
+        r.aspect->name() + "/" + r.advice->pattern().str();
+
+    if (!r.advice->cache_idempotent()) {
+      report.add({FindingKind::kCacheNonIdempotent, severity, subject,
+                  std::string("memoized method is not declared idempotent "
+                              "(APAR_METHOD_IDEMPOTENT): replaying a recorded "
+                              "effect may diverge from re-execution") +
+                      (over_wire ? "; the join point is distributed over a "
+                                   "real wire transport, so hits also skip "
+                                   "remote state transitions"
+                                 : "")});
+    }
+
+    for (const aop::WireArg& arg : r.advice->cache_args()) {
+      bool ok = arg.serializable;
+      if (!ok) {
+        ok = serial::TypeRegistry::global()
+                 .serializable(arg.type_name)
+                 .value_or(false);
+      }
+      if (!ok) {
+        report.add({FindingKind::kCacheUnserializable, severity, subject,
+                    "effect type '" + arg.type_name +
+                        "' is not wire-serializable: the caching advice "
+                        "degrades to pass-through and never fires" +
+                        (over_wire ? "; over a real wire transport every "
+                                     "call still pays the round-trip the "
+                                     "cache was meant to save"
+                                   : "")});
+      }
+    }
+  }
+
   return report;
 }
 

@@ -130,6 +130,28 @@ class AdviceBase {
     return wire_args_;
   }
 
+  /// Declare that this advice memoizes the join point, keyed on the
+  /// serialized argument values. `args` lists every type the cache key and
+  /// the recorded effect must encode (arguments plus a non-void result);
+  /// `declared_idempotent` is the APAR_METHOD_IDEMPOTENT verdict for the
+  /// advised method. The weaver never reads this — the weave-plan
+  /// analyzer's cache-safety pass does: caching a method nobody declared
+  /// idempotent, or one whose effect cannot be serialized, is a finding
+  /// (escalated to an error when the join point is also distributed over a
+  /// real wire transport).
+  AdviceBase& mark_caches(std::vector<WireArg> args,
+                          bool declared_idempotent) {
+    caches_ = true;
+    cache_args_ = std::move(args);
+    cache_idempotent_ = declared_idempotent;
+    return *this;
+  }
+  [[nodiscard]] bool caches() const { return caches_; }
+  [[nodiscard]] bool cache_idempotent() const { return cache_idempotent_; }
+  [[nodiscard]] const std::vector<WireArg>& cache_args() const {
+    return cache_args_;
+  }
+
  private:
   Aspect* owner_;
   JoinPointKind kind_;
@@ -140,6 +162,9 @@ class AdviceBase {
   bool distributes_ = false;
   bool wire_mandatory_ = false;
   std::vector<WireArg> wire_args_;
+  bool caches_ = false;
+  bool cache_idempotent_ = false;
+  std::vector<WireArg> cache_args_;
 };
 
 }  // namespace apar::aop

@@ -68,6 +68,20 @@ struct MethodName {
   static constexpr std::string_view value = "<unregistered>";
 };
 
+/// Compile-time idempotency declaration for a method (default: not
+/// idempotent). A method declared idempotent via APAR_METHOD_IDEMPOTENT
+/// promises that its observable effect — the mutated by-reference
+/// arguments plus the return value — is a pure function of the argument
+/// values and of state fixed at construction, so replaying a recorded
+/// effect instead of executing the body is indistinguishable to callers.
+/// This is the design rule the memoisation aspect (apar::cache) relies on
+/// and the weave-plan analyzer's cache-safety pass enforces: caching
+/// advice on an undeclared method is flagged.
+template <auto M>
+struct MethodIdempotent {
+  static constexpr bool value = false;
+};
+
 template <class T>
 constexpr std::string_view class_name_of() {
   return ClassName<std::remove_cv_t<std::remove_reference_t<T>>>::value;
@@ -76,6 +90,11 @@ constexpr std::string_view class_name_of() {
 template <auto M>
 constexpr std::string_view method_name_of() {
   return MethodName<M>::value;
+}
+
+template <auto M>
+constexpr bool method_idempotent() {
+  return MethodIdempotent<M>::value;
 }
 
 namespace detail {
@@ -135,4 +154,16 @@ bool register_method_signature(std::string_view method_name) {
     static constexpr std::string_view value = NAME;                \
     static inline const bool weave_registered =                    \
         apar::aop::detail::register_method_signature<METHOD>(NAME); \
+  }
+
+/// Declare a registered method idempotent (memoisable): same argument
+/// values always yield the same mutated arguments and return value, and
+/// the call has no other externally visible effect. Must appear at global
+/// scope, after the method's APAR_METHOD_NAME. The caching aspect records
+/// this verdict in its advice metadata, where the weave-plan analyzer's
+/// cache-safety pass reads it back.
+#define APAR_METHOD_IDEMPOTENT(METHOD)       \
+  template <>                                \
+  struct apar::aop::MethodIdempotent<METHOD> { \
+    static constexpr bool value = true;      \
   }

@@ -38,6 +38,13 @@ class MandelWorker {
   /// (order-independent); lets tests compare parallel against sequential.
   [[nodiscard]] std::uint64_t checksum() const { return checksum_; }
 
+  /// Render one row (a "tile") and return its pixel checksum without
+  /// touching the worker's accumulators: a pure function of the row index
+  /// and the construction-fixed geometry, hence declared idempotent — the
+  /// memoisable unit of Mandelbrot work. Still pays the work model, so a
+  /// cache hit saves real (simulated) compute.
+  [[nodiscard]] std::uint64_t row_checksum(long long row);
+
  private:
   [[nodiscard]] int escape_iterations(double re, double im) const;
 
@@ -59,3 +66,5 @@ APAR_METHOD_NAME(&apar::apps::MandelWorker::collect, "collect");
 APAR_METHOD_NAME(&apar::apps::MandelWorker::take_results, "take_results");
 APAR_METHOD_NAME(&apar::apps::MandelWorker::iterations, "iterations");
 APAR_METHOD_NAME(&apar::apps::MandelWorker::checksum, "checksum");
+APAR_METHOD_NAME(&apar::apps::MandelWorker::row_checksum, "row_checksum");
+APAR_METHOD_IDEMPOTENT(&apar::apps::MandelWorker::row_checksum);

@@ -51,6 +51,32 @@ void MandelWorker::filter(std::vector<long long>& pack) {
   }
 }
 
+std::uint64_t MandelWorker::row_checksum(long long row) {
+  std::uint64_t sum = 0;
+  std::uint64_t work = 0;
+  if (row >= 0 && row < height_) {
+    const double im = -1.2 + 2.4 * static_cast<double>(row) /
+                                 static_cast<double>(height_ - 1);
+    for (long long col = 0; col < width_; ++col) {
+      const double re = -2.0 + 3.0 * static_cast<double>(col) /
+                                   static_cast<double>(width_ - 1);
+      const int iters = escape_iterations(re, im);
+      work += static_cast<std::uint64_t>(iters);
+      std::uint64_t pixel = static_cast<std::uint64_t>(row) * 0x9e3779b1u +
+                            static_cast<std::uint64_t>(col) * 0x85ebca77u +
+                            static_cast<std::uint64_t>(iters);
+      pixel *= 0xc2b2ae3d27d4eb4fULL;
+      pixel ^= pixel >> 29;
+      sum += pixel;
+    }
+  }
+  if (ns_per_iter_ > 0.0 && work > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::nano>(
+        ns_per_iter_ * static_cast<double>(work)));
+  }
+  return sum;
+}
+
 void MandelWorker::process(std::vector<long long>& pack) {
   filter(pack);
   collect(pack);

@@ -1,0 +1,22 @@
+#include "apar/cache/cache_stats.hpp"
+
+#include "apar/obs/metrics.hpp"
+
+namespace apar::cache {
+
+CacheProbes CacheProbes::make(const std::string& name) {
+  CacheProbes probes;
+  if (!obs::metrics_enabled()) return probes;
+  auto& registry = obs::MetricsRegistry::global();
+  const obs::Labels labels{{"cache", name}};
+  probes.hits = registry.counter("cache.hits", labels);
+  probes.misses = registry.counter("cache.misses", labels);
+  probes.coalesced = registry.counter("cache.coalesced", labels);
+  probes.evictions = registry.counter("cache.evictions", labels);
+  probes.expiries = registry.counter("cache.expiries", labels);
+  probes.entries = registry.gauge("cache.entries", labels);
+  probes.bytes = registry.gauge("cache.bytes", labels);
+  return probes;
+}
+
+}  // namespace apar::cache

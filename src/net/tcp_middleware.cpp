@@ -16,6 +16,15 @@ TcpMiddleware::TcpMiddleware(Options options)
     throw NetError(NetError::Kind::kConnect,
                    "TcpMiddleware needs at least one endpoint");
   dialed_ = std::make_unique<std::atomic<bool>[]>(options_.endpoints.size());
+  if (options_.lookup_cache_entries > 0) {
+    cache::ShardedLru<std::string, cluster::RemoteHandle>::Options co;
+    co.shards = 4;
+    co.max_entries = options_.lookup_cache_entries;
+    co.ttl = options_.lookup_cache_ttl;
+    co.name = name_ + ".lookup";
+    lookup_cache_ = std::make_unique<
+        cache::ShardedLru<std::string, cluster::RemoteHandle>>(std::move(co));
+  }
   if (obs::metrics_enabled()) {
     auto& reg = obs::MetricsRegistry::global();
     probes_.reserve(options_.endpoints.size());
@@ -185,6 +194,12 @@ std::optional<cluster::RemoteHandle> TcpMiddleware::lookup(
     std::string_view name) {
   stats_.lookups.fetch_add(1, std::memory_order_relaxed);
 
+  // A cached positive binding answers without touching the wire at all —
+  // no frame, no bytes, no registry contention.
+  if (lookup_cache_) {
+    if (auto cached = lookup_cache_->get(std::string(name))) return *cached;
+  }
+
   auto backoff = options_.backoff_initial;
   for (std::size_t attempt = 0;; ++attempt) {
     std::vector<std::byte> payload;
@@ -201,6 +216,9 @@ std::optional<cluster::RemoteHandle> TcpMiddleware::lookup(
       handle.node = env.u32();
       handle.object = env.u64();
       if (!found) return std::nullopt;
+      // Only positive results are cached: a miss may be a racing bind,
+      // and re-asking is cheap relative to wrongly remembering absence.
+      if (lookup_cache_) lookup_cache_->put(std::string(name), handle);
       return handle;
     } catch (const NetError& e) {
       // Protocol corruption is not transient, and running out of retry
@@ -223,6 +241,8 @@ void TcpMiddleware::bind_name(std::string name,
   put_u32(payload, handle.node);
   put_u64(payload, handle.object);
   (void)roundtrip(0, FrameHeader::Op::kBind, std::move(payload));
+  // This writer's own rebind must be visible to its next lookup.
+  if (lookup_cache_) lookup_cache_->erase(name);
 }
 
 TcpMiddleware::NetCounters TcpMiddleware::net_counters() const {

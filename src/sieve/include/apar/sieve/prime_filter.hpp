@@ -63,6 +63,11 @@ class PrimeFilter {
 
 APAR_CLASS_NAME(apar::sieve::PrimeFilter, "PrimeFilter");
 APAR_METHOD_NAME(&apar::sieve::PrimeFilter::filter, "filter");
+// filter's observable effect — the surviving pack — depends only on the
+// pack values and the construction-fixed base primes, so a sieve segment
+// is memoisable. ops() is a diagnostic, not part of the contract.
+// process/collect/take_results mutate retained state and are NOT declared.
+APAR_METHOD_IDEMPOTENT(&apar::sieve::PrimeFilter::filter);
 APAR_METHOD_NAME(&apar::sieve::PrimeFilter::process, "process");
 APAR_METHOD_NAME(&apar::sieve::PrimeFilter::collect, "collect");
 APAR_METHOD_NAME(&apar::sieve::PrimeFilter::take_results, "take_results");

@@ -13,12 +13,20 @@
 #include <functional>
 
 #include "apar/aop/aop.hpp"
+#include "apar/cache/cache_aspect.hpp"
 #include "apar/cluster/rpc.hpp"
 #include "apar/concurrency/barrier.hpp"
 #include "apar/concurrency/future.hpp"
 #include "apar/strategies/concurrency_aspect.hpp"
 
 namespace apar::strategies::optimisation {
+
+/// Result memoisation over a sharded concurrent LRU (the §4.5 cache grown
+/// up). Lives in src/cache so the substrate stays below strategies;
+/// re-exported here because it belongs to the optimisation family.
+template <class T>
+using CacheAspect = cache::CacheAspect<T>;
+using cache::KeyScope;
 
 /// Models the paper's single-machine constraint for the FarmThreads
 /// version: one dual-Xeon node has 4 hardware contexts, so at most 4 local

@@ -9,7 +9,8 @@
 ///  - concurrency: ConcurrencyAspect (async calls + per-object monitors)
 ///  - distribution: DistributionAspect over a pluggable Middleware
 ///  - optimisation: LocalCpuAspect, PackingAspect, ObjectCacheAspect,
-///                 ThreadPoolOptimisation
+///                 ThreadPoolOptimisation, CacheAspect (result
+///                 memoisation over a sharded LRU, src/cache)
 ///  - testing:     ChaosAspect (seeded schedule perturbation) — with
 ///                 cluster::FaultInjectingMiddleware, the proof that test
 ///                 concerns plug and unplug like parallelisation concerns

@@ -1,0 +1,175 @@
+// Cache-safety pass of the weave-plan verifier: memoizing a method
+// nobody declared idempotent, or an effect the serial layer cannot
+// record, is a warning locally and an ERROR when the same join point is
+// also carried over a wire-mandatory distribution advice.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "../aop/fixtures.hpp"
+#include "apar/analysis/report.hpp"
+#include "apar/analysis/weave_plan.hpp"
+#include "apar/cache/cache_aspect.hpp"
+#include "apar/serial/wire_types.hpp"
+#include "apar/sieve/prime_filter.hpp"
+
+namespace an = apar::analysis;
+namespace aop = apar::aop;
+namespace cache = apar::cache;
+using apar::sieve::PrimeFilter;
+using apar::test::Worker;
+
+namespace {
+
+std::size_t count_kind(const an::Report& report, an::FindingKind kind) {
+  return static_cast<std::size_t>(
+      std::count_if(report.findings().begin(), report.findings().end(),
+                    [&](const an::Finding& f) { return f.kind == kind; }));
+}
+
+an::Severity kind_severity(const an::Report& report, an::FindingKind kind) {
+  const auto it = std::find_if(
+      report.findings().begin(), report.findings().end(),
+      [&](const an::Finding& f) { return f.kind == kind; });
+  EXPECT_NE(it, report.findings().end());
+  return it == report.findings().end() ? an::Severity::kInfo : it->severity;
+}
+
+std::shared_ptr<aop::Aspect> passthrough_on(std::string name,
+                                            const char* pattern, int order) {
+  auto aspect = std::make_shared<aop::Aspect>(std::move(name));
+  aspect->around_call<Worker, void, std::vector<int>&>(
+      aop::Pattern(pattern), order, aop::Scope::any(),
+      [](auto& inv) { return inv.proceed(); });
+  return aspect;
+}
+
+/// What CacheAspect records for a given declaration, without needing a
+/// real cached method: lets each analyzer rule be pinned in isolation.
+std::shared_ptr<aop::Aspect> caching_on(std::string name,
+                                        std::vector<aop::WireArg> args,
+                                        bool idempotent) {
+  auto aspect =
+      passthrough_on(std::move(name), "Worker.process", aop::order::kOptimisation);
+  aspect->advice().back()->mark_caches(std::move(args), idempotent);
+  return aspect;
+}
+
+}  // namespace
+
+TEST(CacheSafety, IdempotentSerializableCacheIsClean) {
+  aop::Context ctx;
+  ctx.attach(caching_on("Memo", {aop::WireArg{"vector<int>", true}},
+                        /*idempotent=*/true));
+  const an::Report report = an::analyze_weave_plan(ctx);
+  EXPECT_TRUE(report.empty()) << report.table();
+}
+
+TEST(CacheSafety, NonIdempotentCacheWarnsLocally) {
+  aop::Context ctx;
+  ctx.attach(caching_on("Memo", {aop::WireArg{"vector<int>", true}},
+                        /*idempotent=*/false));
+  const an::Report report = an::analyze_weave_plan(ctx);
+  ASSERT_EQ(count_kind(report, an::FindingKind::kCacheNonIdempotent), 1u)
+      << report.table();
+  EXPECT_EQ(kind_severity(report, an::FindingKind::kCacheNonIdempotent),
+            an::Severity::kWarning);
+  EXPECT_EQ(report.findings().front().subject, "Memo/Worker.process");
+}
+
+TEST(CacheSafety, UnserializableEffectWarnsLocally) {
+  aop::Context ctx;
+  ctx.attach(caching_on("Memo", {aop::WireArg{"test::CacheBlob", false}},
+                        /*idempotent=*/true));
+  const an::Report report = an::analyze_weave_plan(ctx);
+  ASSERT_EQ(count_kind(report, an::FindingKind::kCacheUnserializable), 1u)
+      << report.table();
+  EXPECT_EQ(kind_severity(report, an::FindingKind::kCacheUnserializable),
+            an::Severity::kWarning);
+}
+
+TEST(CacheSafety, TypeRegistryOverrideSilencesUnserializable) {
+  // Mirrors the distribution hazard rule: an out-of-band registry note
+  // that the type actually serializes must silence the finding.
+  apar::serial::TypeRegistry::global().note("test::CacheLateBlessed", true);
+  aop::Context ctx;
+  ctx.attach(caching_on("Memo", {aop::WireArg{"test::CacheLateBlessed", false}},
+                        /*idempotent=*/true));
+  const an::Report report = an::analyze_weave_plan(ctx);
+  EXPECT_EQ(count_kind(report, an::FindingKind::kCacheUnserializable), 0u)
+      << report.table();
+}
+
+TEST(CacheSafety, WireMandatoryDistributionEscalatesToError) {
+  // The same signature is cached AND distributed over a real transport:
+  // a hit would skip the remote state transition entirely, so both cache
+  // findings become errors.
+  aop::Context ctx;
+  ctx.attach(caching_on("Memo", {aop::WireArg{"test::CacheBlob", false}},
+                        /*idempotent=*/false));
+  auto dist = passthrough_on("Dist", "Worker.process", aop::order::kDistribution);
+  dist->advice().back()->mark_distributes({aop::WireArg{"vector<int>", true}},
+                                          /*wire_mandatory=*/true);
+  ctx.attach(dist);
+  const an::Report report = an::analyze_weave_plan(ctx);
+  ASSERT_EQ(count_kind(report, an::FindingKind::kCacheNonIdempotent), 1u)
+      << report.table();
+  ASSERT_EQ(count_kind(report, an::FindingKind::kCacheUnserializable), 1u)
+      << report.table();
+  EXPECT_EQ(kind_severity(report, an::FindingKind::kCacheNonIdempotent),
+            an::Severity::kError);
+  EXPECT_EQ(kind_severity(report, an::FindingKind::kCacheUnserializable),
+            an::Severity::kError);
+}
+
+TEST(CacheSafety, SimulatedMiddlewareStaysWarning) {
+  // Distribution over the in-process simulated RMI (wire_mandatory=false)
+  // does not escalate: a hit skips only local work.
+  aop::Context ctx;
+  ctx.attach(caching_on("Memo", {aop::WireArg{"vector<int>", true}},
+                        /*idempotent=*/false));
+  auto dist = passthrough_on("Dist", "Worker.process", aop::order::kDistribution);
+  dist->advice().back()->mark_distributes({aop::WireArg{"vector<int>", true}},
+                                          /*wire_mandatory=*/false);
+  ctx.attach(dist);
+  const an::Report report = an::analyze_weave_plan(ctx);
+  ASSERT_EQ(count_kind(report, an::FindingKind::kCacheNonIdempotent), 1u)
+      << report.table();
+  EXPECT_EQ(kind_severity(report, an::FindingKind::kCacheNonIdempotent),
+            an::Severity::kWarning);
+}
+
+TEST(CacheSafety, DistributionOnOtherSignatureDoesNotEscalate) {
+  // The wire transport carries Worker.compute; the cache covers
+  // Worker.process. No shared join point, no escalation.
+  aop::Context ctx;
+  ctx.attach(caching_on("Memo", {aop::WireArg{"vector<int>", true}},
+                        /*idempotent=*/false));
+  auto dist = std::make_shared<aop::Aspect>("Dist");
+  dist->around_call<Worker, int, int>(
+      aop::Pattern("Worker.compute"), aop::order::kDistribution,
+      aop::Scope::any(), [](auto& inv) { return inv.proceed(); });
+  dist->advice().back()->mark_distributes({aop::WireArg{"int", true}},
+                                          /*wire_mandatory=*/true);
+  ctx.attach(dist);
+  const an::Report report = an::analyze_weave_plan(ctx);
+  EXPECT_EQ(kind_severity(report, an::FindingKind::kCacheNonIdempotent),
+            an::Severity::kWarning);
+}
+
+TEST(CacheSafety, RealCacheAspectOnSieveFilterIsClean) {
+  // End-to-end: the shipped CacheAspect records exactly the metadata the
+  // analyzer needs, and PrimeFilter::filter is declared idempotent with a
+  // fully serializable effect.
+  aop::Context ctx;
+  auto memo = std::make_shared<cache::CacheAspect<PrimeFilter>>("Memo");
+  memo->cache_method<&PrimeFilter::filter>();
+  ctx.attach(memo);
+  const an::Report report = an::analyze_weave_plan(ctx);
+  EXPECT_TRUE(report.empty()) << report.table();
+  ASSERT_EQ(memo->advice().size(), 1u);
+  EXPECT_TRUE(memo->advice()[0]->caches());
+  EXPECT_TRUE(memo->advice()[0]->cache_idempotent());
+}

@@ -1,0 +1,228 @@
+// CacheAspect end-to-end over the weaving Context: memoized sieve
+// segments and Mandelbrot tiles, copy-restore hit semantics, per-target
+// vs args-only keying, runtime unplug, and the pass-through degradation
+// for unserializable signatures.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apar/aop/aop.hpp"
+#include "apar/apps/mandel_worker.hpp"
+#include "apar/cache/cache_aspect.hpp"
+#include "apar/sieve/prime_filter.hpp"
+
+namespace aop = apar::aop;
+namespace cache = apar::cache;
+using apar::apps::MandelWorker;
+using apar::sieve::PrimeFilter;
+
+namespace apar::test {
+
+/// A class whose method signature the serial layer cannot encode — the
+/// pass-through degradation target.
+struct Blob {
+  void* p = nullptr;
+};
+class Opaque {
+ public:
+  void absorb(Blob blob) {
+    (void)blob;
+    ++calls_;
+  }
+  [[nodiscard]] int calls() const { return calls_; }
+
+ private:
+  int calls_ = 0;
+};
+
+/// Counts its invocations so tests can see exactly when memoisation
+/// short-circuited the body.
+class CountingSquarer {
+ public:
+  explicit CountingSquarer(long long bias = 0) : bias_(bias) {}
+
+  long long square(long long x) {
+    ++calls_;
+    return x * x + bias_;
+  }
+  [[nodiscard]] int calls() const { return calls_; }
+
+ private:
+  long long bias_;
+  int calls_ = 0;
+};
+
+}  // namespace apar::test
+
+APAR_CLASS_NAME(apar::test::Opaque, "Opaque");
+APAR_METHOD_NAME(&apar::test::Opaque::absorb, "absorb");
+APAR_CLASS_NAME(apar::test::CountingSquarer, "CountingSquarer");
+APAR_METHOD_NAME(&apar::test::CountingSquarer::square, "square");
+APAR_METHOD_IDEMPOTENT(&apar::test::CountingSquarer::square);
+
+using apar::test::Blob;
+using apar::test::CountingSquarer;
+using apar::test::Opaque;
+
+namespace {
+
+std::shared_ptr<cache::CacheAspect<PrimeFilter>> sieve_cache() {
+  auto memo = std::make_shared<cache::CacheAspect<PrimeFilter>>("Memo");
+  memo->cache_method<&PrimeFilter::filter>();
+  return memo;
+}
+
+}  // namespace
+
+TEST(CacheAspect, MemoizesSieveSegmentsWithCopyRestore) {
+  aop::Context ctx;
+  ctx.attach(sieve_cache());
+  auto filter = ctx.create<PrimeFilter>(2LL, 31LL, 0.0);
+
+  std::vector<long long> pack;
+  for (long long v = 1000; v < 1200; ++v) pack.push_back(v);
+  const std::vector<long long> original = pack;
+  ctx.call<&PrimeFilter::filter>(filter, pack);
+  const std::vector<long long> survivors = pack;
+  ASSERT_LT(survivors.size(), original.size());
+
+  const std::uint64_t ops_after_first = filter.local()->ops();
+  std::vector<long long> replay = original;
+  ctx.call<&PrimeFilter::filter>(filter, replay);
+
+  // The hit replays the recorded pack mutation without running the body:
+  // identical survivors, zero additional trial divisions.
+  EXPECT_EQ(replay, survivors);
+  EXPECT_EQ(filter.local()->ops(), ops_after_first);
+  const auto* memo =
+      dynamic_cast<cache::CacheAspect<PrimeFilter>*>(ctx.find("Memo").get());
+  ASSERT_NE(memo, nullptr);
+  EXPECT_EQ(memo->hits(), 1u);
+  EXPECT_EQ(memo->misses(), 1u);
+}
+
+TEST(CacheAspect, MemoizesMandelTiles) {
+  aop::Context ctx;
+  auto memo = std::make_shared<cache::CacheAspect<MandelWorker>>("Memo");
+  memo->cache_method<&MandelWorker::row_checksum>();
+  ctx.attach(memo);
+
+  auto worker = ctx.create<MandelWorker>(64LL, 16LL, 300LL, 0.0);
+  const auto first = ctx.call<&MandelWorker::row_checksum>(worker, 7LL);
+  const auto second = ctx.call<&MandelWorker::row_checksum>(worker, 7LL);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(memo->hits(), 1u);
+  EXPECT_EQ(memo->misses(), 1u);
+  // A different tile is a different key.
+  (void)ctx.call<&MandelWorker::row_checksum>(worker, 8LL);
+  EXPECT_EQ(memo->misses(), 2u);
+}
+
+TEST(CacheAspect, PerTargetKeyingSeparatesDifferentlyConstructedObjects) {
+  aop::Context ctx;
+  auto memo = std::make_shared<cache::CacheAspect<CountingSquarer>>("Memo");
+  memo->cache_method<&CountingSquarer::square>();  // default: kPerTarget
+  ctx.attach(memo);
+
+  auto plain = ctx.create<CountingSquarer>(0LL);
+  auto biased = ctx.create<CountingSquarer>(100LL);
+  // Same argument, different construction-fixed state: the per-target key
+  // must NOT let biased steal plain's entry.
+  EXPECT_EQ(ctx.call<&CountingSquarer::square>(plain, 4LL), 16LL);
+  EXPECT_EQ(ctx.call<&CountingSquarer::square>(biased, 4LL), 116LL);
+  EXPECT_EQ(memo->misses(), 2u);
+  EXPECT_EQ(memo->hits(), 0u);
+}
+
+TEST(CacheAspect, ArgsOnlyKeyingSharesAcrossFungibleTargets) {
+  aop::Context ctx;
+  auto memo = std::make_shared<cache::CacheAspect<CountingSquarer>>("Memo");
+  memo->cache_method<&CountingSquarer::square>(cache::KeyScope::kArgsOnly);
+  ctx.attach(memo);
+
+  auto a = ctx.create<CountingSquarer>(0LL);
+  auto b = ctx.create<CountingSquarer>(0LL);  // fungible duplicate
+  EXPECT_EQ(ctx.call<&CountingSquarer::square>(a, 9LL), 81LL);
+  EXPECT_EQ(ctx.call<&CountingSquarer::square>(b, 9LL), 81LL);
+  // b's call hit a's entry: the body ran exactly once across both targets.
+  EXPECT_EQ(a.local()->calls() + b.local()->calls(), 1);
+  EXPECT_EQ(memo->hits(), 1u);
+}
+
+TEST(CacheAspect, UnplugRestoresRecomputation) {
+  aop::Context ctx;
+  auto memo = std::make_shared<cache::CacheAspect<CountingSquarer>>("Memo");
+  memo->cache_method<&CountingSquarer::square>();
+  ctx.attach(memo);
+
+  auto sq = ctx.create<CountingSquarer>(0LL);
+  (void)ctx.call<&CountingSquarer::square>(sq, 3LL);
+  (void)ctx.call<&CountingSquarer::square>(sq, 3LL);
+  EXPECT_EQ(sq.local()->calls(), 1);
+
+  // The paper's litmus test for every aspect: unplug at runtime and the
+  // core behaves as if the concern never existed.
+  ctx.detach("Memo");
+  (void)ctx.call<&CountingSquarer::square>(sq, 3LL);
+  (void)ctx.call<&CountingSquarer::square>(sq, 3LL);
+  EXPECT_EQ(sq.local()->calls(), 3);
+}
+
+TEST(CacheAspect, DisableSkipsAdviceWithoutDetaching) {
+  aop::Context ctx;
+  auto memo = std::make_shared<cache::CacheAspect<CountingSquarer>>("Memo");
+  memo->cache_method<&CountingSquarer::square>();
+  ctx.attach(memo);
+
+  auto sq = ctx.create<CountingSquarer>(0LL);
+  memo->set_enabled(false);
+  (void)ctx.call<&CountingSquarer::square>(sq, 5LL);
+  (void)ctx.call<&CountingSquarer::square>(sq, 5LL);
+  EXPECT_EQ(sq.local()->calls(), 2);
+  EXPECT_EQ(memo->stats().snapshot().gets, 0u);
+
+  memo->set_enabled(true);
+  (void)ctx.call<&CountingSquarer::square>(sq, 5LL);
+  (void)ctx.call<&CountingSquarer::square>(sq, 5LL);
+  EXPECT_EQ(sq.local()->calls(), 3);
+}
+
+TEST(CacheAspect, UnserializableSignatureDegradesToPassThrough) {
+  aop::Context ctx;
+  auto memo = std::make_shared<cache::CacheAspect<Opaque>>("Memo");
+  memo->cache_method<&Opaque::absorb>();
+  ctx.attach(memo);
+
+  auto obj = ctx.create<Opaque>();
+  ctx.call<&Opaque::absorb>(obj, Blob{});
+  ctx.call<&Opaque::absorb>(obj, Blob{});
+  // Every call ran the body; the cache saw no traffic at all.
+  EXPECT_EQ(obj.local()->calls(), 2);
+  EXPECT_EQ(memo->stats().snapshot().gets, 0u);
+  // But the advice metadata still records the gap for the analyzer.
+  ASSERT_EQ(memo->advice().size(), 1u);
+  EXPECT_TRUE(memo->advice()[0]->caches());
+  EXPECT_FALSE(memo->advice()[0]->cache_idempotent());
+  EXPECT_FALSE(memo->advice()[0]->cache_args()[0].serializable);
+}
+
+TEST(CacheAspect, BoundedStoreEvictsOldEntries) {
+  aop::Context ctx;
+  cache::CacheAspect<CountingSquarer>::Options copts;
+  copts.shards = 1;
+  copts.max_entries = 2;  // tiny: the third distinct key evicts the LRU
+  auto memo = std::make_shared<cache::CacheAspect<CountingSquarer>>("Memo",
+                                                                    copts);
+  memo->cache_method<&CountingSquarer::square>();
+  ctx.attach(memo);
+
+  auto sq = ctx.create<CountingSquarer>(0LL);
+  (void)ctx.call<&CountingSquarer::square>(sq, 1LL);
+  (void)ctx.call<&CountingSquarer::square>(sq, 2LL);
+  (void)ctx.call<&CountingSquarer::square>(sq, 3LL);  // evicts key(1)
+  (void)ctx.call<&CountingSquarer::square>(sq, 1LL);  // recomputes
+  EXPECT_EQ(sq.local()->calls(), 4);
+  EXPECT_EQ(memo->stats().snapshot().evictions, 2u);
+}

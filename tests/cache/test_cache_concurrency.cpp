@@ -1,0 +1,173 @@
+// Concurrency exactness for ShardedLru: N threads hammering shared key
+// sets must produce exactly-accountable counters — compute-function
+// invocations equal distinct keys (single-flight dedupes racing misses),
+// gets always split exactly into hits + misses + coalesced, and a
+// throwing compute reaches every waiter while caching nothing. Meant to
+// run under tsan as part of `ctest -L cache` (tools/run_stress.sh).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apar/cache/sharded_lru.hpp"
+
+namespace cache = apar::cache;
+
+namespace {
+
+using Lru = cache::ShardedLru<std::string, std::string>;
+
+}  // namespace
+
+TEST(CacheConcurrency, SingleFlightComputesOncePerDistinctKey) {
+  Lru::Options o;
+  o.shards = 4;
+  o.max_entries = 1024;  // nothing evicts: every compute should be reused
+  Lru lru(o);
+
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 16;
+  constexpr int kRounds = 50;
+  std::atomic<int> computes{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        for (int k = 0; k < kKeys; ++k) {
+          const std::string key = "key" + std::to_string(k);
+          const std::string value = lru.get_or_compute(key, [&] {
+            computes.fetch_add(1);
+            // Widen the race window so racing misses actually coalesce.
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            return "v" + std::to_string(k);
+          });
+          ASSERT_EQ(value, "v" + std::to_string(k));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // The heart of the exactness claim: racing misses elected one leader
+  // per key, every other thread either hit or coalesced.
+  EXPECT_EQ(computes.load(), kKeys);
+  const auto s = lru.stats().snapshot();
+  EXPECT_EQ(s.misses, static_cast<std::uint64_t>(kKeys));
+  EXPECT_EQ(s.gets,
+            static_cast<std::uint64_t>(kThreads) * kKeys * kRounds);
+  EXPECT_EQ(s.gets, s.hits + s.misses + s.coalesced);
+  EXPECT_EQ(s.inserts, static_cast<std::uint64_t>(kKeys));
+  EXPECT_EQ(lru.size(), static_cast<std::size_t>(kKeys));
+}
+
+TEST(CacheConcurrency, CountersSumExactlyUnderMixedTraffic) {
+  Lru::Options o;
+  o.shards = 8;
+  o.max_entries = 32;  // small: plenty of evictions under pressure
+  Lru lru(o);
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&lru, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key = "k" + std::to_string((t * 7 + i) % 64);
+        switch (i % 4) {
+          case 0: lru.put(key, "v"); break;
+          case 1: (void)lru.erase(key); break;
+          default: (void)lru.get(key); break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto s = lru.stats().snapshot();
+  // gets split exactly, puts all accounted, bounds never exceeded.
+  EXPECT_EQ(s.gets, s.hits + s.misses + s.coalesced);
+  EXPECT_EQ(s.gets,
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread / 2);
+  EXPECT_EQ(s.inserts,
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread / 4);
+  EXPECT_LE(lru.size(), lru.shard_count() * lru.shard_entry_capacity());
+}
+
+TEST(CacheConcurrency, ComputeErrorReachesEveryWaiterAndCachesNothing) {
+  Lru::Options o;
+  o.shards = 1;
+  Lru lru(o);
+
+  constexpr int kThreads = 6;
+  std::atomic<int> computes{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      try {
+        (void)lru.get_or_compute("doomed", [&]() -> std::string {
+          computes.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          throw std::runtime_error("boom");
+        });
+        ADD_FAILURE() << "get_or_compute must rethrow the compute error";
+      } catch (const std::runtime_error&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Every thread observed the failure (leader rethrow or waiter
+  // delivery), and the error was never memoized.
+  EXPECT_EQ(failures.load(), kThreads);
+  EXPECT_FALSE(lru.peek("doomed"));
+  EXPECT_EQ(lru.stats().snapshot().inserts, 0u);
+  // Each failed flight retired its in-flight slot, so computes can be
+  // anywhere in [1, kThreads] — but a later success must compute afresh.
+  EXPECT_GE(computes.load(), 1);
+  EXPECT_EQ(lru.get_or_compute("doomed", [] { return std::string("ok"); }),
+            "ok");
+  EXPECT_TRUE(lru.peek("doomed"));
+}
+
+TEST(CacheConcurrency, DistinctShardsProgressIndependently) {
+  Lru::Options o;
+  o.shards = 8;
+  o.max_entries = 800;
+  Lru lru(o);
+
+  // One slow compute must not block hits on other keys: start a leader
+  // that holds its flight open, then require fast completion elsewhere.
+  std::atomic<bool> release{false};
+  std::thread slow([&] {
+    (void)lru.get_or_compute("slow-key", [&] {
+      while (!release.load()) std::this_thread::sleep_for(
+          std::chrono::milliseconds(1));
+      return std::string("slow");
+    });
+  });
+
+  const auto started = std::chrono::steady_clock::now();
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "fast" + std::to_string(i);
+    EXPECT_EQ(lru.get_or_compute(key, [&] { return key; }), key);
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  release.store(true);
+  slow.join();
+  // 100 computes while the slow flight was open: the store never
+  // serialized unrelated keys behind it.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2000);
+  EXPECT_EQ(*lru.get("slow-key"), "slow");
+}

@@ -1,0 +1,261 @@
+// Model-based fuzz harness for ShardedLru: a single-threaded reference
+// model replays the cache's documented rules (LRU recency, ceil-split
+// entry/byte bounds, lazy TTL reaping, counter semantics) over seeded
+// random op streams and must agree with the real cache on every lookup
+// result, every per-shard recency order, and every counter — exactly, not
+// statistically. Failures replay with APAR_STRESS_SEED=<printed seed>.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "apar/cache/sharded_lru.hpp"
+#include "apar/common/rng.hpp"
+#include "../stress/stress_common.hpp"
+
+namespace cache = apar::cache;
+namespace common = apar::common;
+
+namespace {
+
+using Lru = cache::ShardedLru<std::string, std::string>;
+
+/// Per-entry charge used by both sides; deliberately not the default so
+/// the test proves Options::size_of is honoured.
+std::size_t charge_of(const std::string&, const std::string& value) {
+  return 8 + value.size();
+}
+
+/// The single-threaded reference: one recency list + map per shard,
+/// counting exactly what CacheStats counts.
+class ReferenceModel {
+ public:
+  ReferenceModel(std::size_t shards, std::size_t cap_entries,
+                 std::size_t cap_bytes, std::uint64_t ttl,
+                 const std::uint64_t* now)
+      : shards_(shards),
+        cap_entries_(cap_entries),
+        cap_bytes_(cap_bytes),
+        ttl_(ttl),
+        now_(now),
+        state_(shards) {}
+
+  std::optional<std::string> get(std::size_t shard, const std::string& key) {
+    Shard& sh = state_[shard];
+    ++gets;
+    auto it = sh.map.find(key);
+    if (it == sh.map.end()) {
+      ++misses;
+      return std::nullopt;
+    }
+    if (lapsed(it->second)) {
+      remove(sh, it);
+      ++expiries;
+      ++misses;
+      return std::nullopt;
+    }
+    sh.recency.remove(key);
+    sh.recency.push_front(key);
+    ++hits;
+    return it->second.value;
+  }
+
+  void put(std::size_t shard, const std::string& key,
+           const std::string& value) {
+    Shard& sh = state_[shard];
+    auto it = sh.map.find(key);
+    if (it != sh.map.end()) {
+      sh.bytes -= it->second.charge;
+      sh.recency.remove(key);
+    } else {
+      it = sh.map.emplace(key, Entry{}).first;
+    }
+    it->second.value = value;
+    it->second.charge = charge_of(key, value);
+    it->second.expires_at = ttl_ > 0 ? *now_ + ttl_ : 0;
+    sh.recency.push_front(key);
+    sh.bytes += it->second.charge;
+    ++inserts;
+    while (sh.map.size() > cap_entries_ ||
+           (cap_bytes_ != 0 && sh.bytes > cap_bytes_)) {
+      const std::string victim = sh.recency.back();
+      remove(sh, sh.map.find(victim));
+      ++evictions;
+      if (sh.map.empty()) break;
+    }
+  }
+
+  bool erase(std::size_t shard, const std::string& key) {
+    Shard& sh = state_[shard];
+    auto it = sh.map.find(key);
+    if (it == sh.map.end()) return false;
+    remove(sh, it);
+    ++erases;
+    return true;
+  }
+
+  [[nodiscard]] std::vector<std::string> keys(std::size_t shard) const {
+    return {state_[shard].recency.begin(), state_[shard].recency.end()};
+  }
+  [[nodiscard]] std::size_t bytes(std::size_t shard) const {
+    return state_[shard].bytes;
+  }
+
+  std::uint64_t gets = 0, hits = 0, misses = 0, inserts = 0, evictions = 0,
+                expiries = 0, erases = 0;
+
+ private:
+  struct Entry {
+    std::string value;
+    std::size_t charge = 0;
+    std::uint64_t expires_at = 0;
+  };
+  struct Shard {
+    std::unordered_map<std::string, Entry> map;
+    std::list<std::string> recency;  // MRU first
+    std::size_t bytes = 0;
+  };
+
+  [[nodiscard]] bool lapsed(const Entry& e) const {
+    return e.expires_at != 0 && *now_ >= e.expires_at;
+  }
+
+  void remove(Shard& sh, std::unordered_map<std::string, Entry>::iterator it) {
+    sh.bytes -= it->second.charge;
+    sh.recency.remove(it->first);
+    sh.map.erase(it);
+  }
+
+  std::size_t shards_;
+  std::size_t cap_entries_;
+  std::size_t cap_bytes_;
+  std::uint64_t ttl_;
+  const std::uint64_t* now_;
+  std::vector<Shard> state_;
+};
+
+struct FuzzConfig {
+  std::size_t shards = 1;
+  std::size_t max_entries = 16;
+  std::size_t max_bytes = 0;
+  std::uint64_t ttl = 0;
+  std::size_t ops = 6000;
+  std::size_t key_space = 24;
+  std::uint64_t seed = 0;
+};
+
+void agree(const Lru& lru, const ReferenceModel& model) {
+  const auto s = lru.stats().snapshot();
+  ASSERT_EQ(s.gets, model.gets);
+  ASSERT_EQ(s.hits, model.hits);
+  ASSERT_EQ(s.misses, model.misses);
+  ASSERT_EQ(s.inserts, model.inserts);
+  ASSERT_EQ(s.evictions, model.evictions);
+  ASSERT_EQ(s.expiries, model.expiries);
+  ASSERT_EQ(s.erases, model.erases);
+  ASSERT_EQ(s.coalesced, 0u);  // single-threaded: nothing coalesces
+  for (std::size_t shard = 0; shard < lru.shard_count(); ++shard) {
+    ASSERT_EQ(lru.keys_in(shard), model.keys(shard)) << "shard " << shard;
+    ASSERT_EQ(lru.bytes_in(shard), model.bytes(shard)) << "shard " << shard;
+  }
+}
+
+void run_fuzz(const FuzzConfig& cfg) {
+  std::uint64_t now = 0;
+  Lru::Options o;
+  o.shards = cfg.shards;
+  o.max_entries = cfg.max_entries;
+  o.max_bytes = cfg.max_bytes;
+  o.ttl = std::chrono::nanoseconds(cfg.ttl);
+  o.size_of = charge_of;
+  o.now = [&now] { return now; };
+  Lru lru(o);
+  ReferenceModel model(lru.shard_count(), lru.shard_entry_capacity(),
+                       lru.shard_byte_capacity(), cfg.ttl, &now);
+
+  common::Rng rng(cfg.seed);
+  for (std::size_t i = 0; i < cfg.ops; ++i) {
+    const std::string key =
+        "k" + std::to_string(rng.uniform(0, cfg.key_space - 1));
+    const std::size_t shard = lru.shard_of(key);
+    const std::uint64_t roll = rng.uniform(0, 99);
+    if (roll < 45) {
+      const auto got = lru.get(key);
+      const auto expect = model.get(shard, key);
+      ASSERT_EQ(got, expect) << "op " << i << " get(" << key << ")";
+    } else if (roll < 80) {
+      const std::string value(rng.uniform(0, 30), 'v');
+      lru.put(key, value);
+      model.put(shard, key, value);
+    } else if (roll < 90) {
+      ASSERT_EQ(lru.erase(key), model.erase(shard, key)) << "op " << i;
+    } else if (cfg.ttl > 0) {
+      now += rng.uniform(1, cfg.ttl);  // advance time, sometimes past expiry
+    } else {
+      const auto got = lru.get(key);  // no clock: extra read traffic
+      const auto expect = model.get(shard, key);
+      ASSERT_EQ(got, expect) << "op " << i;
+    }
+    if (i % 97 == 0) {
+      agree(lru, model);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+  agree(lru, model);
+  const auto s = lru.stats().snapshot();
+  EXPECT_EQ(s.gets, s.hits + s.misses + s.coalesced);
+}
+
+}  // namespace
+
+TEST(CacheModel, FuzzSingleShardEntryBound) {
+  FuzzConfig cfg;
+  cfg.seed = apar::test::announce_stress_seed(0xCACE01);
+  cfg.shards = 1;
+  cfg.max_entries = 8;
+  run_fuzz(cfg);
+}
+
+TEST(CacheModel, FuzzMultiShardEntryBound) {
+  FuzzConfig cfg;
+  cfg.seed = apar::test::announce_stress_seed(0xCACE02);
+  cfg.shards = 4;
+  cfg.max_entries = 16;  // 4 per shard
+  cfg.key_space = 48;
+  run_fuzz(cfg);
+}
+
+TEST(CacheModel, FuzzByteBound) {
+  FuzzConfig cfg;
+  cfg.seed = apar::test::announce_stress_seed(0xCACE03);
+  cfg.shards = 2;
+  cfg.max_entries = 64;
+  cfg.max_bytes = 200;  // 100 per shard; entries charge 8..38 bytes
+  run_fuzz(cfg);
+}
+
+TEST(CacheModel, FuzzTtlWithManualClock) {
+  FuzzConfig cfg;
+  cfg.seed = apar::test::announce_stress_seed(0xCACE04);
+  cfg.shards = 2;
+  cfg.max_entries = 16;
+  cfg.ttl = 64;
+  run_fuzz(cfg);
+}
+
+TEST(CacheModel, FuzzEverythingAtOnce) {
+  FuzzConfig cfg;
+  cfg.seed = apar::test::announce_stress_seed(0xCACE05);
+  cfg.shards = 4;
+  cfg.max_entries = 24;
+  cfg.max_bytes = 600;
+  cfg.ttl = 128;
+  cfg.ops = 10000;
+  cfg.key_space = 40;
+  run_fuzz(cfg);
+}

@@ -3,7 +3,8 @@
 // Builds each named aspect composition exactly as the benches and the
 // Table-1 version matrix do, then runs the static weave-plan analyzer
 // (src/analysis) over the plugged aspects: dead pointcuts, order
-// collisions, double synchronisation, distribution hazards. The
+// collisions, double synchronisation, distribution hazards, cache
+// safety. The
 // deliberately broken `demo-broken` composition additionally scripts an
 // ABBA acquisition sequence under a plugged LockOrderAspect to exercise
 // the dynamic lock-order analysis.
@@ -30,6 +31,7 @@
 #include "apar/analysis/weave_plan.hpp"
 #include "apar/aop/aop.hpp"
 #include "apar/apps/heat_band.hpp"
+#include "apar/cache/cache_aspect.hpp"
 #include "apar/cluster/cluster.hpp"
 #include "apar/cluster/middleware.hpp"
 #include "apar/common/config.hpp"
@@ -44,6 +46,7 @@
 
 namespace analysis = apar::analysis;
 namespace aop = apar::aop;
+namespace cache = apar::cache;
 namespace cluster = apar::cluster;
 namespace common = apar::common;
 namespace concurrency = apar::concurrency;
@@ -158,6 +161,60 @@ analysis::Report analyze_sieve_tcp() {
   return report;
 }
 
+/// The TCP sieve weave with the memoisation aspect in front of the wire:
+/// CacheAspect caches PrimeFilter::filter (declared idempotent, all-
+/// serializable effect) at the optimisation layer, so hits return before
+/// the distribution advice runs. Must analyze clean — the template for
+/// safe caching over a real transport.
+analysis::Report analyze_sieve_tcp_cached() {
+  using Conc = strategies::ConcurrencyAspect<sieve::PrimeFilter>;
+  using Dist = strategies::DistributionAspect<sieve::PrimeFilter, long long,
+                                              long long, double>;
+  net::TcpMiddleware middleware(undialed_tcp());
+  net::TcpFabric fabric(middleware);
+
+  aop::Context ctx;
+  auto conc = std::make_shared<Conc>("Concurrency");
+  conc->guarded_method<&sieve::PrimeFilter::collect>();
+  ctx.attach(conc);
+  auto memo = std::make_shared<cache::CacheAspect<sieve::PrimeFilter>>("Memo");
+  memo->cache_method<&sieve::PrimeFilter::filter>();
+  ctx.attach(memo);
+  auto dist = std::make_shared<Dist>("Distribution", fabric, middleware);
+  dist->distribute_method<&sieve::PrimeFilter::filter>();
+  ctx.attach(dist);
+
+  auto report = analysis::analyze_weave_plan(ctx);
+  ctx.quiesce();
+  return report;
+}
+
+/// Every cache-safety defect at once, over the real wire so each gates as
+/// an error: memoizing deposit (a mutator nobody declared idempotent —
+/// hits would silently skip remote state transitions) and put (non-
+/// idempotent AND an unserializable effect, so the cache never fires while
+/// every call still pays the round-trip).
+analysis::Report analyze_demo_broken_cache() {
+  net::TcpMiddleware middleware(undialed_tcp());
+  net::TcpFabric fabric(middleware);
+
+  aop::Context ctx;
+  auto dist =
+      std::make_shared<strategies::DistributionAspect<demo::Ledger, long long>>(
+          "Distribution", fabric, middleware);
+  dist->distribute_method<&demo::Ledger::deposit>()
+      .distribute_method<&demo::Ledger::put>();
+  ctx.attach(dist);
+  auto memo = std::make_shared<cache::CacheAspect<demo::Ledger>>("Memo");
+  memo->cache_method<&demo::Ledger::deposit>()
+      .cache_method<&demo::Ledger::put>();
+  ctx.attach(memo);
+
+  auto report = analysis::analyze_weave_plan(ctx);
+  ctx.quiesce();
+  return report;
+}
+
 /// demo-broken's distribution hazard, retargeted at the real wire: over
 /// the simulated RMI the unserializable put(Opaque) is a warning (local
 /// dispatch still works); over TcpMiddleware there IS no local dispatch,
@@ -214,9 +271,16 @@ analysis::Report analyze_demo_broken() {
   dist->distribute_method<&demo::Ledger::put>();
   ctx.attach(dist);
 
+  // (5) Cache misuse: memoizing deposit, a mutator nobody declared
+  // idempotent. A warning here (simulated middleware); the same weave over
+  // TCP is demo-broken-cache, where it gates as an error.
+  auto memo = std::make_shared<cache::CacheAspect<demo::Ledger>>("Memo");
+  memo->cache_method<&demo::Ledger::deposit>();
+  ctx.attach(memo);
+
   auto report = analysis::analyze_weave_plan(ctx);
 
-  // (5) Dynamic half: plug the lock-order aspect and acquire two monitors
+  // (6) Dynamic half: plug the lock-order aspect and acquire two monitors
   // in conflicting orders — the ABBA shape, scripted sequentially so the
   // demo itself never deadlocks.
   auto lock_order = std::make_shared<analysis::LockOrderAspect>();
@@ -252,6 +316,8 @@ std::vector<std::pair<std::string, Builder>> all_compositions() {
   }
   out.emplace_back("heat:heartbeat", [] { return analyze_heartbeat(); });
   out.emplace_back("sieve:FarmTCP", [] { return analyze_sieve_tcp(); });
+  out.emplace_back("sieve:FarmTCP+Cache",
+                   [] { return analyze_sieve_tcp_cached(); });
   return out;
 }
 
@@ -281,6 +347,7 @@ int main(int argc, char** argv) {
     for (const auto& [name, build] : clean) std::printf("%s\n", name.c_str());
     std::printf("demo-broken\n");
     std::printf("demo-broken-tcp\n");
+    std::printf("demo-broken-cache\n");
     return 0;
   }
 
@@ -297,6 +364,11 @@ int main(int argc, char** argv) {
       if (want == "demo-broken-tcp") {
         selected.emplace_back(want,
                               [] { return analyze_demo_broken_tcp(); });
+        continue;
+      }
+      if (want == "demo-broken-cache") {
+        selected.emplace_back(want,
+                              [] { return analyze_demo_broken_cache(); });
         continue;
       }
       bool found = false;

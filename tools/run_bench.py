@@ -100,7 +100,19 @@ def distill(doc, repetitions):
 
 
 def summarize(results):
-    """Print central-queue vs work-stealing speedups where pairs line up."""
+    """Print speedups where benchmark pairs line up: central-queue vs
+    work-stealing (scheduler ablation) and recompute vs cached hit
+    (cache_costs)."""
+    for name in sorted(results["benchmarks"]):
+        if "Recompute" not in name:
+            continue
+        hit_name = name.replace("Recompute", "CachedHit")
+        if hit_name not in results["benchmarks"]:
+            continue
+        recompute = results["benchmarks"][name]["median_real_ns"]
+        hit = results["benchmarks"][hit_name]["median_real_ns"]
+        print(f"{hit_name}: {hit:12.0f} ns  vs  {name}: {recompute:12.0f} ns"
+              f"  -> hit speedup {recompute / hit:5.2f}x")
     pairs = []
     for name in results["benchmarks"]:
         if name.startswith("BM_WorkStealing_"):

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Run the stress suite (`ctest -L stress`) plus the real-TCP transport
-# suite (`-L net`) under ThreadSanitizer and AddressSanitizer. Any
+# Run the stress suite (`ctest -L stress`) plus the cache suite (`-L
+# cache`) and the real-TCP transport suite (`-L net`) under
+# ThreadSanitizer and AddressSanitizer. Any
 # sanitizer report fails the run: halt_on_error turns the first finding
 # into a nonzero test exit.
 #
@@ -29,8 +30,8 @@ for preset in "${presets[@]}"; do
   cmake --preset "$preset"
   echo "=== [$preset] build ==="
   cmake --build --preset "$preset" -j "$(nproc)"
-  echo "=== [$preset] ctest -L 'stress|net' ==="
-  ctest --test-dir "build-$preset" -L 'stress|net' --output-on-failure -j 2
+  echo "=== [$preset] ctest -L 'stress|cache|net' ==="
+  ctest --test-dir "build-$preset" -L 'stress|cache|net' --output-on-failure -j 2
 done
 
-echo "stress + net suites clean under: ${presets[*]}"
+echo "stress + cache + net suites clean under: ${presets[*]}"
