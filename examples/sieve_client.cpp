@@ -11,12 +11,16 @@
 // Options: --host H --port P --format compact|verbose --max M
 //          --filters N --pack P --work-seconds S
 // Exits 0 iff the prime count over the wire matches the reference sieve.
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "apar/aop/context.hpp"
+#include "apar/aop/trace.hpp"
 #include "apar/common/config.hpp"
 #include "apar/common/stopwatch.hpp"
 #include "apar/common/table.hpp"
@@ -32,6 +36,7 @@ namespace ac = apar::common;
 namespace aop = apar::aop;
 namespace as = apar::serial;
 namespace net = apar::net;
+namespace obs = apar::obs;
 namespace st = apar::strategies;
 namespace sv = apar::sieve;
 
@@ -86,6 +91,18 @@ int main(int argc, char** argv) {
   // Identical weave to SieveHarness's farm versions — only the middleware
   // (and therefore the machine boundary) changed.
   aop::Context ctx;
+  // Tracing rides along as one more aspect: when APAR_TRACE/_OUT enables
+  // it, the app-level spans (process/filter/collect) nest above the wire
+  // spans the middleware records on its own.
+  if (obs::tracing_enabled()) {
+    auto trace =
+        std::make_shared<aop::TraceAspect<sv::PrimeFilter>>("Trace",
+                                                            obs::Tracer::global());
+    trace->trace_method<&sv::PrimeFilter::process>()
+        .trace_method<&sv::PrimeFilter::filter>()
+        .trace_method<&sv::PrimeFilter::collect>();
+    ctx.attach(trace);
+  }
   FarmAspect::Options fopts;
   fopts.duplicates = filters;
   fopts.pack_size = pack;
@@ -125,6 +142,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "sieve_client: transport failure (%s): %s\n",
                  net::NetError::kind_name(e.kind()), e.what());
     return 3;
+  }
+
+  // The client half of the distributed trace (root span + app spans + wire
+  // spans). merge_traces.py aligns the server's dump against this one.
+  if (const char* trace_out = std::getenv("APAR_TRACE_OUT");
+      trace_out != nullptr && *trace_out != '\0' && obs::tracing_enabled()) {
+    obs::Tracer::global()->write_chrome_trace(trace_out,
+                                              static_cast<int>(::getpid()),
+                                              "sieve-client");
+    std::printf("sieve_client: trace written to %s\n", trace_out);
   }
 
   const long long expected = sv::count_primes_up_to(max);

@@ -10,10 +10,13 @@
 // Options: --port P --port-file PATH --workers N --run-seconds S
 // Runs until SIGINT/SIGTERM or until --run-seconds elapses (default 300,
 // a leak guard for scripted runs), then prints its traffic stats.
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 
@@ -21,10 +24,13 @@
 #include "apar/common/config.hpp"
 #include "apar/net/socket.hpp"
 #include "apar/net/tcp_server.hpp"
+#include "apar/obs/trace_context.hpp"
+#include "apar/obs/tracer.hpp"
 #include "apar/sieve/prime_filter.hpp"
 
 namespace ac = apar::common;
 namespace net = apar::net;
+namespace obs = apar::obs;
 namespace sv = apar::sieve;
 
 namespace {
@@ -83,6 +89,16 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
 
   server.stop();
+  // APAR_TRACE_OUT=<path> dumps this half of the distributed trace; the
+  // serve spans inside carry the CLIENT's ids as parents, which is what
+  // lets tools/merge_traces.py stitch the two processes back together.
+  if (const char* trace_out = std::getenv("APAR_TRACE_OUT");
+      trace_out != nullptr && *trace_out != '\0' && obs::tracing_enabled()) {
+    obs::Tracer::global()->write_chrome_trace(trace_out,
+                                              static_cast<int>(::getpid()),
+                                              "sieve-server");
+    std::printf("sieve_server: trace written to %s\n", trace_out);
+  }
   const auto s = server.stats();
   std::printf("sieve_server: served %llu frames in / %llu out, "
               "%llu bytes in / %llu out, %llu objects hosted, "

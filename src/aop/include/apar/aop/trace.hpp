@@ -1,93 +1,34 @@
 #pragma once
 
 #include <chrono>
-#include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
-#include <vector>
+#include <type_traits>
+#include <utility>
 
 #include "apar/aop/aspect.hpp"
+#include "apar/obs/trace_context.hpp"
+#include "apar/obs/tracer.hpp"
 
 namespace apar::aop {
 
-/// One observed join-point execution boundary.
-struct TraceEvent {
-  enum class Phase { kEnter, kExit, kError };
-
-  std::chrono::steady_clock::time_point when;
-  std::thread::id thread;
-  std::string signature;   ///< "Class.method" ("Class.new" for creations)
-  const void* target = nullptr;  ///< Ref identity (null for creations)
-  Phase phase = Phase::kEnter;
-};
-
-/// One completed join-point execution: a matched enter/exit (or
-/// enter/error) pair on a single thread, with its wall-clock duration.
-struct TraceSpan {
-  std::string signature;
-  std::thread::id thread;
-  const void* target = nullptr;
-  std::chrono::steady_clock::time_point start;
-  std::chrono::microseconds duration{0};
-  bool error = false;  ///< closed by Phase::kError (exception unwound)
-};
-
-/// Thread-safe event sink shared by TraceAspects, able to render the
-/// paper's interaction diagrams (Figures 6, 7 and 11) as text — the
-/// methodology's "easier to understand overall parallelism structure"
-/// claim, made checkable — and to export the same run as a Chrome
-/// `trace_event` JSON array loadable in Perfetto / chrome://tracing.
-class Tracer {
- public:
-  void record(TraceEvent event);
-
-  [[nodiscard]] std::vector<TraceEvent> events() const;
-  [[nodiscard]] std::size_t size() const;
-  void clear();
-
-  /// Matched enter/exit pairs as duration spans, in start order. Matching
-  /// is a per-thread stack keyed on signature, so nested and recursive
-  /// join points pair correctly; still-open enters are omitted.
-  [[nodiscard]] std::vector<TraceSpan> spans() const;
-
-  /// Chrome `trace_event` JSON array: one thread-name metadata event per
-  /// observed thread (T1, T2, ... in order of first appearance) followed by
-  /// one complete ("ph":"X") event per span, timestamps in microseconds
-  /// relative to the first recorded event. Load the file in Perfetto or
-  /// chrome://tracing to see the woven run as a timeline.
-  [[nodiscard]] std::string chrome_trace_json() const;
-
-  /// Write chrome_trace_json() to `path`; throws std::runtime_error on I/O
-  /// failure.
-  void write_chrome_trace(const std::string& path) const;
-
-  /// Distinct threads that executed traced join points.
-  [[nodiscard]] std::size_t thread_count() const;
-
-  /// Calls (enter events) observed for a signature.
-  [[nodiscard]] std::size_t calls(std::string_view signature) const;
-
-  /// Distinct targets a signature was executed on.
-  [[nodiscard]] std::size_t targets(std::string_view signature) const;
-
-  /// Text interaction diagram: one line per event, relative microsecond
-  /// timestamps, compact thread (T1, T2, ...) and object (A, B, ...)
-  /// labels, arrows for enter/exit.
-  [[nodiscard]] std::string interaction_diagram() const;
-
-  /// Per-signature call/target/thread counts.
-  [[nodiscard]] std::string summary() const;
-
- private:
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
-};
+// The Tracer itself lives in src/obs since PR 7 so that layers below aop
+// (the thread pool, the TCP transport) can record causal spans into it.
+// These aliases keep every existing aop-facing spelling working.
+using TraceEvent = obs::TraceEvent;
+using TraceSpan = obs::TraceSpan;
+using Tracer = obs::Tracer;
 
 /// A pluggable tracing aspect for class T — the classic AOP demonstrator,
 /// here doubling as the paper's debugging story: plug it to see the woven
 /// interaction structure, unplug it to remove every trace probe.
+///
+/// Every traced join point opens a child span of whatever context is
+/// current on the executing thread (a new root when none is), and installs
+/// it for the duration of proceed() — so work the join point fans out
+/// (thread-pool tasks, TCP calls) parents back to it, across steals and
+/// across the wire.
 ///
 /// Runs outermost (order 50 by default) so it observes calls as core
 /// functionality issued them, before partition advice rewrites them; trace
@@ -108,26 +49,27 @@ class TraceAspect : public Aspect {
         order_, Scope::any(), [this](auto& inv) {
           const std::string sig = inv.signature().str();
           const void* target = inv.target().identity();
+          obs::SpanScope span;
           tracer_->record({std::chrono::steady_clock::now(),
                            std::this_thread::get_id(), sig, target,
-                           TraceEvent::Phase::kEnter});
+                           TraceEvent::Phase::kEnter, span.context()});
           try {
             if constexpr (std::is_void_v<decltype(inv.proceed())>) {
               inv.proceed();
               tracer_->record({std::chrono::steady_clock::now(),
                                std::this_thread::get_id(), sig, target,
-                               TraceEvent::Phase::kExit});
+                               TraceEvent::Phase::kExit, span.context()});
             } else {
               auto result = inv.proceed();
               tracer_->record({std::chrono::steady_clock::now(),
                                std::this_thread::get_id(), sig, target,
-                               TraceEvent::Phase::kExit});
+                               TraceEvent::Phase::kExit, span.context()});
               return result;
             }
           } catch (...) {
             tracer_->record({std::chrono::steady_clock::now(),
                              std::this_thread::get_id(), sig, target,
-                             TraceEvent::Phase::kError});
+                             TraceEvent::Phase::kError, span.context()});
             throw;
           }
         });
@@ -141,13 +83,14 @@ class TraceAspect : public Aspect {
         order_, Scope::any(),
         [this](aop::CtorInvocation<T, std::decay_t<CtorArgs>...>& inv) {
           const std::string sig = inv.signature().str();
+          obs::SpanScope span;
           tracer_->record({std::chrono::steady_clock::now(),
                            std::this_thread::get_id(), sig, nullptr,
-                           TraceEvent::Phase::kEnter});
+                           TraceEvent::Phase::kEnter, span.context()});
           auto ref = inv.proceed();
           tracer_->record({std::chrono::steady_clock::now(),
                            std::this_thread::get_id(), sig, ref.identity(),
-                           TraceEvent::Phase::kExit});
+                           TraceEvent::Phase::kExit, span.context()});
           return ref;
         });
     return *this;

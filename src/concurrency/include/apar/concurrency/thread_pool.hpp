@@ -232,12 +232,15 @@ class ThreadPool {
   // test, keeping the fig16 overhead claim honest with metrics unset.
   // Series (process-wide aggregate over all pools):
   //   threadpool.queue_depth (gauge), threadpool.workers (gauge),
-  //   threadpool.wait_us / threadpool.run_us (histograms),
+  //   threadpool.wait_us / threadpool.queue_wait / threadpool.run_us
+  //   (histograms; queue_wait is the submit→start gap, the
+  //   AdaptationAspect's key signal),
   //   threadpool.tasks / threadpool.busy_us (counters),
   //   threadpool.steals / threadpool.overflow (counters).
   std::shared_ptr<obs::Gauge> queue_depth_;
   std::shared_ptr<obs::Gauge> workers_gauge_;
   std::shared_ptr<obs::Histogram> wait_us_;
+  std::shared_ptr<obs::Histogram> queue_wait_us_;
   std::shared_ptr<obs::Histogram> run_us_;
   std::shared_ptr<obs::Counter> tasks_counter_;
   std::shared_ptr<obs::Counter> busy_us_counter_;

@@ -5,6 +5,8 @@
 
 #include "apar/concurrency/steal_deque.hpp"
 #include "apar/obs/metrics.hpp"
+#include "apar/obs/trace_context.hpp"
+#include "apar/obs/tracer.hpp"
 
 namespace apar::concurrency {
 
@@ -44,6 +46,9 @@ std::uint64_t next_rand() {
 struct ThreadPool::TaskNode {
   Task task;
   std::chrono::steady_clock::time_point enqueued{};
+  /// Submitter's trace context, captured at make_node when tracing is
+  /// enabled and restored around task() — causality survives steals.
+  obs::TraceContext ctx;
   TaskNode* next = nullptr;  ///< node-cache freelist link
 };
 
@@ -96,7 +101,10 @@ ThreadPool::TaskNode* ThreadPool::make_node(Task task) {
     node = new TaskNode();
   }
   node->task = std::move(task);
-  if (wait_us_) node->enqueued = std::chrono::steady_clock::now();
+  node->ctx =
+      obs::tracing_enabled() ? obs::current_context() : obs::TraceContext{};
+  if (wait_us_ || node->ctx.valid())
+    node->enqueued = std::chrono::steady_clock::now();
   return node;
 }
 
@@ -126,6 +134,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
     queue_depth_ = registry.gauge("threadpool.queue_depth");
     workers_gauge_ = registry.gauge("threadpool.workers");
     wait_us_ = registry.histogram("threadpool.wait_us");
+    queue_wait_us_ = registry.histogram("threadpool.queue_wait");
     run_us_ = registry.histogram("threadpool.run_us");
     tasks_counter_ = registry.counter("threadpool.tasks");
     busy_us_counter_ = registry.counter("threadpool.busy_us");
@@ -290,12 +299,29 @@ void ThreadPool::run_node(TaskNode* node) {
   pending_count_.fetch_sub(1, std::memory_order_seq_cst);
   if (queue_depth_) queue_depth_->add(-1);
   std::chrono::steady_clock::time_point started{};
-  if (wait_us_) {
+  if (wait_us_ || node->ctx.valid())
     started = std::chrono::steady_clock::now();
-    wait_us_->record(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                         started - node->enqueued)
-                         .count() /
-                     1000.0);
+  if (wait_us_) {
+    const double us = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          started - node->enqueued)
+                          .count() /
+                      1000.0;
+    wait_us_->record(us);
+    queue_wait_us_->record(us);
+  }
+  if (node->ctx.valid() && obs::tracing_enabled()) {
+    // The submit→start gap as an explicit child span of the submitter —
+    // queue pressure becomes visible in the timeline, not just as a
+    // histogram. Both boundary events share one fresh context so they
+    // pair exactly even among same-named neighbours.
+    const obs::TraceContext wait_ctx = obs::TraceContext::child_of(node->ctx);
+    auto& tracer = *obs::Tracer::global();
+    tracer.record({node->enqueued, std::this_thread::get_id(),
+                   "threadpool.queue_wait", nullptr,
+                   obs::TraceEvent::Phase::kEnter, wait_ctx});
+    tracer.record({started, std::this_thread::get_id(),
+                   "threadpool.queue_wait", nullptr,
+                   obs::TraceEvent::Phase::kExit, wait_ctx});
   }
   // A fire-and-forget task that throws must not take the process down
   // (an escaped exception on a worker thread is std::terminate). This
@@ -303,7 +329,14 @@ void ThreadPool::run_node(TaskNode* node) {
   // stopping gets a runtime_error, and if it lets that propagate the
   // whole run would die instead of finishing the drain.
   try {
-    node->task();
+    if (node->ctx.valid()) {
+      // Resume the submitter's context for the task body: spans the task
+      // opens parent to the submitting span, across steals.
+      obs::ContextScope restore(node->ctx);
+      node->task();
+    } else {
+      node->task();
+    }
   } catch (...) {
     task_failures_.fetch_add(1, std::memory_order_relaxed);
   }

@@ -63,12 +63,12 @@ FrameHeader decode_header(const std::byte* data, std::size_t size) {
   }
   const auto op = std::to_integer<std::uint8_t>(data[4]);
   if (op < static_cast<std::uint8_t>(FrameHeader::Op::kCreate) ||
-      op > static_cast<std::uint8_t>(FrameHeader::Op::kReplyError))
+      op > static_cast<std::uint8_t>(FrameHeader::Op::kTelemetry))
     throw NetError(NetError::Kind::kProtocol,
                    "unknown frame op " + std::to_string(op));
   header.op = static_cast<FrameHeader::Op>(op);
   header.flags = std::to_integer<std::uint8_t>(data[5]);
-  if (header.flags != 0)
+  if ((header.flags & ~FrameHeader::kFlagTraceContext) != 0)
     throw NetError(NetError::Kind::kProtocol,
                    "nonzero reserved flags " + std::to_string(header.flags));
   header.payload_len = static_cast<std::uint32_t>(get_le(data + 6, 4));
@@ -79,6 +79,39 @@ FrameHeader decode_header(const std::byte* data, std::size_t size) {
                        std::to_string(FrameHeader::kMaxPayload));
   header.request_id = get_le(data + 10, 8);
   return header;
+}
+
+std::string_view op_name(FrameHeader::Op op) {
+  switch (op) {
+    case FrameHeader::Op::kCreate: return "create";
+    case FrameHeader::Op::kCall: return "call";
+    case FrameHeader::Op::kOneWay: return "one_way";
+    case FrameHeader::Op::kLookup: return "lookup";
+    case FrameHeader::Op::kBind: return "bind";
+    case FrameHeader::Op::kReplyOk: return "reply_ok";
+    case FrameHeader::Op::kReplyError: return "reply_error";
+    case FrameHeader::Op::kTelemetry: return "telemetry";
+  }
+  return "unknown";
+}
+
+void append_trace_context(std::vector<std::byte>& payload,
+                          const obs::TraceContext& ctx) {
+  put_u64(payload, ctx.trace_id);
+  put_u64(payload, ctx.span_id);
+}
+
+obs::TraceContext read_trace_context(const std::byte* payload,
+                                     std::size_t size) {
+  if (size < FrameHeader::kTraceContextSize)
+    throw NetError(NetError::Kind::kProtocol,
+                   "flagged payload too short for trace trailer: " +
+                       std::to_string(size) + " bytes");
+  const std::byte* trailer = payload + size - FrameHeader::kTraceContextSize;
+  obs::TraceContext ctx;
+  ctx.trace_id = get_le(trailer, 8);
+  ctx.span_id = get_le(trailer + 8, 8);
+  return ctx;
 }
 
 void put_u16(std::vector<std::byte>& out, std::uint16_t v) {

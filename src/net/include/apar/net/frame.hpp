@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "apar/obs/trace_context.hpp"
 #include "apar/serial/archive.hpp"
 
 namespace apar::net {
@@ -25,9 +26,18 @@ namespace apar::net {
 ///        2     1  protocol version (kProtocolVersion)
 ///        3     1  serial::Format of the payload (0 compact, 1 verbose)
 ///        4     1  Op
-///        5     1  flags (reserved, must be 0)
+///        5     1  flags (bit 0 = kFlagTraceContext; other bits reserved,
+///                 must be 0)
 ///        6     4  payload length in bytes (u32 LE)
 ///       10     8  request id (u64 LE) — echoed verbatim in the reply
+///
+/// When kFlagTraceContext is set, the LAST kTraceContextSize bytes of the
+/// payload are a trace-context trailer: trace_id (u64 LE) then span_id
+/// (u64 LE) of the caller's wire span, letting server-side spans join the
+/// caller's trace. The trailer sits AFTER the envelope + argument bytes
+/// (and inside payload_len), so a legacy peer that never sets the flag
+/// produces byte-identical frames to protocol version 1 before this bit
+/// existed — unflagged peers keep working, both directions.
 ///
 /// The payload of request ops starts with a fixed *envelope* (object ids
 /// and method/class names, encoded with the explicit LE helpers below,
@@ -51,7 +61,13 @@ struct FrameHeader {
     kBind = 5,        ///< name-server bind
     kReplyOk = 6,     ///< success reply; payload depends on the request op
     kReplyError = 7,  ///< failure reply; payload is the UTF-8 error message
+    kTelemetry = 8,   ///< node telemetry: metrics JSON + tagged trace flush
   };
+
+  /// flags bit 0: payload carries the trace-context trailer (see above).
+  static constexpr std::uint8_t kFlagTraceContext = 0x01;
+  /// Trailer size when kFlagTraceContext is set: trace_id + span_id.
+  static constexpr std::size_t kTraceContextSize = 16;
 
   serial::Format format = serial::Format::kCompact;
   Op op = Op::kCall;
@@ -65,9 +81,26 @@ std::array<std::byte, FrameHeader::kSize> encode_header(
     const FrameHeader& header);
 
 /// Parse and validate 18 header bytes. Throws NetError{kProtocol} on bad
-/// magic, unsupported version, unknown op/format, nonzero flags, or a
-/// payload length above kMaxPayload.
+/// magic, unsupported version, unknown op/format, any reserved flag bit
+/// (only kFlagTraceContext is defined), or a payload length above
+/// kMaxPayload.
 FrameHeader decode_header(const std::byte* data, std::size_t size);
+
+/// Short stable op name ("call", "lookup", ...) for span names and logs.
+[[nodiscard]] std::string_view op_name(FrameHeader::Op op);
+
+/// Append the kTraceContextSize-byte trace trailer (trace_id then span_id,
+/// u64 LE each) to a request payload; the sender must also set
+/// FrameHeader::kFlagTraceContext.
+void append_trace_context(std::vector<std::byte>& payload,
+                          const obs::TraceContext& ctx);
+
+/// Read the trailer of a flagged payload. Returns the sender's context
+/// ({trace_id, span_id, 0}) — pass it to obs::SpanScope to open a child
+/// span. Throws NetError{kProtocol} when the payload is too short to hold
+/// the trailer.
+[[nodiscard]] obs::TraceContext read_trace_context(const std::byte* payload,
+                                                   std::size_t size);
 
 // --- envelope helpers -----------------------------------------------------
 // Explicit little-endian scalars and u16-length-prefixed strings used for

@@ -116,6 +116,13 @@ class TcpMiddleware final : public cluster::Middleware {
   /// Publish a binding on the registry server (endpoints[0]).
   void bind_name(std::string name, cluster::RemoteHandle handle);
 
+  /// Fetch the node's kTelemetry snapshot: metrics-registry JSON plus
+  /// server counters, optionally including (and optionally flushing) the
+  /// node's tagged trace buffer. Returns the server's raw JSON string.
+  [[nodiscard]] std::string telemetry(cluster::NodeId node,
+                                      bool include_trace = false,
+                                      bool flush_trace = false);
+
   [[nodiscard]] const std::vector<Endpoint>& endpoints() const {
     return options_.endpoints;
   }
@@ -136,9 +143,16 @@ class TcpMiddleware final : public cluster::Middleware {
 
   /// One framed request/reply over a pooled connection. Throws NetError
   /// on transport failure (the connection is dropped, not returned) and
-  /// rpc::RpcError when the server answered kReplyError.
+  /// rpc::RpcError when the server answered kReplyError. When
+  /// obs::tracing_enabled(), opens a "net.<op>" wire span (child of the
+  /// calling thread's context) and ships its identity in the frame's
+  /// trace trailer so the server's span joins the caller's trace.
   Exchange roundtrip(std::size_t endpoint_index, FrameHeader::Op op,
                      std::vector<std::byte> payload);
+  /// The raw frame exchange behind roundtrip(); `flags` goes into the
+  /// header verbatim.
+  Exchange exchange(std::size_t endpoint_index, FrameHeader::Op op,
+                    std::vector<std::byte> payload, std::uint8_t flags);
 
   const Endpoint& endpoint_for(cluster::NodeId node) const;
 

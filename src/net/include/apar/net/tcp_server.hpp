@@ -90,9 +90,15 @@ class TcpServer {
                     const std::vector<std::byte>& payload);
   void send_frame(Socket& socket, FrameHeader header,
                   const std::vector<std::byte>& payload);
+  /// kTelemetry reply body: node identity + server counters + the global
+  /// metrics-registry JSON; tflags bit 0 adds the tagged trace buffer,
+  /// bit 1 flushes (drains) it in the same exchange.
+  [[nodiscard]] std::string telemetry_json(std::uint8_t tflags) const;
 
   Options options_;
   Listener listener_;
+  std::chrono::steady_clock::time_point started_at_{
+      std::chrono::steady_clock::now()};
   cluster::Dispatcher dispatcher_;
   cluster::NameServer name_server_;
 

@@ -7,6 +7,8 @@
 #include "apar/cluster/rpc.hpp"
 #include "apar/net/error.hpp"
 #include "apar/obs/metrics.hpp"
+#include "apar/obs/trace_context.hpp"
+#include "apar/obs/tracer.hpp"
 
 namespace apar::net {
 
@@ -54,6 +56,44 @@ const Endpoint& TcpMiddleware::endpoint_for(cluster::NodeId node) const {
 TcpMiddleware::Exchange TcpMiddleware::roundtrip(
     std::size_t endpoint_index, FrameHeader::Op op,
     std::vector<std::byte> payload) {
+  if (!obs::tracing_enabled())
+    return exchange(endpoint_index, op, std::move(payload), 0);
+
+  // Wire span: a child of whatever the calling thread is doing, shipped in
+  // the frame trailer so the server-side span parents to it. The span
+  // always closes — kExit on a reply (even kReplyError: the wire worked),
+  // kError when the transport itself failed.
+  const obs::TraceContext wire_ctx =
+      obs::TraceContext::child_of(obs::current_context());
+  append_trace_context(payload, wire_ctx);
+  const std::string sig = "net." + std::string(op_name(op));
+  auto& tracer = *obs::Tracer::global();
+  tracer.record({std::chrono::steady_clock::now(),
+                 std::this_thread::get_id(), sig, nullptr,
+                 obs::TraceEvent::Phase::kEnter, wire_ctx});
+  try {
+    Exchange ex = exchange(endpoint_index, op, std::move(payload),
+                           FrameHeader::kFlagTraceContext);
+    tracer.record({std::chrono::steady_clock::now(),
+                   std::this_thread::get_id(), sig, nullptr,
+                   obs::TraceEvent::Phase::kExit, wire_ctx});
+    return ex;
+  } catch (const cluster::rpc::RpcError&) {
+    tracer.record({std::chrono::steady_clock::now(),
+                   std::this_thread::get_id(), sig, nullptr,
+                   obs::TraceEvent::Phase::kExit, wire_ctx});
+    throw;
+  } catch (...) {
+    tracer.record({std::chrono::steady_clock::now(),
+                   std::this_thread::get_id(), sig, nullptr,
+                   obs::TraceEvent::Phase::kError, wire_ctx});
+    throw;
+  }
+}
+
+TcpMiddleware::Exchange TcpMiddleware::exchange(
+    std::size_t endpoint_index, FrameHeader::Op op,
+    std::vector<std::byte> payload, std::uint8_t flags) {
   const Endpoint& ep = options_.endpoints[endpoint_index];
   EndpointProbes* probe =
       probes_.empty() ? nullptr : &probes_[endpoint_index];
@@ -75,6 +115,7 @@ TcpMiddleware::Exchange TcpMiddleware::roundtrip(
   FrameHeader header;
   header.format = options_.format;
   header.op = op;
+  header.flags = flags;
   header.payload_len = static_cast<std::uint32_t>(payload.size());
   header.request_id =
       next_request_id_.fetch_add(1, std::memory_order_relaxed);
@@ -243,6 +284,22 @@ void TcpMiddleware::bind_name(std::string name,
   (void)roundtrip(0, FrameHeader::Op::kBind, std::move(payload));
   // This writer's own rebind must be visible to its next lookup.
   if (lookup_cache_) lookup_cache_->erase(name);
+}
+
+std::string TcpMiddleware::telemetry(cluster::NodeId node, bool include_trace,
+                                     bool flush_trace) {
+  endpoint_for(node);
+  std::vector<std::byte> payload;
+  std::uint8_t tflags = 0;
+  if (include_trace || flush_trace) tflags |= 0x01;
+  if (flush_trace) tflags |= 0x02;
+  payload.push_back(static_cast<std::byte>(tflags));
+  Exchange ex = roundtrip(node, FrameHeader::Op::kTelemetry,
+                          std::move(payload));
+  std::string json(ex.payload.size(), '\0');
+  for (std::size_t i = 0; i < ex.payload.size(); ++i)
+    json[i] = static_cast<char>(std::to_integer<std::uint8_t>(ex.payload[i]));
+  return json;
 }
 
 TcpMiddleware::NetCounters TcpMiddleware::net_counters() const {

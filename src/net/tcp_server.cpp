@@ -1,12 +1,19 @@
 #include "apar/net/tcp_server.hpp"
 
 #include <poll.h>
+#include <unistd.h>
 
+#include <optional>
+#include <sstream>
 #include <utility>
 #include <vector>
 
+#include "apar/common/json.hpp"
 #include "apar/common/log.hpp"
 #include "apar/net/error.hpp"
+#include "apar/obs/metrics.hpp"
+#include "apar/obs/trace_context.hpp"
+#include "apar/obs/tracer.hpp"
 #include "apar/serial/archive.hpp"
 
 namespace apar::net {
@@ -125,8 +132,31 @@ bool TcpServer::handle_frame(Socket& socket, const FrameHeader& header,
   reply_header.request_id = header.request_id;
   std::vector<std::byte> reply;
 
+  // Serve span: child of the caller's wire span when the frame carries a
+  // trace trailer, a fresh root otherwise. Installed around the dispatch
+  // so server-side aspects and pool tasks parent to this request. The
+  // boundary events are recorded after the fact with the saved t0 —
+  // spans() orders by timestamp, so nesting renders correctly.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::optional<obs::SpanScope> span;
+  std::string span_sig = "serve." + std::string(op_name(header.op));
+  bool failed = false;
+
   try {
-    EnvelopeReader env(payload);
+    std::size_t body_size = payload.size();
+    if (header.flags & FrameHeader::kFlagTraceContext) {
+      const obs::TraceContext remote =
+          read_trace_context(payload.data(), payload.size());
+      body_size -= FrameHeader::kTraceContextSize;
+      if (obs::tracing_enabled()) span.emplace(remote);
+    } else if (obs::tracing_enabled() &&
+               header.op != FrameHeader::Op::kTelemetry) {
+      // Untraced peers still get (root) serve spans — except for bare
+      // telemetry polls: the observability plane must not fill a traced
+      // server's ring with its own scrape traffic.
+      span.emplace(obs::current_context());
+    }
+    EnvelopeReader env(payload.data(), body_size);
     switch (header.op) {
       case FrameHeader::Op::kCreate: {
         const std::string class_name = env.string();
@@ -139,6 +169,7 @@ bool TcpServer::handle_frame(Socket& socket, const FrameHeader& header,
       case FrameHeader::Op::kOneWay: {
         const cluster::ObjectId oid = env.u64();
         const std::string method = env.string();
+        span_sig = "serve." + method;
         serial::Reader args(env.rest_data(), env.rest_size(), header.format);
         auto out = dispatcher_.call(oid, method, args, header.format);
         // One-way acks are empty: the client charged the call as
@@ -162,6 +193,11 @@ bool TcpServer::handle_frame(Socket& socket, const FrameHeader& header,
         name_server_.bind(std::move(name), handle);
         break;
       }
+      case FrameHeader::Op::kTelemetry: {
+        const std::uint8_t tflags = env.rest_size() > 0 ? env.u8() : 0;
+        reply = message_bytes(telemetry_json(tflags));
+        break;
+      }
       default:
         throw NetError(NetError::Kind::kProtocol,
                        "unexpected op " +
@@ -175,6 +211,19 @@ bool TcpServer::handle_frame(Socket& socket, const FrameHeader& header,
     stats_.dispatch_errors.fetch_add(1, std::memory_order_relaxed);
     reply_header.op = FrameHeader::Op::kReplyError;
     reply = message_bytes(e.what());
+    failed = true;
+  }
+
+  if (span) {
+    auto& tracer = *obs::Tracer::global();
+    const auto tid = std::this_thread::get_id();
+    tracer.record({t0, tid, span_sig, nullptr,
+                   obs::TraceEvent::Phase::kEnter, span->context()});
+    tracer.record({std::chrono::steady_clock::now(), tid, span_sig, nullptr,
+                   failed ? obs::TraceEvent::Phase::kError
+                          : obs::TraceEvent::Phase::kExit,
+                   span->context()});
+    span.reset();  // restore the worker's ambient context before the reply
   }
 
   if (seq <= options_.chaos_stall_frames &&
@@ -185,6 +234,44 @@ bool TcpServer::handle_frame(Socket& socket, const FrameHeader& header,
 
   send_frame(socket, reply_header, reply);
   return true;
+}
+
+std::string TcpServer::telemetry_json(std::uint8_t tflags) const {
+  const Stats s = stats();
+  const auto uptime = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - started_at_)
+                          .count();
+  std::ostringstream os;
+  os << "{\"node\":\"" << common::json_escape(dispatcher_.label()) << "\""
+     << ",\"pid\":" << ::getpid()
+     << ",\"port\":" << listener_.port()
+     << ",\"uptime_us\":" << uptime
+     << ",\"server\":{"
+     << "\"accepted\":" << s.accepted
+     << ",\"frames_in\":" << s.frames_in
+     << ",\"frames_out\":" << s.frames_out
+     << ",\"bytes_in\":" << s.bytes_in
+     << ",\"bytes_out\":" << s.bytes_out
+     << ",\"protocol_errors\":" << s.protocol_errors
+     << ",\"dispatch_errors\":" << s.dispatch_errors
+     << "}"
+     << ",\"metrics\":" << obs::MetricsRegistry::global().to_json();
+  if (tflags & 0x01) {
+    auto& tracer = *obs::Tracer::global();
+    // Flush (bit 1) drains atomically so repeated pollers never see the
+    // same span twice; a plain include leaves the ring intact.
+    std::vector<obs::TraceEvent> events =
+        (tflags & 0x02) ? tracer.take_events() : tracer.events();
+    os << ",\"trace\":{\"tag\":\""
+       << common::json_escape(dispatcher_.label()) << "\""
+       << ",\"dropped\":" << tracer.dropped_events()
+       << ",\"events\":"
+       << obs::Tracer::chrome_trace_json_of(std::move(events), ::getpid(),
+                                            dispatcher_.label())
+       << "}";
+  }
+  os << "}";
+  return os.str();
 }
 
 void TcpServer::send_frame(Socket& socket, FrameHeader header,

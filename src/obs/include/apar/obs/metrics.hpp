@@ -71,8 +71,10 @@ class Histogram {
   /// Cumulative count of values <= bounds()[i]; index bounds().size() is
   /// the +Inf bucket (== count()).
   [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
-  /// Percentile estimate (linear within the winning bucket). pct in
-  /// [0,100]; 0 observations yield 0.
+  /// Percentile estimate (linear within the winning bucket). pct is
+  /// clamped to [0,100]. An empty histogram (count() == 0) returns 0.0 for
+  /// every pct — a defined contract (tested), not a side effect of the
+  /// bucket arithmetic.
   [[nodiscard]] double percentile(double pct) const;
   [[nodiscard]] double mean() const;
 
@@ -109,6 +111,7 @@ struct MetricSnapshot {
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;  ///< tail latency: 99.9th percentile
   std::vector<double> bounds;
   std::vector<std::uint64_t> buckets;  ///< cumulative, +Inf last
 };
@@ -129,7 +132,7 @@ class MetricsRegistry {
 
   [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
   /// Sorted, aligned rendering of every metric (counters/gauges first,
-  /// then histograms with count/mean/p50/p95/p99/max).
+  /// then histograms with count/mean/p50/p95/p99/p999/max).
   [[nodiscard]] common::Table table() const;
   [[nodiscard]] std::string to_json() const;
 

@@ -2,11 +2,15 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "apar/aop/aspect.hpp"
 #include "apar/obs/metrics.hpp"
+#include "apar/obs/trace_context.hpp"
+#include "apar/obs/tracer.hpp"
 
 namespace apar::obs {
 
@@ -24,6 +28,12 @@ namespace apar::obs {
 ///   profile.latency_us  (histogram)  join-point wall time, enter -> exit
 ///   profile.calls       (counter)    completed executions (incl. errors)
 ///   profile.errors      (counter)    executions that exited by exception
+///
+/// When tracing_enabled(), every profiled join point additionally opens a
+/// child span of the current context (installed for the duration of
+/// proceed(), so fanned-out pool tasks and TCP calls parent back to it)
+/// and records it into Tracer::global(). With tracing off the span
+/// machinery is a single atomic load — the probes stay histogram-only.
 ///
 /// Runs outermost by default (order 40, just outside TraceAspect's 50) so
 /// it measures the full woven cost of a call as core functionality issued
@@ -46,20 +56,41 @@ class ProfilingAspect : public aop::Aspect {
                             std::string(aop::method_name_of<M>());
     auto probe = make_probe(sig);
     this->template around_method<M>(
-        order_, aop::Scope::any(), [probe](auto& inv) {
+        order_, aop::Scope::any(), [probe, sig](auto& inv) {
           const auto t0 = std::chrono::steady_clock::now();
+          const void* target = inv.target().identity();
+          std::optional<SpanScope> span;
+          if (tracing_enabled()) {
+            span.emplace();
+            Tracer::global()->record({t0, std::this_thread::get_id(), sig,
+                                      target, TraceEvent::Phase::kEnter,
+                                      span->context()});
+          }
+          auto close = [&](bool error) {
+            if (span) {
+              Tracer::global()->record({std::chrono::steady_clock::now(),
+                                        std::this_thread::get_id(), sig,
+                                        target,
+                                        error ? TraceEvent::Phase::kError
+                                              : TraceEvent::Phase::kExit,
+                                        span->context()});
+            }
+          };
           using R = decltype(inv.proceed());
           try {
             if constexpr (std::is_void_v<R>) {
               inv.proceed();
               probe.finish(t0, /*error=*/false);
+              close(false);
             } else {
               R result = inv.proceed();
               probe.finish(t0, /*error=*/false);
+              close(false);
               return result;
             }
           } catch (...) {
             probe.finish(t0, /*error=*/true);
+            close(true);
             throw;
           }
         });
@@ -73,14 +104,33 @@ class ProfilingAspect : public aop::Aspect {
     auto probe = make_probe(sig);
     this->template around_new<T, std::decay_t<CtorArgs>...>(
         order_, aop::Scope::any(),
-        [probe](aop::CtorInvocation<T, std::decay_t<CtorArgs>...>& inv) {
+        [probe, sig](aop::CtorInvocation<T, std::decay_t<CtorArgs>...>& inv) {
           const auto t0 = std::chrono::steady_clock::now();
+          std::optional<SpanScope> span;
+          if (tracing_enabled()) {
+            span.emplace();
+            Tracer::global()->record({t0, std::this_thread::get_id(), sig,
+                                      nullptr, TraceEvent::Phase::kEnter,
+                                      span->context()});
+          }
+          auto close = [&](const void* identity, bool error) {
+            if (span) {
+              Tracer::global()->record({std::chrono::steady_clock::now(),
+                                        std::this_thread::get_id(), sig,
+                                        identity,
+                                        error ? TraceEvent::Phase::kError
+                                              : TraceEvent::Phase::kExit,
+                                        span->context()});
+            }
+          };
           try {
             auto ref = inv.proceed();
             probe.finish(t0, /*error=*/false);
+            close(ref.identity(), false);
             return ref;
           } catch (...) {
             probe.finish(t0, /*error=*/true);
+            close(nullptr, true);
             throw;
           }
         });

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+
+namespace apar::obs {
+
+/// Causal identity of the span currently executing on this thread.
+///
+/// A context is three 64-bit ids: the trace (one per root request), the
+/// span (one per traced operation), and the span's parent. Ids are never 0
+/// in a valid context — 0 is the wire/in-memory encoding of "absent", so a
+/// default-constructed TraceContext means "no active trace".
+///
+/// The context travels with the computation, not the thread: ThreadPool
+/// captures it into the task envelope at submit and restores it at
+/// execution (so spans survive steals), and TcpMiddleware appends it to
+/// the request frame so server-side spans join the caller's trace.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+
+  [[nodiscard]] bool valid() const { return trace_id != 0 && span_id != 0; }
+
+  /// A fresh child context: same trace as `parent` (a new trace if the
+  /// parent is invalid), a new span id, parented to `parent.span_id`.
+  [[nodiscard]] static TraceContext child_of(const TraceContext& parent);
+
+  friend bool operator==(const TraceContext& a, const TraceContext& b) {
+    return a.trace_id == b.trace_id && a.span_id == b.span_id &&
+           a.parent_span_id == b.parent_span_id;
+  }
+};
+
+/// The context installed on the calling thread ({} when none).
+[[nodiscard]] TraceContext current_context();
+
+/// Process-unique nonzero ids (thread-local splitmix64 streams seeded from
+/// a shared atomic, so generation is lock-free after the first call).
+[[nodiscard]] std::uint64_t next_trace_id();
+[[nodiscard]] std::uint64_t next_span_id();
+
+/// RAII: install a child span of the current (or an explicit remote)
+/// context for the scope's lifetime, restoring the previous context on
+/// destruction even when unwinding.
+class SpanScope {
+ public:
+  /// Child of whatever context is current on this thread (a new root span
+  /// when none is).
+  SpanScope() : SpanScope(current_context()) {}
+
+  /// Child of an explicit parent — used on the server side of a wire hop,
+  /// where the parent context arrived in the frame rather than on the
+  /// thread.
+  explicit SpanScope(const TraceContext& parent);
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  ~SpanScope();
+
+  [[nodiscard]] const TraceContext& context() const { return context_; }
+
+ private:
+  TraceContext context_;
+  TraceContext previous_;
+};
+
+/// RAII: install a previously captured context verbatim (no new span) —
+/// how ThreadPool workers resume the submitter's context around a task.
+/// An invalid context installs "no trace", shielding the task from any
+/// context leaked by unrelated work that ran on this worker earlier.
+class ContextScope {
+ public:
+  explicit ContextScope(const TraceContext& context);
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+  ~ContextScope();
+
+ private:
+  TraceContext previous_;
+};
+
+/// Master switch for span recording, mirroring obs::metrics_enabled():
+/// defaults from the environment (APAR_TRACE=1/true/on or a nonempty
+/// APAR_TRACE_OUT), overridable for tests. Context *propagation* is always
+/// on (a 24-byte copy per task envelope); this gates the recording work.
+[[nodiscard]] bool tracing_enabled();
+void set_tracing_enabled(bool enabled);
+
+}  // namespace apar::obs

@@ -85,8 +85,13 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
 }
 
 double Histogram::percentile(double pct) const {
+  // Empty histogram: every percentile is 0.0 by contract, decided up
+  // front — not an accident of zero-filled cumulative buckets.
+  if (count() == 0) return 0.0;
   const auto cumulative = bucket_counts();
   const std::uint64_t total = cumulative.back();
+  // count_ and the buckets are bumped by separate relaxed atomics, so a
+  // racing reader can see count() > 0 before any bucket increment lands.
   if (total == 0) return 0.0;
   pct = std::clamp(pct, 0.0, 100.0);
   const double rank = pct / 100.0 * static_cast<double>(total);
@@ -229,6 +234,7 @@ std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
         s.p50 = e.histogram->percentile(50);
         s.p95 = e.histogram->percentile(95);
         s.p99 = e.histogram->percentile(99);
+        s.p999 = e.histogram->percentile(99.9);
         s.bounds = e.histogram->bounds();
         s.buckets = e.histogram->bucket_counts();
         break;
@@ -240,7 +246,7 @@ std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
 
 common::Table MetricsRegistry::table() const {
   common::Table t({"metric", "labels", "type", "value", "count", "mean",
-                   "p50", "p95", "p99", "max"});
+                   "p50", "p95", "p99", "p999", "max"});
   auto fmt = [](double v) {
     char buf[32];
     std::snprintf(buf, sizeof buf, "%.1f", v);
@@ -250,16 +256,16 @@ common::Table MetricsRegistry::table() const {
     switch (s.kind) {
       case MetricSnapshot::Kind::kCounter:
         t.add_row({s.name, labels_str(s.labels), "counter",
-                   std::to_string(s.value), "", "", "", "", "", ""});
+                   std::to_string(s.value), "", "", "", "", "", "", ""});
         break;
       case MetricSnapshot::Kind::kGauge:
         t.add_row({s.name, labels_str(s.labels), "gauge",
-                   std::to_string(s.value), "", "", "", "", "", ""});
+                   std::to_string(s.value), "", "", "", "", "", "", ""});
         break;
       case MetricSnapshot::Kind::kHistogram:
         t.add_row({s.name, labels_str(s.labels), "histogram", "",
                    std::to_string(s.count), fmt(s.mean), fmt(s.p50),
-                   fmt(s.p95), fmt(s.p99), fmt(s.max)});
+                   fmt(s.p95), fmt(s.p99), fmt(s.p999), fmt(s.max)});
         break;
     }
   }
@@ -296,7 +302,8 @@ std::string MetricsRegistry::to_json() const {
            << ",\"max\":" << common::json_number(s.max)
            << ",\"p50\":" << common::json_number(s.p50)
            << ",\"p95\":" << common::json_number(s.p95)
-           << ",\"p99\":" << common::json_number(s.p99) << ",\"buckets\":[";
+           << ",\"p99\":" << common::json_number(s.p99)
+           << ",\"p999\":" << common::json_number(s.p999) << ",\"buckets\":[";
         for (std::size_t i = 0; i < s.buckets.size(); ++i) {
           if (i) os << ',';
           os << "{\"le\":";

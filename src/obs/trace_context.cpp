@@ -1,0 +1,106 @@
+#include "apar/obs/trace_context.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+
+namespace apar::obs {
+
+namespace {
+
+thread_local TraceContext t_current;
+
+// The stream base must differ per PROCESS, not just per thread: ids from
+// the two halves of a distributed trace land in one merged file, and a
+// fixed base would make the client and server draw identical sequences.
+std::uint64_t process_stream_base() {
+  std::random_device rd;
+  return (static_cast<std::uint64_t>(rd()) << 32) ^ rd() ^
+         0x9e3779b97f4a7c15ULL;
+}
+
+// splitmix64 — each thread claims a well-separated stream start from the
+// shared counter, then advances privately; outputs are uniformly scrambled
+// so ids from different threads never collide in practice and are never 0
+// except with probability 2^-64 (rejected below).
+std::atomic<std::uint64_t> g_id_stream{process_stream_base()};
+
+thread_local std::uint64_t t_id_state = 0;
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t next_id() {
+  if (t_id_state == 0) {
+    // 2^32 ids between stream starts: far more than one thread ever draws.
+    t_id_state =
+        g_id_stream.fetch_add(0x100000000ULL, std::memory_order_relaxed);
+  }
+  std::uint64_t id;
+  do {
+    id = splitmix64(t_id_state);
+  } while (id == 0);
+  return id;
+}
+
+// -1 = undecided (read env on first query), 0 = off, 1 = on.
+std::atomic<int> g_tracing_enabled{-1};
+
+bool env_truthy(const char* v) {
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0 &&
+         std::strcmp(v, "false") != 0 && std::strcmp(v, "off") != 0;
+}
+
+}  // namespace
+
+TraceContext TraceContext::child_of(const TraceContext& parent) {
+  TraceContext child;
+  child.trace_id = parent.valid() ? parent.trace_id : next_trace_id();
+  child.span_id = next_span_id();
+  child.parent_span_id = parent.valid() ? parent.span_id : 0;
+  return child;
+}
+
+TraceContext current_context() { return t_current; }
+
+std::uint64_t next_trace_id() { return next_id(); }
+std::uint64_t next_span_id() { return next_id(); }
+
+SpanScope::SpanScope(const TraceContext& parent)
+    : context_(TraceContext::child_of(parent)), previous_(t_current) {
+  t_current = context_;
+}
+
+SpanScope::~SpanScope() { t_current = previous_; }
+
+ContextScope::ContextScope(const TraceContext& context)
+    : previous_(t_current) {
+  t_current = context;
+}
+
+ContextScope::~ContextScope() { t_current = previous_; }
+
+bool tracing_enabled() {
+  int v = g_tracing_enabled.load(std::memory_order_acquire);
+  if (v < 0) {
+    const char* out = std::getenv("APAR_TRACE_OUT");
+    const bool on =
+        env_truthy(std::getenv("APAR_TRACE")) || (out != nullptr && *out);
+    int expected = -1;
+    g_tracing_enabled.compare_exchange_strong(expected, on ? 1 : 0,
+                                              std::memory_order_acq_rel);
+    v = g_tracing_enabled.load(std::memory_order_acquire);
+  }
+  return v == 1;
+}
+
+void set_tracing_enabled(bool enabled) {
+  g_tracing_enabled.store(enabled ? 1 : 0, std::memory_order_release);
+}
+
+}  // namespace apar::obs

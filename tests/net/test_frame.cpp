@@ -111,12 +111,83 @@ TEST(Frame, RejectsCorruptMagicVersionOpFormatFlagsAndOversize) {
   expect_protocol_error(bad);
 
   bad = base;
-  bad[5] = static_cast<std::byte>(1);  // reserved flags
+  bad[5] = static_cast<std::byte>(0x02);  // reserved flags (bit 0 is taken)
   expect_protocol_error(bad);
 
   FrameHeader big;
   big.payload_len = FrameHeader::kMaxPayload + 1;
   expect_protocol_error(net::encode_header(big));
+}
+
+// The trace-context flag is PART of the wire format now: a flagged call
+// frame must keep this exact layout (legacy header + flags bit 0 + the
+// 16-byte id trailer as the LAST payload bytes) or traced and untraced
+// builds stop interoperating.
+TEST(Frame, GoldenHeaderWithTraceFlag) {
+  FrameHeader h;
+  h.format = serial::Format::kCompact;
+  h.op = FrameHeader::Op::kCall;
+  h.flags = FrameHeader::kFlagTraceContext;
+  h.payload_len = 0x0102 + FrameHeader::kTraceContextSize;
+  h.request_id = 0x1122334455667788ULL;
+  EXPECT_EQ(bytes_of(net::encode_header(h)),
+            golden({0x41, 0x50, 0x01, 0x00, 0x02, 0x01,
+                    0x12, 0x01, 0x00, 0x00,
+                    0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11}));
+  const FrameHeader back = net::decode_header(net::encode_header(h).data(),
+                                              FrameHeader::kSize);
+  EXPECT_EQ(back.flags, FrameHeader::kFlagTraceContext);
+}
+
+TEST(Frame, GoldenTraceTrailer) {
+  std::vector<std::byte> payload;
+  net::put_u16(payload, 0xaabb);  // pre-existing envelope content
+  apar::obs::TraceContext ctx;
+  ctx.trace_id = 0x0102030405060708ULL;
+  ctx.span_id = 0x1112131415161718ULL;
+  net::append_trace_context(payload, ctx);
+  EXPECT_EQ(payload,
+            golden({0xbb, 0xaa,
+                    0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,
+                    0x18, 0x17, 0x16, 0x15, 0x14, 0x13, 0x12, 0x11}));
+
+  const auto back = net::read_trace_context(payload.data(), payload.size());
+  EXPECT_EQ(back.trace_id, ctx.trace_id);
+  EXPECT_EQ(back.span_id, ctx.span_id);
+  EXPECT_EQ(back.parent_span_id, 0u);  // the wire ships 16 bytes, not 24
+}
+
+TEST(Frame, TraceTrailerRejectsShortPayload) {
+  std::vector<std::byte> payload;
+  net::put_u64(payload, 1);  // 8 bytes: too short for a 16-byte trailer
+  try {
+    (void)net::read_trace_context(payload.data(), payload.size());
+    FAIL() << "expected NetError";
+  } catch (const net::NetError& e) {
+    EXPECT_EQ(e.kind(), net::NetError::Kind::kProtocol);
+  }
+}
+
+// An UNflagged frame is byte-identical to the pre-trace wire format —
+// the golden headers above prove it (flags byte 0, no trailer). A legacy
+// peer that never sets the flag therefore keeps working unchanged; this
+// pins the inverse: decoding a legacy header yields flags == 0.
+TEST(Frame, LegacyFramesCarryNoTraceContext) {
+  FrameHeader h;
+  h.op = FrameHeader::Op::kCall;
+  const auto encoded = net::encode_header(h);
+  const FrameHeader back = net::decode_header(encoded.data(), encoded.size());
+  EXPECT_EQ(back.flags, 0);
+  EXPECT_FALSE(back.flags & FrameHeader::kFlagTraceContext);
+}
+
+TEST(Frame, HeaderRoundTripsTelemetryOp) {
+  FrameHeader h;
+  h.op = FrameHeader::Op::kTelemetry;
+  const auto encoded = net::encode_header(h);
+  EXPECT_EQ(net::decode_header(encoded.data(), encoded.size()).op,
+            FrameHeader::Op::kTelemetry);
+  EXPECT_EQ(net::op_name(FrameHeader::Op::kTelemetry), "telemetry");
 }
 
 TEST(Frame, EnvelopeRoundTrip) {

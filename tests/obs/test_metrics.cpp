@@ -120,6 +120,39 @@ TEST(MetricsRegistry, SnapshotCarriesHistogramStats) {
   EXPECT_DOUBLE_EQ(s.max, 7.0);
 }
 
+// The empty-histogram contract: percentile() of a histogram with zero
+// observations is DEFINED as 0.0 for every pct (there is no sample to
+// interpolate toward, and 0 is the additive identity the dashboards
+// already render as "no data"). Pinned so a refactor cannot turn this
+// into a divide-by-zero or a NaN.
+TEST(Histogram, EmptyHistogramDefinesZeroForAllPercentiles) {
+  obs::Histogram empty({1.0, 10.0, 100.0});
+  for (const double pct : {0.0, 50.0, 95.0, 99.0, 99.9, 100.0})
+    EXPECT_DOUBLE_EQ(empty.percentile(pct), 0.0) << "pct=" << pct;
+  obs::MetricsRegistry reg;  // the snapshot path on an empty histogram
+  reg.histogram("lat");
+  const auto snaps = reg.snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_DOUBLE_EQ(snaps[0].p50, 0.0);
+  EXPECT_DOUBLE_EQ(snaps[0].p999, 0.0);
+}
+
+TEST(MetricsRegistry, SnapshotCarriesTailPercentile) {
+  obs::MetricsRegistry reg;
+  auto h = reg.histogram("lat", {}, {1.0, 10.0, 100.0, 1000.0});
+  for (int i = 0; i < 999; ++i) h->record(5.0);
+  h->record(500.0);  // the 1-in-1000 outlier p99 smooths over
+  const auto snaps = reg.snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_LE(snaps[0].p99, 10.0);    // bulk bucket
+  EXPECT_GT(snaps[0].p999, 100.0);  // tail bucket: the outlier is visible
+  EXPECT_GE(snaps[0].p999, snaps[0].p99);
+  const std::string table = reg.table().str();
+  EXPECT_NE(table.find("p999"), std::string::npos);
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"p999\":"), std::string::npos);
+}
+
 TEST(MetricsRegistry, TableAndJsonRender) {
   obs::MetricsRegistry reg;
   reg.counter("hits", {{"middleware", "MPP"}})->add(5);

@@ -1,0 +1,215 @@
+// TraceContext: id generation, RAII scopes, and causal propagation
+// through the work-stealing pool — the in-process half of the tentpole.
+// The wire half lives in tests/net/test_tcp_trace.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "apar/concurrency/thread_pool.hpp"
+#include "apar/obs/trace_context.hpp"
+#include "apar/obs/tracer.hpp"
+
+namespace obs = apar::obs;
+namespace concurrency = apar::concurrency;
+
+namespace {
+
+/// Tests toggle the process-wide switch; always restore it.
+struct TracingOn {
+  TracingOn() { obs::set_tracing_enabled(true); }
+  ~TracingOn() { obs::set_tracing_enabled(false); }
+};
+
+}  // namespace
+
+TEST(TraceContext, DefaultIsInvalid) {
+  obs::TraceContext ctx;
+  EXPECT_FALSE(ctx.valid());
+  EXPECT_EQ(ctx.trace_id, 0u);
+  EXPECT_EQ(ctx.span_id, 0u);
+  EXPECT_EQ(ctx.parent_span_id, 0u);
+}
+
+TEST(TraceContext, IdsAreNonzeroAndDistinct) {
+  std::unordered_set<std::uint64_t> seen;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t id = obs::next_span_id();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+  }
+}
+
+TEST(TraceContext, IdsAreUniqueAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5'000;
+  std::vector<std::vector<std::uint64_t>> batches(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&batches, t] {
+      batches[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i)
+        batches[t].push_back(obs::next_trace_id());
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::unordered_set<std::uint64_t> seen;
+  for (const auto& batch : batches)
+    for (const std::uint64_t id : batch)
+      EXPECT_TRUE(seen.insert(id).second) << "duplicate id " << id;
+  EXPECT_EQ(seen.size(), std::size_t{kThreads} * kPerThread);
+}
+
+TEST(TraceContext, ChildOfValidParentStaysInTrace) {
+  obs::TraceContext parent;
+  parent.trace_id = obs::next_trace_id();
+  parent.span_id = obs::next_span_id();
+  const obs::TraceContext child = obs::TraceContext::child_of(parent);
+  EXPECT_TRUE(child.valid());
+  EXPECT_EQ(child.trace_id, parent.trace_id);
+  EXPECT_NE(child.span_id, parent.span_id);
+  EXPECT_EQ(child.parent_span_id, parent.span_id);
+}
+
+TEST(TraceContext, ChildOfInvalidParentStartsNewRootTrace) {
+  const obs::TraceContext child =
+      obs::TraceContext::child_of(obs::TraceContext{});
+  EXPECT_TRUE(child.valid());
+  EXPECT_EQ(child.parent_span_id, 0u);
+}
+
+TEST(TraceContext, SpanScopeInstallsChildAndRestores) {
+  EXPECT_FALSE(obs::current_context().valid());
+  {
+    obs::SpanScope outer;
+    const obs::TraceContext o = outer.context();
+    EXPECT_TRUE(o.valid());
+    EXPECT_EQ(o.parent_span_id, 0u);  // no ambient context: a root span
+    EXPECT_EQ(obs::current_context(), o);
+    {
+      obs::SpanScope inner;
+      EXPECT_EQ(inner.context().trace_id, o.trace_id);
+      EXPECT_EQ(inner.context().parent_span_id, o.span_id);
+      EXPECT_EQ(obs::current_context(), inner.context());
+    }
+    EXPECT_EQ(obs::current_context(), o);
+  }
+  EXPECT_FALSE(obs::current_context().valid());
+}
+
+TEST(TraceContext, SpanScopeAcceptsExplicitRemoteParent) {
+  obs::TraceContext remote;
+  remote.trace_id = 0xaaaa;
+  remote.span_id = 0xbbbb;
+  obs::SpanScope span(remote);
+  EXPECT_EQ(span.context().trace_id, 0xaaaau);
+  EXPECT_EQ(span.context().parent_span_id, 0xbbbbu);
+  EXPECT_NE(span.context().span_id, 0xbbbbu);
+}
+
+TEST(TraceContext, ContextScopeInstallsVerbatimAndShields) {
+  obs::TraceContext captured;
+  captured.trace_id = 7;
+  captured.span_id = 9;
+  captured.parent_span_id = 3;
+  {
+    obs::ContextScope restore(captured);
+    EXPECT_EQ(obs::current_context(), captured);
+    {
+      // An invalid context shields against leaked ambient state.
+      obs::ContextScope shield{obs::TraceContext{}};
+      EXPECT_FALSE(obs::current_context().valid());
+    }
+    EXPECT_EQ(obs::current_context(), captured);
+  }
+  EXPECT_FALSE(obs::current_context().valid());
+}
+
+TEST(TraceContext, SetTracingEnabledOverridesEnvironment) {
+  const bool before = obs::tracing_enabled();
+  obs::set_tracing_enabled(true);
+  EXPECT_TRUE(obs::tracing_enabled());
+  obs::set_tracing_enabled(false);
+  EXPECT_FALSE(obs::tracing_enabled());
+  obs::set_tracing_enabled(before);
+}
+
+// --- propagation through the pool ------------------------------------------
+
+TEST(TracePropagation, TaskResumesSubmitterContext) {
+  TracingOn tracing;
+  concurrency::ThreadPool pool(2);
+  obs::SpanScope submitting;
+  const obs::TraceContext expected = submitting.context();
+  const obs::TraceContext seen =
+      pool.submit([] { return obs::current_context(); }).get();
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(TracePropagation, SpansOpenedInTasksParentToSubmitter) {
+  TracingOn tracing;
+  concurrency::ThreadPool pool(2);
+  obs::SpanScope submitting;
+  const obs::TraceContext task_span =
+      pool.submit([] {
+            obs::SpanScope inner;
+            return inner.context();
+          })
+          .get();
+  EXPECT_EQ(task_span.trace_id, submitting.context().trace_id);
+  EXPECT_EQ(task_span.parent_span_id, submitting.context().span_id);
+}
+
+TEST(TracePropagation, ContextSurvivesFanOutAcrossWorkers) {
+  TracingOn tracing;
+  concurrency::ThreadPool pool(4);
+  obs::SpanScope submitting;
+  const obs::TraceContext expected = submitting.context();
+  constexpr int kTasks = 64;
+  std::atomic<int> matches{0};
+  std::vector<concurrency::Future<void>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.submit([&matches, expected] {
+      if (obs::current_context() == expected)
+        matches.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(matches.load(), kTasks);
+}
+
+TEST(TracePropagation, QueueWaitSpanIsChildOfSubmitter) {
+  TracingOn tracing;
+  (void)obs::Tracer::global()->take_events();  // isolate from other tests
+  obs::TraceContext submitted;
+  {
+    concurrency::ThreadPool pool(1);
+    obs::SpanScope submitting;
+    submitted = submitting.context();
+    pool.submit([] {}).get();
+  }
+  const auto events = obs::Tracer::global()->take_events();
+  const auto spans = obs::Tracer::spans_of(events);
+  bool found = false;
+  for (const auto& s : spans) {
+    if (s.signature != "threadpool.queue_wait") continue;
+    found = true;
+    EXPECT_EQ(s.trace_id, submitted.trace_id);
+    EXPECT_EQ(s.parent_span_id, submitted.span_id);
+  }
+  EXPECT_TRUE(found) << "no threadpool.queue_wait span recorded";
+}
+
+TEST(TracePropagation, TracingOffCapturesNothing) {
+  ASSERT_FALSE(obs::tracing_enabled());
+  concurrency::ThreadPool pool(2);
+  obs::SpanScope submitting;  // propagation machinery itself is always on
+  const obs::TraceContext seen =
+      pool.submit([] { return obs::current_context(); }).get();
+  // With tracing off make_node skips the capture: the task runs without
+  // ambient context, so no span-recording work can trigger downstream.
+  EXPECT_FALSE(seen.valid());
+}

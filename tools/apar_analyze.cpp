@@ -30,6 +30,7 @@
 #include "apar/analysis/report.hpp"
 #include "apar/analysis/weave_plan.hpp"
 #include "apar/aop/aop.hpp"
+#include "apar/aop/trace.hpp"
 #include "apar/apps/heat_band.hpp"
 #include "apar/cache/cache_aspect.hpp"
 #include "apar/cluster/cluster.hpp"
@@ -38,6 +39,8 @@
 #include "apar/common/json.hpp"
 #include "apar/concurrency/sync_registry.hpp"
 #include "apar/net/tcp_middleware.hpp"
+#include "apar/obs/metrics.hpp"
+#include "apar/obs/profiling_aspect.hpp"
 #include "apar/sieve/versions.hpp"
 #include "apar/strategies/concurrency_aspect.hpp"
 #include "apar/strategies/distribution_aspect.hpp"
@@ -189,6 +192,54 @@ analysis::Report analyze_sieve_tcp_cached() {
   return report;
 }
 
+/// The TCP sieve weave with the full observability plane plugged in:
+/// ProfilingAspect (order 40) outside TraceAspect (order 50) outside the
+/// functional aspects (100..500). Their orders land in the weave-plan
+/// composition table, so the collision pass covers the observability
+/// layer too — two profilers at the same order on the same method would
+/// gate exactly like two concurrency aspects do. Must analyze clean.
+analysis::Report analyze_sieve_tcp_obs() {
+  using Farm = strategies::FarmAspect<sieve::PrimeFilter, long long,
+                                      long long, long long, double>;
+  using Conc = strategies::ConcurrencyAspect<sieve::PrimeFilter>;
+  using Dist = strategies::DistributionAspect<sieve::PrimeFilter, long long,
+                                              long long, double>;
+  net::TcpMiddleware middleware(undialed_tcp());
+  net::TcpFabric fabric(middleware);
+
+  aop::Context ctx;
+  auto profiling = std::make_shared<apar::obs::ProfilingAspect<
+      sieve::PrimeFilter>>("Profiling", apar::obs::MetricsRegistry::global());
+  profiling->profile_method<&sieve::PrimeFilter::process>()
+      .profile_method<&sieve::PrimeFilter::filter>();
+  ctx.attach(profiling);
+  auto trace = std::make_shared<aop::TraceAspect<sieve::PrimeFilter>>(
+      "Trace", aop::Tracer::global());
+  trace->trace_method<&sieve::PrimeFilter::process>()
+      .trace_method<&sieve::PrimeFilter::filter>()
+      .trace_method<&sieve::PrimeFilter::collect>();
+  ctx.attach(trace);
+  Farm::Options fopts;
+  fopts.duplicates = 2;
+  fopts.pack_size = 2'000;
+  ctx.attach(std::make_shared<Farm>("Partition", fopts));
+  auto conc = std::make_shared<Conc>("Concurrency");
+  conc->async_method<&sieve::PrimeFilter::process>()
+      .async_method<&sieve::PrimeFilter::filter>()
+      .guarded_method<&sieve::PrimeFilter::collect>();
+  ctx.attach(conc);
+  auto dist = std::make_shared<Dist>("Distribution", fabric, middleware);
+  dist->distribute_method<&sieve::PrimeFilter::filter>()
+      .distribute_method<&sieve::PrimeFilter::process>(/*allow_one_way=*/true)
+      .distribute_method<&sieve::PrimeFilter::collect>(/*allow_one_way=*/true)
+      .distribute_method<&sieve::PrimeFilter::take_results>();
+  ctx.attach(dist);
+
+  auto report = analysis::analyze_weave_plan(ctx);
+  ctx.quiesce();
+  return report;
+}
+
 /// Every cache-safety defect at once, over the real wire so each gates as
 /// an error: memoizing deposit (a mutator nobody declared idempotent —
 /// hits would silently skip remote state transitions) and put (non-
@@ -318,6 +369,7 @@ std::vector<std::pair<std::string, Builder>> all_compositions() {
   out.emplace_back("sieve:FarmTCP", [] { return analyze_sieve_tcp(); });
   out.emplace_back("sieve:FarmTCP+Cache",
                    [] { return analyze_sieve_tcp_cached(); });
+  out.emplace_back("sieve:FarmTCP+Obs", [] { return analyze_sieve_tcp_obs(); });
   return out;
 }
 

@@ -4,11 +4,24 @@
 Usage:
     check_obs.py --trace trace.json [--metrics metrics.json]
                  [--require-metric NAME ...]
+    check_obs.py --telemetry telemetry.json [--require-metric NAME ...]
+    check_obs.py --merged merged.json [--remote-prefix serve.]
 
 Checks that the Chrome trace file is a well-formed `trace_event` JSON array
 (loadable in Perfetto / chrome://tracing) and, when given, that the metrics
 JSON is well-formed and that each --require-metric names a series with
 non-zero activity (counter value, gauge movement, or histogram count).
+
+--telemetry validates the JSON a TcpServer returns for an Op::kTelemetry
+frame (what tools/apar_top.py polls): node/pid/uptime/server envelope plus
+an embedded metrics registry, which also honours --require-metric.
+
+--merged validates the output of tools/merge_traces.py for the two-process
+sieve demo: at least two distinct pids in one trace, and every span whose
+name starts with --remote-prefix (default "serve.") must carry a
+parent_span_id that resolves to a span in a DIFFERENT process — the
+distributed-tracing golden structure.
+
 Exits non-zero on the first violation, so CI can gate on it.
 """
 
@@ -90,22 +103,106 @@ def check_metrics(path: str, required: list) -> None:
           f"{len(required)} required present and active)")
 
 
+def check_telemetry(path: str, required: list) -> None:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict):
+        fail(f"{path}: telemetry must be a JSON object")
+    for key in ("node", "pid", "uptime_us", "server", "metrics"):
+        if key not in doc:
+            fail(f"{path}: telemetry missing required key '{key}'")
+    server = doc["server"]
+    for key in ("accepted", "frames_in", "frames_out", "protocol_errors",
+                "dispatch_errors"):
+        if not isinstance(server.get(key), int):
+            fail(f"{path}: telemetry server.{key} missing or non-integer")
+    metrics = doc["metrics"].get("metrics")
+    if not isinstance(metrics, list):
+        fail(f"{path}: telemetry 'metrics' must embed a registry dump")
+    if "trace" in doc:
+        trace = doc["trace"]
+        for key in ("tag", "dropped", "events"):
+            if key not in trace:
+                fail(f"{path}: telemetry trace missing key '{key}'")
+        if not isinstance(trace["events"], list):
+            fail(f"{path}: telemetry trace.events must be an array")
+    by_name = {}
+    for metric in metrics:
+        by_name.setdefault(metric["name"], 0)
+        by_name[metric["name"]] += metric_activity(metric)
+    for name in required:
+        if name not in by_name:
+            fail(f"{path}: required metric '{name}' is absent "
+                 f"(have: {', '.join(sorted(by_name)) or 'none'})")
+        if by_name[name] == 0:
+            fail(f"{path}: required metric '{name}' recorded no activity")
+    print(f"check_obs: telemetry ok: {path} (node={doc['node']!r}, "
+          f"{len(metrics)} series)")
+
+
+def check_merged(path: str, remote_prefix: str) -> None:
+    check_trace(path)  # structural validity first
+    with open(path, encoding="utf-8") as f:
+        events = json.load(f)
+    spans = [e for e in events if e["ph"] == "X"]
+    pids = {e["pid"] for e in spans}
+    if len(pids) < 2:
+        fail(f"{path}: merged trace holds spans from {len(pids)} process(es)"
+             " — expected at least 2 (was merge_traces.py run?)")
+    span_pid_by_id = {}
+    for e in spans:
+        span_id = e.get("args", {}).get("span_id")
+        if span_id:
+            span_pid_by_id[span_id] = e["pid"]
+    remote = [e for e in spans if e["name"].startswith(remote_prefix)]
+    if not remote:
+        fail(f"{path}: no '{remote_prefix}*' spans — the server side "
+             "recorded nothing")
+    for e in remote:
+        parent = e.get("args", {}).get("parent_span_id")
+        if not parent:
+            fail(f"{path}: span '{e['name']}' (pid {e['pid']}) has no "
+                 "parent_span_id — it did not join the caller's trace")
+        if parent not in span_pid_by_id:
+            fail(f"{path}: span '{e['name']}' parent {parent} resolves to "
+                 "no recorded span")
+        if span_pid_by_id[parent] == e["pid"]:
+            fail(f"{path}: span '{e['name']}' is parented within its own "
+                 "process — expected a cross-process parent")
+    print(f"check_obs: merged ok: {path} ({len(pids)} processes, "
+          f"{len(remote)} '{remote_prefix}*' spans all parented across "
+          "the wire)")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace", help="Chrome trace_event JSON file")
     parser.add_argument("--metrics", help="metrics registry JSON file")
+    parser.add_argument("--telemetry",
+                        help="kTelemetry reply JSON file (apar_top.py dump)")
+    parser.add_argument("--merged",
+                        help="merge_traces.py output to validate as a "
+                             "multi-process trace")
+    parser.add_argument("--remote-prefix", default="serve.",
+                        help="span-name prefix that must be remote-parented "
+                             "in --merged (default: serve.)")
     parser.add_argument("--require-metric", action="append", default=[],
                         help="metric name that must exist with activity "
                              "(repeatable)")
     args = parser.parse_args()
-    if not args.trace and not args.metrics:
-        parser.error("nothing to check: pass --trace and/or --metrics")
+    if not (args.trace or args.metrics or args.telemetry or args.merged):
+        parser.error("nothing to check: pass --trace, --metrics, "
+                     "--telemetry and/or --merged")
     if args.trace:
         check_trace(args.trace)
+    if args.merged:
+        check_merged(args.merged, args.remote_prefix)
+    if args.telemetry:
+        check_telemetry(args.telemetry, args.require_metric)
     if args.metrics:
         check_metrics(args.metrics, args.require_metric)
-    elif args.require_metric:
-        parser.error("--require-metric needs --metrics")
+    elif args.require_metric and not args.telemetry:
+        parser.error("--require-metric needs --metrics or --telemetry")
 
 
 if __name__ == "__main__":

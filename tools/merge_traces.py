@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Merge per-process apar Chrome traces into one multi-process timeline.
+
+Each process dumps its own trace (APAR_TRACE_OUT or the kTelemetry
+flush), with timestamps on its own steady clock. This tool aligns them:
+file 0 is the reference; for every other file it finds the cross-process
+parent links the wire propagation created (a span whose parent_span_id
+is a span_id recorded in the reference file), then estimates the clock
+offset by RTT midpoint — the server-side span's midpoint is assumed to
+sit at the midpoint of the client's wire span, which is exact when the
+two network legs are symmetric and within RTT/2 always. The median over
+all linked pairs is applied, pids are reassigned (reference = 1), and
+the result is one Perfetto/chrome://tracing-loadable JSON array.
+
+  tools/merge_traces.py client.json server.json -o merged.json \
+      --require-links 1 --assert-remote-parents serve.
+
+Exit status: 0 on success, 1 when an assertion (--require-links /
+--assert-remote-parents) fails, 2 on unusable input.
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc if isinstance(doc, list) else doc.get("traceEvents", [])
+    if not isinstance(events, list):
+        raise ValueError("%s: not a Chrome trace array" % path)
+    return events
+
+
+def spans(events):
+    return [e for e in events if e.get("ph") == "X"]
+
+
+def span_ids(events):
+    return {e["args"]["span_id"]
+            for e in spans(events)
+            if "span_id" in e.get("args", {})}
+
+
+def midpoint(e):
+    return e["ts"] + e.get("dur", 0) / 2.0
+
+
+def cross_links(reference, other):
+    """(parent-span-in-reference, child-span-in-other) pairs."""
+    by_span = {e["args"]["span_id"]: e
+               for e in spans(reference) if "span_id" in e.get("args", {})}
+    links = []
+    for e in spans(other):
+        parent = e.get("args", {}).get("parent_span_id")
+        if parent and parent in by_span:
+            links.append((by_span[parent], e))
+    return links
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("traces", nargs="+", metavar="TRACE.json",
+                    help="first file is the clock reference")
+    ap.add_argument("-o", "--output", default="merged_trace.json")
+    ap.add_argument("--require-links", type=int, default=0, metavar="N",
+                    help="fail unless every non-reference file links to the "
+                         "reference through at least N parent spans")
+    ap.add_argument("--assert-remote-parents", metavar="PREFIX",
+                    help="fail if any span named PREFIX* in a non-reference "
+                         "file lacks a parent span in the reference file")
+    args = ap.parse_args()
+
+    try:
+        files = [load_events(p) for p in args.traces]
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print("merge_traces: %s" % e, file=sys.stderr)
+        return 2
+
+    reference = files[0]
+    ref_ids = span_ids(reference)
+    merged = []
+    failures = []
+
+    for pid, (path, events) in enumerate(zip(args.traces, files), start=1):
+        offset = 0.0
+        if pid > 1:
+            links = cross_links(reference, events)
+            if links:
+                # Client wire span [send..recv] brackets the server span;
+                # symmetric legs put the server midpoint at the client
+                # midpoint, so their difference IS the clock offset.
+                offset = statistics.median(
+                    midpoint(p) - midpoint(c) for p, c in links)
+            if len(links) < args.require_links:
+                failures.append(
+                    "%s: %d cross-process link(s) to %s, need %d" %
+                    (path, len(links), args.traces[0], args.require_links))
+            if args.assert_remote_parents:
+                for e in spans(events):
+                    if not e.get("name", "").startswith(
+                            args.assert_remote_parents):
+                        continue
+                    parent = e.get("args", {}).get("parent_span_id")
+                    if not parent:
+                        failures.append(
+                            "%s: span '%s' has no parent_span_id" %
+                            (path, e.get("name")))
+                    elif parent not in ref_ids:
+                        failures.append(
+                            "%s: span '%s' parent %s not found in %s" %
+                            (path, e.get("name"), parent, args.traces[0]))
+
+        named = any(e.get("ph") == "M" and e.get("name") == "process_name"
+                    for e in events)
+        if not named:
+            merged.append({"name": "process_name", "ph": "M", "pid": pid,
+                           "tid": 0, "args": {
+                               "name": os.path.splitext(
+                                   os.path.basename(path))[0]}})
+        for e in events:
+            e = dict(e)
+            e["pid"] = pid
+            if "ts" in e:
+                e["ts"] = round(e["ts"] + offset, 3)
+            merged.append(e)
+        print("merge_traces: %s -> pid %d, offset %+.1f us, %d event(s)" %
+              (path, pid, offset, len(events)))
+
+    # Re-zero the merged timeline: offset correction can push the earliest
+    # event below 0, and trace viewers (and check_obs) want ts >= 0.
+    timestamps = [e["ts"] for e in merged if "ts" in e]
+    if timestamps and min(timestamps) < 0:
+        base = min(timestamps)
+        for e in merged:
+            if "ts" in e:
+                e["ts"] = round(e["ts"] - base, 3)
+
+    merged.sort(key=lambda e: (e.get("ph") != "M", e.get("ts", 0)))
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump(merged, f)
+    print("merge_traces: wrote %s (%d events from %d processes)" %
+          (args.output, len(merged), len(files)))
+
+    for msg in failures:
+        print("merge_traces: FAIL %s" % msg, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,13 @@
 # script passing means bytes genuinely crossed a process boundary and
 # came back right.
 #
+# A second, traced round (docs/observability.md) then reruns the pair with
+# APAR_TRACE_OUT set on both halves, polls the server's kTelemetry op with
+# apar_top.py, merges the two per-process trace dumps with merge_traces.py,
+# and gates on check_obs.py: the merged trace must show every server-side
+# serve.* span parented to a span in the CLIENT process — distributed
+# tracing, asserted from outside the binaries.
+#
 # Usage:
 #   tools/run_net_smoke.sh [build-dir]     # default: build
 set -euo pipefail
@@ -53,3 +60,46 @@ wait "$SERVER_PID"
 trap - EXIT
 rm -f "$PORT_FILE"
 echo "net smoke clean: both formats, two processes, one socket"
+
+# ---- traced round: distributed tracing + live telemetry ----
+PY=python3
+command -v "$PY" >/dev/null 2>&1 || { echo "run_net_smoke: python3 missing — skipping traced round"; exit 0; }
+
+TRACE_DIR="$(mktemp -d)"
+rm -f "$PORT_FILE"
+APAR_TRACE_OUT="$TRACE_DIR/server.json" APAR_METRICS=1 \
+  "$SERVER" --port-file "$PORT_FILE" --run-seconds 120 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$TRACE_DIR"' EXIT
+for _ in $(seq 1 200); do
+  [ -s "$PORT_FILE" ] && break
+  sleep 0.05
+done
+[ -s "$PORT_FILE" ] || { echo "run_net_smoke: no port for traced round" >&2; exit 1; }
+PORT="$(cat "$PORT_FILE")"
+
+echo "=== traced sieve over tcp://127.0.0.1:$PORT ==="
+APAR_TRACE_OUT="$TRACE_DIR/client.json" \
+  "$CLIENT" --port "$PORT" --format compact --max 100000 --filters 3
+
+# Live telemetry: three refreshing polls of the kTelemetry op, last one
+# dumped raw so check_obs can validate the envelope.
+"$PY" tools/apar_top.py --plain --interval 0.3 --iterations 3 \
+  --dump "$TRACE_DIR/telemetry.json" "127.0.0.1:$PORT"
+"$PY" tools/check_obs.py --telemetry "$TRACE_DIR/telemetry.json" \
+  --require-metric threadpool.queue_wait
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+
+# Stitch the two per-process dumps into one Perfetto-loadable trace and
+# assert the golden structure: serve.* spans remote-parented into the
+# client's spans.
+"$PY" tools/merge_traces.py "$TRACE_DIR/client.json" "$TRACE_DIR/server.json" \
+  -o "$TRACE_DIR/merged.json" --require-links 1 --assert-remote-parents serve.
+"$PY" tools/check_obs.py --merged "$TRACE_DIR/merged.json"
+
+rm -rf "$TRACE_DIR" "$PORT_FILE"
+trap - EXIT
+echo "net smoke clean: both formats + one distributed trace, two processes"
