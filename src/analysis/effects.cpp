@@ -1,0 +1,332 @@
+#include "apar/analysis/effects.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apar/aop/effects.hpp"
+#include "apar/aop/static_weave.hpp"
+
+namespace apar::analysis {
+
+namespace {
+
+/// One advice record with its owner and attach position. The attach index
+/// breaks order() ties exactly like the weaver's stable_sort does, so the
+/// static nesting judgement matches what would actually run.
+struct Rec {
+  const aop::Aspect* aspect;
+  const aop::AdviceBase* advice;
+  std::size_t attach_index;
+};
+
+/// Whether advice `a` nests outside advice `b` on a shared join point.
+bool outer_than(const Rec& a, const Rec& b) {
+  if (a.advice->order() != b.advice->order())
+    return a.advice->order() < b.advice->order();
+  return a.attach_index < b.attach_index;
+}
+
+/// Everything the effect passes need to know about one registered
+/// signature under the current weave plan.
+struct SigInfo {
+  aop::Signature sig;
+  std::vector<aop::Effect> effects;
+  bool in_play = false;     ///< matched by at least one advice record
+  bool concurrent = false;  ///< matched by a mark_spawns_concurrency advice
+  bool unconfined = false;  ///< ... by one that is not object-confined
+  std::vector<const Rec*> monitors;
+  std::vector<const Rec*> distributors;
+  std::vector<const Rec*> cachers;
+  std::vector<const Rec*> initiators;  ///< advice with mark_initiates
+};
+
+/// How one signature touches one state cell (reads and writes folded).
+struct Touch {
+  const SigInfo* s = nullptr;
+  bool reads = false;
+  bool writes = false;
+
+  [[nodiscard]] std::string_view verb() const {
+    if (reads && writes) return "reads+writes";
+    return writes ? "writes" : "reads";
+  }
+};
+
+/// Two signatures share a monitor iff one aspect registered
+/// monitor-acquiring advice matching both: shipped aspects keep exactly
+/// one SyncRegistry per instance, so "same aspect" means "same per-object
+/// monitor".
+bool monitor_covers_both(const SigInfo& a, const SigInfo& b) {
+  for (const Rec* m : a.monitors)
+    for (const Rec* n : b.monitors)
+      if (m->aspect == n->aspect) return true;
+  return false;
+}
+
+}  // namespace
+
+Report analyze_effects(const aop::Context& context) {
+  Report report;
+  const aop::EffectRegistry& effreg = aop::EffectRegistry::global();
+
+  const std::vector<aop::Signature> signatures =
+      aop::SignatureRegistry::global().snapshot();
+
+  std::vector<Rec> records;
+  const auto aspects = context.aspects();
+  for (const auto& aspect : aspects) {
+    for (const auto& adv : aspect->advice()) {
+      records.push_back({aspect.get(), adv.get(), records.size()});
+    }
+  }
+
+  std::vector<SigInfo> infos;
+  infos.reserve(signatures.size());
+  for (const aop::Signature& sig : signatures) {
+    SigInfo info;
+    info.sig = sig;
+    info.effects = effreg.effects(sig);
+    for (const Rec& r : records) {
+      if (!r.advice->matches(sig)) continue;
+      info.in_play = true;
+      if (r.advice->spawns_concurrency()) {
+        info.concurrent = true;
+        if (!r.advice->spawn_confined_to_target()) info.unconfined = true;
+      }
+      if (r.advice->acquires_monitor()) info.monitors.push_back(&r);
+      if (r.advice->distributes()) info.distributors.push_back(&r);
+      if (r.advice->caches()) info.cachers.push_back(&r);
+      if (!r.advice->initiates().empty()) info.initiators.push_back(&r);
+    }
+    infos.push_back(std::move(info));
+  }
+
+  // --- unknown effects ----------------------------------------------------
+  // A signature some spawning advice makes concurrent, with no declared
+  // effect set at all: the race analysis can neither clear nor convict it.
+  // Deliberately informational — unannotated code must never gate.
+  for (const SigInfo& s : infos) {
+    if (!s.concurrent || !s.effects.empty()) continue;
+    report.add({FindingKind::kUnknownEffects, Severity::kInfo, s.sig.str(),
+                "signature runs concurrently under this weave plan but "
+                "declares no effects (APAR_METHOD_READS/WRITES): the race "
+                "analysis cannot vouch for it"});
+  }
+
+  // --- state-cell index ---------------------------------------------------
+  // Cells are (class, state): state names are scoped per class, and only
+  // signatures the plan actually advises participate — the registry is
+  // process-wide, but a composition is judged on its own footprint.
+  std::map<std::pair<std::string_view, std::string_view>, std::vector<Touch>>
+      cells;
+  for (const SigInfo& s : infos) {
+    if (!s.in_play) continue;
+    std::map<std::string_view, Touch> per_state;
+    for (const aop::Effect& e : s.effects) {
+      Touch& t = per_state[e.state];
+      t.s = &s;
+      if (e.kind == aop::EffectKind::kWrite)
+        t.writes = true;
+      else
+        t.reads = true;
+    }
+    for (const auto& [state, touch] : per_state)
+      cells[{s.sig.class_name, state}].push_back(touch);
+  }
+
+  // --- (a) unsynchronized shared writes -----------------------------------
+  for (const auto& [cell, touches] : cells) {
+    const std::string cell_name =
+        std::string(cell.first) + "." + std::string(cell.second);
+    for (std::size_t i = 0; i < touches.size(); ++i) {
+      // j == i is the self-pair: an unconfined fan-out runs a signature
+      // concurrently with itself, so a writer needs a monitor even when no
+      // other signature touches the cell.
+      for (std::size_t j = i; j < touches.size(); ++j) {
+        const Touch& a = touches[i];
+        const Touch& b = touches[j];
+        if (!a.writes && !b.writes) continue;
+        if (!a.s->unconfined || !b.s->unconfined) continue;
+        if (monitor_covers_both(*a.s, *b.s)) continue;
+        const std::string detail =
+            i == j ? std::string(a.s->sig.method_name) + " (" +
+                         std::string(a.verb()) + " '" +
+                         std::string(cell.second) +
+                         "') fans out concurrently with itself and no "
+                         "monitor advice guards it"
+                   : std::string(a.s->sig.method_name) + " (" +
+                         std::string(a.verb()) + ") runs concurrently with " +
+                         std::string(b.s->sig.method_name) + " (" +
+                         std::string(b.verb()) +
+                         ") on '" + std::string(cell.second) +
+                         "' and no single aspect's monitor advice covers "
+                         "both join points";
+        report.add({FindingKind::kUnsynchronizedSharedWrite, Severity::kError,
+                    cell_name, detail});
+      }
+    }
+  }
+
+  // --- (b) remote divergent writes ----------------------------------------
+  // A written cell must ride the wire wholesale or not at all: when one
+  // toucher is dispatched remotely by a distribution aspect and another
+  // toucher of the same cell is not, the remote instance's copy and the
+  // local copy evolve independently — no exception, no wrong answer today,
+  // just silent divergence.
+  std::set<std::string> reported;
+  for (const auto& [cell, touches] : cells) {
+    bool any_write = false;
+    for (const Touch& t : touches) any_write = any_write || t.writes;
+    if (!any_write) continue;
+    const std::string cell_name =
+        std::string(cell.first) + "." + std::string(cell.second);
+    for (const Touch& a : touches) {
+      for (const Rec* d : a.s->distributors) {
+        for (const Touch& b : touches) {
+          if (b.s == a.s) continue;
+          if (!a.writes && !b.writes) continue;
+          bool same_aspect = false;
+          for (const Rec* e : b.s->distributors)
+            same_aspect = same_aspect || e->aspect == d->aspect;
+          if (same_aspect) continue;
+          const bool mandatory = d->advice->wire_mandatory();
+          const std::string key = "rdw|" + d->aspect->name() + "|" +
+                                  cell_name + "|" + b.s->sig.str();
+          if (!reported.insert(key).second) continue;
+          report.add(
+              {FindingKind::kRemoteDivergentWrite,
+               mandatory ? Severity::kError : Severity::kWarning, cell_name,
+               std::string(a.s->sig.method_name) + " (" +
+                   std::string(a.verb()) + ") is distributed by " +
+                   d->aspect->name() + " but " +
+                   std::string(b.s->sig.method_name) +
+                   " touching the same cell dispatches locally: remote and "
+                   "local copies of '" + std::string(cell.second) +
+                   "' diverge silently" +
+                   (mandatory
+                        ? "; the target middleware is a real wire "
+                          "transport, so the divergence is unconditional"
+                        : " whenever the target lands on a remote node")});
+        }
+      }
+    }
+  }
+
+  // --- (c) cache/effect conflicts -----------------------------------------
+  // Replaying a memoized effect skips the body — and with it every
+  // declared write. That is sound only for cells the class declared
+  // idempotent-safe (APAR_STATE_IDEMPOTENT: fully overwritten before any
+  // read). Mirrors the cache-safety escalation: over a mandatory wire the
+  // skipped write would also have been a remote state transition.
+  for (const SigInfo& s : infos) {
+    if (s.cachers.empty()) continue;
+    bool over_wire = false;
+    for (const Rec* d : s.distributors)
+      over_wire = over_wire || d->advice->wire_mandatory();
+    for (const aop::Effect& e : s.effects) {
+      if (e.kind != aop::EffectKind::kWrite) continue;
+      if (effreg.state_idempotent(s.sig.class_name, e.state)) continue;
+      for (const Rec* c : s.cachers) {
+        report.add(
+            {FindingKind::kCacheEffectConflict,
+             over_wire ? Severity::kError : Severity::kWarning,
+             c->aspect->name() + "/" + s.sig.str(),
+             "cached signature writes '" + std::string(e.state) +
+                 "', which " + std::string(s.sig.class_name) +
+                 " does not declare idempotent-safe "
+                 "(APAR_STATE_IDEMPOTENT): a cache hit silently skips the "
+                 "write" +
+                 (over_wire ? "; over a real wire transport it also skips "
+                              "the remote state transition"
+                            : "")});
+      }
+    }
+  }
+
+  // --- (d) static lock-order cycles ---------------------------------------
+  // The compile-time shadow of the dynamic LockOrderAspect: nodes are the
+  // monitor-owning aspects (one SyncRegistry each), and an edge A -> B
+  // means a monitor of A can still be held when a monitor of B is
+  // acquired. Two sources, both read off the weave plan: nested monitor
+  // advice on one join point (the double-sync shape), and bridge advice
+  // that declares via mark_initiates which signatures its body calls while
+  // the original join point — and any monitor outside the bridge — is
+  // still on the stack.
+  std::set<std::pair<const aop::Aspect*, const aop::Aspect*>> edges;
+  for (const SigInfo& s : infos) {
+    for (const Rec* m : s.monitors) {
+      for (const Rec* n : s.monitors) {
+        if (m->aspect != n->aspect && outer_than(*m, *n))
+          edges.insert({m->aspect, n->aspect});
+      }
+      for (const Rec* x : s.initiators) {
+        if (!outer_than(*m, *x)) continue;  // monitor not held around x
+        for (const aop::Pattern& p : x->advice->initiates()) {
+          for (const SigInfo& t : infos) {
+            if (t.sig.kind != aop::JoinPointKind::kMethodCall) continue;
+            if (!p.matches(t.sig)) continue;
+            for (const Rec* n : t.monitors) {
+              if (n->aspect != m->aspect)
+                edges.insert({m->aspect, n->aspect});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::map<const aop::Aspect*, std::size_t> ids;
+  std::vector<const aop::Aspect*> nodes;
+  for (const auto& [from, to] : edges) {
+    for (const aop::Aspect* a : {from, to}) {
+      if (ids.try_emplace(a, nodes.size()).second) nodes.push_back(a);
+    }
+  }
+  std::map<std::size_t, std::vector<std::size_t>> adj;
+  for (const auto& [from, to] : edges) adj[ids[from]].push_back(ids[to]);
+
+  // DFS with normalised (smallest-node-first) cycles, exactly like the
+  // dynamic pass, so the same loop found from different roots dedups.
+  std::set<std::vector<std::size_t>> cycles;
+  std::map<std::size_t, int> color;
+  std::vector<std::size_t> path;
+  const std::function<void(std::size_t)> dfs = [&](std::size_t u) {
+    color[u] = 1;
+    path.push_back(u);
+    for (const std::size_t v : adj[u]) {
+      if (color[v] == 1) {
+        auto it = std::find(path.begin(), path.end(), v);
+        std::vector<std::size_t> cycle(it, path.end());
+        auto min_it = std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), min_it, cycle.end());
+        cycles.insert(std::move(cycle));
+      } else if (color[v] == 0) {
+        dfs(v);
+      }
+    }
+    color[u] = 2;
+    path.pop_back();
+  };
+  for (const auto& [node, _] : adj)
+    if (color[node] == 0) dfs(node);
+
+  for (const auto& cycle : cycles) {
+    std::string subject;
+    for (const std::size_t n : cycle) subject += nodes[n]->name() + " -> ";
+    subject += nodes[cycle.front()]->name();
+    report.add({FindingKind::kStaticLockOrderCycle, Severity::kError, subject,
+                "monitors of these aspects can be acquired in a cycle "
+                "(derived from monitor nesting and mark_initiates "
+                "declarations, without running the program): potential "
+                "deadlock (ABBA)"});
+  }
+
+  return report;
+}
+
+}  // namespace apar::analysis

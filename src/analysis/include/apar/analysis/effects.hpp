@@ -1,0 +1,43 @@
+#pragma once
+
+#include "apar/analysis/report.hpp"
+#include "apar/aop/context.hpp"
+
+namespace apar::analysis {
+
+/// Static shared-state / interference verification (the effect-system
+/// pass): crosses the declared effect sets in the aop::EffectRegistry
+/// (APAR_METHOD_READS / APAR_METHOD_WRITES) with the concurrency,
+/// synchronisation, distribution and caching metadata of the advice
+/// plugged into `context`, without executing any join point.
+///
+/// Concurrency model: a signature is a race candidate iff an advice marked
+/// mark_spawns_concurrency() matches it and at least one such spawner is
+/// not object-confined. Everything else is assumed to run on the
+/// initiating thread in program phases separated from the spawned work by
+/// Context::quiesce() — the discipline every shipped composition follows.
+/// State cells are per class and per instance, so confined concurrency
+/// (dynamic-farm worker loops, one object per thread) cannot race on them.
+///
+/// Reported findings:
+///   unsynchronized-shared-write  two concurrent signatures touch one
+///                                state cell, at least one writing, and no
+///                                single aspect's monitor advice covers
+///                                both (ERROR)
+///   remote-divergent-write       a written state cell is only partially
+///                                covered by one distribution aspect:
+///                                remote and local copies diverge (ERROR
+///                                on wire transports, warning on the
+///                                simulation)
+///   cache-effect-conflict        a cached signature writes a state cell
+///                                not declared APAR_STATE_IDEMPOTENT
+///                                (warning; ERROR over a mandatory wire)
+///   static-lock-order-cycle      the may-acquire graph built from monitor
+///                                nesting and mark_initiates declarations
+///                                has a cycle (ERROR)
+///   unknown-effects              a concurrent signature declared no
+///                                effects; the analysis cannot vouch for
+///                                it (info, never escalated)
+[[nodiscard]] Report analyze_effects(const aop::Context& context);
+
+}  // namespace apar::analysis

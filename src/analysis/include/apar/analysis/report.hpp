@@ -55,6 +55,30 @@ enum class FindingKind {
   /// and the cache never fires. Escalated to an error over a real wire
   /// transport, where the cache was presumably meant to save round-trips.
   kCacheUnserializable,
+  /// Two signatures that run concurrently under this weave plan touch the
+  /// same declared state cell, at least one of them writing it, and no
+  /// single aspect's monitor advice covers both — the write is visible to
+  /// another thread with no common lock.
+  kUnsynchronizedSharedWrite,
+  /// A write effect rides a distribution advice to remote nodes while
+  /// another signature touching the same state cell stays local (or rides
+  /// a different middleware): the remote copy and the local copy diverge
+  /// silently. Error on wire transports, warning on the simulation.
+  kRemoteDivergentWrite,
+  /// A caching advice memoizes a signature with a declared write effect on
+  /// a state cell the class did not declare idempotent-safe
+  /// (APAR_STATE_IDEMPOTENT): replaying the recorded effect skips the
+  /// write.
+  kCacheEffectConflict,
+  /// The *static* may-acquire graph — built from monitor nesting on shared
+  /// join points and mark_initiates bridge declarations, without running
+  /// the program — contains a cycle: the compile-time shadow of
+  /// kLockOrderCycle.
+  kStaticLockOrderCycle,
+  /// A signature runs concurrently under this weave plan but declared no
+  /// effects at all: the race analysis cannot vouch for it either way.
+  /// Always informational, never escalated.
+  kUnknownEffects,
 };
 
 [[nodiscard]] std::string_view finding_kind_name(FindingKind kind);
@@ -69,9 +93,18 @@ struct Finding {
   std::string detail;
 };
 
+/// Version stamp of the JSON documents Report::json() (and the
+/// apar-analyze envelope around it) emit. Bump on any shape change so CI
+/// consumers (tools/check_analysis.py) can refuse documents they do not
+/// understand. Version 2 added this field plus the deterministic
+/// severity-then-subject finding order.
+inline constexpr int kReportSchemaVersion = 2;
+
 /// Ordered collection of findings with the two renderings apar-analyze
 /// emits: an aligned text table (common::Table) and a JSON document for CI
-/// artifacts.
+/// artifacts. findings() preserves insertion order (analyzers append pass
+/// by pass); both renderings sort most-severe-first, then by subject, so
+/// the output is deterministic regardless of pass order.
 class Report {
  public:
   void add(Finding finding) { findings_.push_back(std::move(finding)); }
@@ -86,10 +119,16 @@ class Report {
   /// Findings at or above `threshold` — the CLI's exit-code criterion.
   [[nodiscard]] std::size_t count_at_least(Severity threshold) const;
 
+  /// Findings in rendering order: severity descending, then subject, then
+  /// kind name, then detail (a total order, so ties cannot flip between
+  /// runs).
+  [[nodiscard]] std::vector<Finding> sorted() const;
+
   /// Aligned text table (severity, kind, subject, detail).
   [[nodiscard]] std::string table(int indent = 0) const;
 
-  /// JSON document: {"findings": [...], "counts": {...}}.
+  /// JSON document: {"schema_version": N, "findings": [...],
+  /// "counts": {...}}.
   [[nodiscard]] std::string json() const;
 
  private:

@@ -1,5 +1,7 @@
 #include "apar/analysis/report.hpp"
 
+#include <algorithm>
+
 #include "apar/common/json.hpp"
 #include "apar/common/table.hpp"
 
@@ -32,6 +34,12 @@ std::string_view finding_kind_name(FindingKind kind) {
     case FindingKind::kEmptySignatureTable: return "empty-signature-table";
     case FindingKind::kCacheNonIdempotent: return "cache-non-idempotent";
     case FindingKind::kCacheUnserializable: return "cache-unserializable";
+    case FindingKind::kUnsynchronizedSharedWrite:
+      return "unsynchronized-shared-write";
+    case FindingKind::kRemoteDivergentWrite: return "remote-divergent-write";
+    case FindingKind::kCacheEffectConflict: return "cache-effect-conflict";
+    case FindingKind::kStaticLockOrderCycle: return "static-lock-order-cycle";
+    case FindingKind::kUnknownEffects: return "unknown-effects";
   }
   return "?";
 }
@@ -48,9 +56,24 @@ std::size_t Report::count_at_least(Severity threshold) const {
   return n;
 }
 
+std::vector<Finding> Report::sorted() const {
+  std::vector<Finding> out = findings_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.severity != b.severity)
+                       return a.severity > b.severity;
+                     if (a.subject != b.subject) return a.subject < b.subject;
+                     const auto ka = finding_kind_name(a.kind);
+                     const auto kb = finding_kind_name(b.kind);
+                     if (ka != kb) return ka < kb;
+                     return a.detail < b.detail;
+                   });
+  return out;
+}
+
 std::string Report::table(int indent) const {
   common::Table table({"severity", "kind", "subject", "detail"});
-  for (const Finding& f : findings_) {
+  for (const Finding& f : sorted()) {
     table.add_row({std::string(severity_name(f.severity)),
                    std::string(finding_kind_name(f.kind)), f.subject,
                    f.detail});
@@ -60,9 +83,11 @@ std::string Report::table(int indent) const {
 
 std::string Report::json() const {
   std::size_t infos = 0, warnings = 0, errors = 0;
-  std::string out = "{\n  \"findings\": [";
+  std::string out = "{\"schema_version\": " +
+                    std::to_string(kReportSchemaVersion) +
+                    ",\n  \"findings\": [";
   bool first = true;
-  for (const Finding& f : findings_) {
+  for (const Finding& f : sorted()) {
     switch (f.severity) {
       case Severity::kInfo: ++infos; break;
       case Severity::kWarning: ++warnings; break;

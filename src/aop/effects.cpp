@@ -1,0 +1,98 @@
+#include "apar/aop/effects.hpp"
+
+namespace apar::aop {
+
+std::string_view effect_kind_name(EffectKind kind) {
+  switch (kind) {
+    case EffectKind::kRead: return "reads";
+    case EffectKind::kWrite: return "writes";
+  }
+  return "?";
+}
+
+EffectRegistry& EffectRegistry::global() {
+  // Meyers singleton, like SignatureRegistry: the effect macros run during
+  // static initialisation of arbitrary translation units, so the table
+  // must construct on first use.
+  static EffectRegistry registry;
+  return registry;
+}
+
+bool EffectRegistry::add(std::string_view class_name,
+                         std::string_view method_name, std::string_view state,
+                         EffectKind kind) {
+  std::lock_guard lock(mutex_);
+  for (const auto& e : entries_) {
+    if (e->kind == kind && e->class_name == class_name &&
+        e->method_name == method_name && e->state == state)
+      return false;
+  }
+  entries_.push_back(std::make_unique<Entry>(
+      Entry{std::string(class_name), std::string(method_name),
+            std::string(state), kind}));
+  return true;
+}
+
+bool EffectRegistry::add_idempotent_state(std::string_view class_name,
+                                          std::string_view state) {
+  std::lock_guard lock(mutex_);
+  for (const auto& e : idempotent_states_) {
+    if (e->class_name == class_name && e->state == state) return false;
+  }
+  idempotent_states_.push_back(std::make_unique<StateEntry>(
+      StateEntry{std::string(class_name), std::string(state)}));
+  return true;
+}
+
+std::vector<Effect> EffectRegistry::effects(const Signature& sig) const {
+  std::lock_guard lock(mutex_);
+  std::vector<Effect> out;
+  if (sig.kind != JoinPointKind::kMethodCall) return out;
+  for (const auto& e : entries_) {
+    if (e->class_name == sig.class_name && e->method_name == sig.method_name)
+      out.push_back(Effect{e->state, e->kind});
+  }
+  return out;
+}
+
+bool EffectRegistry::declared(const Signature& sig) const {
+  std::lock_guard lock(mutex_);
+  if (sig.kind != JoinPointKind::kMethodCall) return false;
+  for (const auto& e : entries_) {
+    if (e->class_name == sig.class_name && e->method_name == sig.method_name)
+      return true;
+  }
+  return false;
+}
+
+bool EffectRegistry::state_idempotent(std::string_view class_name,
+                                      std::string_view state) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& e : idempotent_states_) {
+    if (e->class_name == class_name && e->state == state) return true;
+  }
+  return false;
+}
+
+std::size_t EffectRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+namespace detail {
+
+bool register_effect(std::string_view class_name, std::string_view method_name,
+                     std::string_view state, bool is_write) {
+  return EffectRegistry::global().add(
+      class_name, method_name, state,
+      is_write ? EffectKind::kWrite : EffectKind::kRead);
+}
+
+bool register_idempotent_state(std::string_view class_name,
+                               std::string_view state) {
+  return EffectRegistry::global().add_idempotent_state(class_name, state);
+}
+
+}  // namespace detail
+
+}  // namespace apar::aop

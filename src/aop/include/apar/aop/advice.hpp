@@ -152,6 +152,43 @@ class AdviceBase {
     return cache_args_;
   }
 
+  /// Declare that this advice moves the rest of the chain onto other
+  /// threads (the concurrency aspect's async dispatch, a farm's fan-out):
+  /// every join point it matches may execute concurrently with core code
+  /// and with other advised calls under this weave plan. The effect
+  /// analyzer only considers signatures matched by a spawning advice as
+  /// race candidates — everything else runs on the initiating thread in
+  /// program phases separated by quiesce().
+  ///
+  /// `confined_to_target` records object confinement: each spawned
+  /// execution drives a *distinct* target object (the dynamic farm's
+  /// worker loops each own one worker). Declared state is per-instance,
+  /// so confined concurrency cannot race on it and the analyzer skips
+  /// such signatures unless an unconfined spawner also matches.
+  AdviceBase& mark_spawns_concurrency(bool confined_to_target = false) {
+    spawns_concurrency_ = true;
+    spawn_confined_ = confined_to_target;
+    return *this;
+  }
+  [[nodiscard]] bool spawns_concurrency() const { return spawns_concurrency_; }
+  [[nodiscard]] bool spawn_confined_to_target() const {
+    return spawn_confined_;
+  }
+
+  /// Declare that this advice's body initiates calls matching the given
+  /// signature patterns while the original join point is still on the
+  /// stack (bridge / forwarding advice). A monitor taken outside this
+  /// advice is therefore held across every initiated call — the static
+  /// lock-order pass turns that into may-acquire edges and reports cycles
+  /// without running the program.
+  AdviceBase& mark_initiates(std::vector<std::string> patterns) {
+    for (const std::string& p : patterns) initiates_.emplace_back(p);
+    return *this;
+  }
+  [[nodiscard]] const std::vector<Pattern>& initiates() const {
+    return initiates_;
+  }
+
  private:
   Aspect* owner_;
   JoinPointKind kind_;
@@ -165,6 +202,9 @@ class AdviceBase {
   bool caches_ = false;
   bool cache_idempotent_ = false;
   std::vector<WireArg> cache_args_;
+  bool spawns_concurrency_ = false;
+  bool spawn_confined_ = false;
+  std::vector<Pattern> initiates_;
 };
 
 }  // namespace apar::aop

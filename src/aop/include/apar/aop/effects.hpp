@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apar/aop/signature.hpp"
+
+namespace apar::aop {
+
+/// Direction of a declared shared-state effect.
+enum class EffectKind { kRead, kWrite };
+
+[[nodiscard]] std::string_view effect_kind_name(EffectKind kind);
+
+/// One declared effect of a join point: the named state cell it touches
+/// and whether it mutates it. State names are scoped per class — the
+/// "scratch" of PrimeFilter and the "scratch" of another core class are
+/// unrelated cells — and per *instance*: two distinct objects never share
+/// a state cell, which is why object-confined concurrency (dynamic-farm
+/// worker loops) cannot race on declared state.
+struct Effect {
+  std::string_view state;  ///< interned; valid for the process lifetime
+  EffectKind kind = EffectKind::kRead;
+
+  friend bool operator==(const Effect&, const Effect&) = default;
+};
+
+/// Process-wide table of declared method effects, the runtime companion of
+/// the compile-time name traits in signature.hpp. APAR_METHOD_READS /
+/// APAR_METHOD_WRITES feed it at static-initialisation time, exactly like
+/// APAR_METHOD_NAME feeds the SignatureRegistry. A template trait (the
+/// MethodIdempotent model) cannot hold an effect *set* — a method reads
+/// and writes several named cells, and a specialisation can only be
+/// written once — so effect declarations self-register here instead.
+///
+/// The table also records which state cells a class declares
+/// *idempotent-safe* (APAR_STATE_IDEMPOTENT): writes to such a cell are
+/// replay-equivalent (the cell is fully overwritten before any read, e.g.
+/// a scratch buffer), so memoizing a writer of that cell is sound. The
+/// cache-effect pass consults this; the race pass deliberately does not —
+/// a cache-safe scratch cell is still a data race when two threads write
+/// it unsynchronised.
+class EffectRegistry {
+ public:
+  static EffectRegistry& global();
+
+  EffectRegistry(const EffectRegistry&) = delete;
+  EffectRegistry& operator=(const EffectRegistry&) = delete;
+
+  /// Idempotently declare that `class_name::method_name` touches `state`.
+  /// Duplicate declarations (the same header included in many translation
+  /// units) collapse to one entry; returns true when the entry is new.
+  bool add(std::string_view class_name, std::string_view method_name,
+           std::string_view state, EffectKind kind);
+
+  /// Idempotently declare `state` of `class_name` idempotent-safe.
+  bool add_idempotent_state(std::string_view class_name,
+                            std::string_view state);
+
+  /// Declared effects of a signature (empty when nothing was declared).
+  [[nodiscard]] std::vector<Effect> effects(const Signature& sig) const;
+
+  /// Whether any effect was declared for this signature. Undeclared is not
+  /// the same as pure: the analyzers treat an undeclared concurrent
+  /// signature as *unknown* (an info finding), never as proven safe.
+  [[nodiscard]] bool declared(const Signature& sig) const;
+
+  [[nodiscard]] bool state_idempotent(std::string_view class_name,
+                                      std::string_view state) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  EffectRegistry() = default;
+
+  struct Entry {
+    std::string class_name;
+    std::string method_name;
+    std::string state;
+    EffectKind kind;
+  };
+  struct StateEntry {
+    std::string class_name;
+    std::string state;
+  };
+
+  mutable std::mutex mutex_;
+  // unique_ptr entries so interned strings never move: the string_views
+  // handed out by effects() stay valid for the process lifetime.
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::vector<std::unique_ptr<StateEntry>> idempotent_states_;
+};
+
+}  // namespace apar::aop

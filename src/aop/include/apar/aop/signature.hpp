@@ -128,6 +128,24 @@ bool register_method_signature(std::string_view method_name) {
   return register_call_signature(class_name_of<C>(), method_name);
 }
 
+/// Feed the global EffectRegistry (effects.hpp). Implemented in
+/// effects.cpp; declared here so the effect macros below can reach the
+/// table without an include cycle.
+bool register_effect(std::string_view class_name, std::string_view method_name,
+                     std::string_view state, bool is_write);
+bool register_idempotent_state(std::string_view class_name,
+                               std::string_view state);
+
+/// Self-registration hook run by APAR_METHOD_READS / APAR_METHOD_WRITES:
+/// like register_method_signature, it derives the owning class from the
+/// member-function pointer, so the macro must follow APAR_METHOD_NAME.
+template <auto M>
+bool register_method_effect(std::string_view state, bool is_write) {
+  using C = typename MemberClassOf<decltype(M)>::type;
+  return register_effect(class_name_of<C>(), method_name_of<M>(), state,
+                         is_write);
+}
+
 }  // namespace detail
 
 }  // namespace apar::aop
@@ -167,3 +185,38 @@ bool register_method_signature(std::string_view method_name) {
   struct apar::aop::MethodIdempotent<METHOD> { \
     static constexpr bool value = true;      \
   }
+
+#define APAR_EFFECT_CONCAT_IMPL(A, B) A##B
+#define APAR_EFFECT_CONCAT(A, B) APAR_EFFECT_CONCAT_IMPL(A, B)
+
+/// Declare that a registered method reads the named per-instance state
+/// cell. Must appear at global scope, after the method's APAR_METHOD_NAME.
+/// Unlike the one-shot trait specialisations above, a method declares a
+/// *set* of effects (several READS/WRITES lines), so these register into
+/// the runtime EffectRegistry (effects.hpp) instead of a template trait.
+/// The registrar variable is internal-linkage: every translation unit that
+/// includes the header re-registers, and the registry deduplicates.
+#define APAR_METHOD_READS(METHOD, STATE)                                 \
+  [[maybe_unused]] static const bool APAR_EFFECT_CONCAT(apar_effect_r_,  \
+                                                        __COUNTER__) =   \
+      apar::aop::detail::register_method_effect<METHOD>(STATE, false)
+
+/// Declare that a registered method writes (mutates) the named
+/// per-instance state cell. Same placement rules as APAR_METHOD_READS.
+#define APAR_METHOD_WRITES(METHOD, STATE)                                \
+  [[maybe_unused]] static const bool APAR_EFFECT_CONCAT(apar_effect_w_,  \
+                                                        __COUNTER__) =   \
+      apar::aop::detail::register_method_effect<METHOD>(STATE, true)
+
+/// Declare a state cell of a registered class idempotent-safe: every
+/// write fully overwrites the cell before any read (a scratch buffer), so
+/// replaying a memoized effect without re-executing the writes is
+/// indistinguishable to callers. The cache-effect analysis accepts cached
+/// writers of such cells; the race analysis deliberately still treats
+/// them as shared mutable state. Must appear at global scope, after the
+/// class's APAR_CLASS_NAME.
+#define APAR_STATE_IDEMPOTENT(TYPE, STATE)                                  \
+  [[maybe_unused]] static const bool APAR_EFFECT_CONCAT(apar_state_idem_,   \
+                                                        __COUNTER__) =      \
+      apar::aop::detail::register_idempotent_state(                         \
+          apar::aop::class_name_of<TYPE>(), STATE)

@@ -71,3 +71,21 @@ APAR_METHOD_NAME(&apar::apps::HeatBand::set_halo_above, "set_halo_above");
 APAR_METHOD_NAME(&apar::apps::HeatBand::set_halo_below, "set_halo_below");
 APAR_METHOD_NAME(&apar::apps::HeatBand::residual, "residual");
 APAR_METHOD_NAME(&apar::apps::HeatBand::snapshot, "snapshot");
+
+// Declared effect sets: "field" is the owned cell grid (and its residual),
+// "scratch" the next_ sweep buffer, "halos" the neighbour-row copies. A
+// sweep reads the halos and field, writes the field through the scratch
+// buffer; the halo setters write only "halos" — which is why the heartbeat
+// schedule (exchange, barrier, sweep) is interference-free per phase.
+APAR_METHOD_READS(&apar::apps::HeatBand::step, "halos");
+APAR_METHOD_WRITES(&apar::apps::HeatBand::step, "field");
+APAR_METHOD_WRITES(&apar::apps::HeatBand::step, "scratch");
+APAR_METHOD_READS(&apar::apps::HeatBand::run, "halos");
+APAR_METHOD_WRITES(&apar::apps::HeatBand::run, "field");
+APAR_METHOD_WRITES(&apar::apps::HeatBand::run, "scratch");
+APAR_METHOD_READS(&apar::apps::HeatBand::top_row, "field");
+APAR_METHOD_READS(&apar::apps::HeatBand::bottom_row, "field");
+APAR_METHOD_WRITES(&apar::apps::HeatBand::set_halo_above, "halos");
+APAR_METHOD_WRITES(&apar::apps::HeatBand::set_halo_below, "halos");
+APAR_METHOD_READS(&apar::apps::HeatBand::residual, "field");
+APAR_METHOD_READS(&apar::apps::HeatBand::snapshot, "field");

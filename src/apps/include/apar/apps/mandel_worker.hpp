@@ -68,3 +68,18 @@ APAR_METHOD_NAME(&apar::apps::MandelWorker::iterations, "iterations");
 APAR_METHOD_NAME(&apar::apps::MandelWorker::checksum, "checksum");
 APAR_METHOD_NAME(&apar::apps::MandelWorker::row_checksum, "row_checksum");
 APAR_METHOD_IDEMPOTENT(&apar::apps::MandelWorker::row_checksum);
+
+// Declared effect sets: "progress" covers the iterations_/checksum_
+// accumulators, "results" the retained row indices, "geometry" the
+// construction-fixed view parameters (never written — declaring a read of
+// an immutable cell documents purity to the race analysis).
+APAR_METHOD_READS(&apar::apps::MandelWorker::filter, "geometry");
+APAR_METHOD_WRITES(&apar::apps::MandelWorker::filter, "progress");
+APAR_METHOD_READS(&apar::apps::MandelWorker::process, "geometry");
+APAR_METHOD_WRITES(&apar::apps::MandelWorker::process, "progress");
+APAR_METHOD_WRITES(&apar::apps::MandelWorker::process, "results");
+APAR_METHOD_WRITES(&apar::apps::MandelWorker::collect, "results");
+APAR_METHOD_WRITES(&apar::apps::MandelWorker::take_results, "results");
+APAR_METHOD_READS(&apar::apps::MandelWorker::iterations, "progress");
+APAR_METHOD_READS(&apar::apps::MandelWorker::checksum, "progress");
+APAR_METHOD_READS(&apar::apps::MandelWorker::row_checksum, "geometry");

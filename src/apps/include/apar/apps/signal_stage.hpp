@@ -53,3 +53,11 @@ APAR_METHOD_NAME(&apar::apps::SignalStage::filter, "filter");
 APAR_METHOD_NAME(&apar::apps::SignalStage::process, "process");
 APAR_METHOD_NAME(&apar::apps::SignalStage::collect, "collect");
 APAR_METHOD_NAME(&apar::apps::SignalStage::take_results, "take_results");
+
+// Declared effect sets: filter transforms the pack in place and reads only
+// the construction-fixed "mask"; the retained output lives in "results".
+APAR_METHOD_READS(&apar::apps::SignalStage::filter, "mask");
+APAR_METHOD_READS(&apar::apps::SignalStage::process, "mask");
+APAR_METHOD_WRITES(&apar::apps::SignalStage::process, "results");
+APAR_METHOD_WRITES(&apar::apps::SignalStage::collect, "results");
+APAR_METHOD_WRITES(&apar::apps::SignalStage::take_results, "results");

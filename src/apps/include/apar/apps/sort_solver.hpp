@@ -46,3 +46,9 @@ class SortSolver {
 APAR_CLASS_NAME(apar::apps::SortSolver, "SortSolver");
 APAR_METHOD_NAME(&apar::apps::SortSolver::solve, "solve");
 APAR_METHOD_NAME(&apar::apps::SortSolver::merge, "merge");
+
+// Declared effect sets: solve accumulates the elements_sorted_ diagnostic
+// ("stats"); merge is const over construction-fixed configuration.
+APAR_METHOD_READS(&apar::apps::SortSolver::solve, "config");
+APAR_METHOD_WRITES(&apar::apps::SortSolver::solve, "stats");
+APAR_METHOD_READS(&apar::apps::SortSolver::merge, "config");

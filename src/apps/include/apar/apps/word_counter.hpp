@@ -66,3 +66,14 @@ APAR_METHOD_NAME(&apar::apps::WordCounter::process, "process");
 APAR_METHOD_NAME(&apar::apps::WordCounter::collect, "collect");
 APAR_METHOD_NAME(&apar::apps::WordCounter::take_results, "take_results");
 APAR_METHOD_NAME(&apar::apps::WordCounter::counts, "counts");
+
+// Declared effect sets: "stats" is the tokens_seen_ counter, "counts" the
+// occurrence map, "results" the retained-token store.
+APAR_METHOD_WRITES(&apar::apps::WordCounter::filter, "stats");
+APAR_METHOD_WRITES(&apar::apps::WordCounter::process, "stats");
+APAR_METHOD_WRITES(&apar::apps::WordCounter::process, "counts");
+APAR_METHOD_WRITES(&apar::apps::WordCounter::process, "results");
+APAR_METHOD_WRITES(&apar::apps::WordCounter::collect, "counts");
+APAR_METHOD_WRITES(&apar::apps::WordCounter::collect, "results");
+APAR_METHOD_WRITES(&apar::apps::WordCounter::take_results, "results");
+APAR_METHOD_READS(&apar::apps::WordCounter::counts, "counts");

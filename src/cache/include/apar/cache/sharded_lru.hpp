@@ -16,6 +16,7 @@
 
 #include "apar/cache/cache_stats.hpp"
 #include "apar/common/stress.hpp"
+#include "apar/common/thread_annotations.hpp"
 #include "apar/obs/metrics.hpp"
 
 namespace apar::cache {
@@ -124,7 +125,7 @@ class ShardedLru {
   /// Lookup; a live hit is freshened to most-recently-used.
   std::optional<V> get(const K& key) {
     Shard& sh = shard_for(key);
-    std::lock_guard lock(sh.mu);
+    common::MutexLock lock(sh.mu);
     stats_.gets.fetch_add(1, std::memory_order_relaxed);
     Node* node = find_live(sh, key);
     if (node == nullptr) {
@@ -139,14 +140,14 @@ class ShardedLru {
   /// Insert or overwrite, then evict from the LRU tail to the bounds.
   void put(const K& key, V value) {
     Shard& sh = shard_for(key);
-    std::lock_guard lock(sh.mu);
+    common::MutexLock lock(sh.mu);
     insert_locked(sh, key, std::move(value));
   }
 
   /// Remove a key (expired entries count as erases here, not expiries).
   bool erase(const K& key) {
     Shard& sh = shard_for(key);
-    std::lock_guard lock(sh.mu);
+    common::MutexLock lock(sh.mu);
     auto it = sh.map.find(key);
     if (it == sh.map.end()) return false;
     remove_node(sh, &it->second);
@@ -161,7 +162,7 @@ class ShardedLru {
     Shard& sh = shard_for(key);
     std::shared_ptr<InFlight> flight;
     {
-      std::unique_lock lock(sh.mu);
+      common::MutexLock lock(sh.mu);
       stats_.gets.fetch_add(1, std::memory_order_relaxed);
       if (Node* node = find_live(sh, key)) {
         touch(sh, node);
@@ -188,7 +189,7 @@ class ShardedLru {
         value = compute();
       } catch (...) {
         {
-          std::lock_guard lock(sh.mu);
+          common::MutexLock lock(sh.mu);
           sh.inflight.erase(key);
         }
         {
@@ -200,7 +201,7 @@ class ShardedLru {
         throw;
       }
       {
-        std::lock_guard lock(sh.mu);
+        common::MutexLock lock(sh.mu);
         sh.inflight.erase(key);
         insert_locked(sh, key, value);
       }
@@ -223,7 +224,7 @@ class ShardedLru {
   /// lapsed entry as absent). For tests and diagnostics.
   [[nodiscard]] bool peek(const K& key) const {
     const Shard& sh = shard_for(key);
-    std::lock_guard lock(sh.mu);
+    common::MutexLock lock(sh.mu);
     auto it = sh.map.find(key);
     return it != sh.map.end() && !lapsed(it->second);
   }
@@ -231,7 +232,7 @@ class ShardedLru {
   [[nodiscard]] std::size_t size() const {
     std::size_t n = 0;
     for (std::size_t i = 0; i <= mask_; ++i) {
-      std::lock_guard lock(shards_[i].mu);
+      common::MutexLock lock(shards_[i].mu);
       n += shards_[i].map.size();
     }
     return n;
@@ -240,19 +241,19 @@ class ShardedLru {
   [[nodiscard]] std::size_t bytes() const {
     std::size_t n = 0;
     for (std::size_t i = 0; i <= mask_; ++i) {
-      std::lock_guard lock(shards_[i].mu);
+      common::MutexLock lock(shards_[i].mu);
       n += shards_[i].bytes;
     }
     return n;
   }
 
   [[nodiscard]] std::size_t entries_in(std::size_t shard) const {
-    std::lock_guard lock(shards_[shard].mu);
+    common::MutexLock lock(shards_[shard].mu);
     return shards_[shard].map.size();
   }
 
   [[nodiscard]] std::size_t bytes_in(std::size_t shard) const {
-    std::lock_guard lock(shards_[shard].mu);
+    common::MutexLock lock(shards_[shard].mu);
     return shards_[shard].bytes;
   }
 
@@ -260,7 +261,7 @@ class ShardedLru {
   /// model-based test compares its reference list against.
   [[nodiscard]] std::vector<K> keys_in(std::size_t shard) const {
     const Shard& sh = shards_[shard];
-    std::lock_guard lock(sh.mu);
+    common::MutexLock lock(sh.mu);
     std::vector<K> out;
     out.reserve(sh.map.size());
     for (const Node* n = sh.head; n != nullptr; n = n->next)
@@ -271,7 +272,7 @@ class ShardedLru {
   void clear() {
     for (std::size_t i = 0; i <= mask_; ++i) {
       Shard& sh = shards_[i];
-      std::lock_guard lock(sh.mu);
+      common::MutexLock lock(sh.mu);
       if (probes_.entries) {
         probes_.entries->add(-static_cast<std::int64_t>(sh.map.size()));
         probes_.bytes->add(-static_cast<std::int64_t>(sh.bytes));
@@ -307,12 +308,13 @@ class ShardedLru {
   /// One shard: map + intrusive LRU list + in-flight computations. Node
   /// addresses are stable because unordered_map never relocates elements.
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<K, Node, Hash> map;
-    std::unordered_map<K, std::shared_ptr<InFlight>, Hash> inflight;
-    Node* head = nullptr;  ///< most recently used
-    Node* tail = nullptr;  ///< least recently used
-    std::size_t bytes = 0;
+    mutable common::Mutex mu;
+    std::unordered_map<K, Node, Hash> map APAR_GUARDED_BY(mu);
+    std::unordered_map<K, std::shared_ptr<InFlight>, Hash> inflight
+        APAR_GUARDED_BY(mu);
+    Node* head APAR_GUARDED_BY(mu) = nullptr;  ///< most recently used
+    Node* tail APAR_GUARDED_BY(mu) = nullptr;  ///< least recently used
+    std::size_t bytes APAR_GUARDED_BY(mu) = 0;
   };
 
   Shard& shard_for(const K& key) { return shards_[shard_of(key)]; }
@@ -324,7 +326,7 @@ class ShardedLru {
 
   /// Find a usable entry; reaps (and counts) a lapsed one. Caller holds
   /// the shard lock and accounts the hit/miss.
-  Node* find_live(Shard& sh, const K& key) {
+  Node* find_live(Shard& sh, const K& key) APAR_REQUIRES(sh.mu) {
     auto it = sh.map.find(key);
     if (it == sh.map.end()) return nullptr;
     if (lapsed(it->second)) {
@@ -336,7 +338,7 @@ class ShardedLru {
     return &it->second;
   }
 
-  void insert_locked(Shard& sh, const K& key, V value) {
+  void insert_locked(Shard& sh, const K& key, V value) APAR_REQUIRES(sh.mu) {
     const std::size_t charge = options_.size_of
                                    ? options_.size_of(key, value)
                                    : default_charge(key, value);
@@ -373,7 +375,7 @@ class ShardedLru {
   }
 
   /// Unlink + erase from the map; caller accounts the removal reason.
-  void remove_node(Shard& sh, Node* node) {
+  void remove_node(Shard& sh, Node* node) APAR_REQUIRES(sh.mu) {
     unlink(sh, node);
     sh.bytes -= node->charge;
     if (probes_.entries) {
@@ -383,13 +385,13 @@ class ShardedLru {
     sh.map.erase(*node->key);
   }
 
-  void touch(Shard& sh, Node* node) {
+  void touch(Shard& sh, Node* node) APAR_REQUIRES(sh.mu) {
     if (sh.head == node) return;
     unlink(sh, node);
     link_front(sh, node);
   }
 
-  void link_front(Shard& sh, Node* node) {
+  void link_front(Shard& sh, Node* node) APAR_REQUIRES(sh.mu) {
     node->prev = nullptr;
     node->next = sh.head;
     if (sh.head != nullptr) sh.head->prev = node;
@@ -397,7 +399,7 @@ class ShardedLru {
     if (sh.tail == nullptr) sh.tail = node;
   }
 
-  void unlink(Shard& sh, Node* node) {
+  void unlink(Shard& sh, Node* node) APAR_REQUIRES(sh.mu) {
     if (node->prev != nullptr) node->prev->next = node->next;
     if (node->next != nullptr) node->next->prev = node->prev;
     if (sh.head == node) sh.head = node->next;

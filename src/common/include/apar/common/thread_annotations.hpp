@@ -1,0 +1,75 @@
+#pragma once
+
+#include <mutex>
+
+/// Clang thread-safety-analysis attributes, spelled the way the capability
+/// model expects, compiled away everywhere else (gcc builds see plain
+/// code). A dedicated CI job builds with clang and
+/// -Werror=thread-safety-analysis, so a lock_guard-free access to an
+/// APAR_GUARDED_BY member is a build break, not a code-review hope.
+///
+/// Only mutexes used in strict RAII style are annotated: a
+/// condition-variable wait needs std::unique_lock<std::mutex>, which the
+/// analysis cannot follow through wait()'s unlock/relock, so cv-paired
+/// mutexes (ThreadPool::sleep_mutex_, the cache's per-InFlight mutex)
+/// deliberately stay plain std::mutex.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define APAR_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef APAR_THREAD_ANNOTATION
+#define APAR_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+#define APAR_CAPABILITY(x) APAR_THREAD_ANNOTATION(capability(x))
+#define APAR_SCOPED_CAPABILITY APAR_THREAD_ANNOTATION(scoped_lockable)
+#define APAR_GUARDED_BY(x) APAR_THREAD_ANNOTATION(guarded_by(x))
+#define APAR_PT_GUARDED_BY(x) APAR_THREAD_ANNOTATION(pt_guarded_by(x))
+#define APAR_REQUIRES(...) \
+  APAR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define APAR_ACQUIRE(...) \
+  APAR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define APAR_RELEASE(...) \
+  APAR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define APAR_TRY_ACQUIRE(...) \
+  APAR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define APAR_EXCLUDES(...) APAR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define APAR_NO_THREAD_SAFETY_ANALYSIS \
+  APAR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace apar::common {
+
+/// std::mutex with the capability annotation the analysis needs (libstdc++
+/// ships std::mutex unannotated, so guarding members with it teaches clang
+/// nothing). Drop-in for lock_guard-style use; identical codegen.
+class APAR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() APAR_ACQUIRE() { mu_.lock(); }
+  void unlock() APAR_RELEASE() { mu_.unlock(); }
+  bool try_lock() APAR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over Mutex, annotated as a scoped capability so clang tracks
+/// the critical section. The std::lock_guard analogue for annotated code.
+class APAR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) APAR_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() APAR_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace apar::common

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "apar/common/thread_annotations.hpp"
 #include "apar/concurrency/future.hpp"
 #include "apar/concurrency/task.hpp"
 
@@ -203,8 +204,8 @@ class ThreadPool {
   /// destructor after the workers are joined.
   std::atomic<TaskNode*> free_nodes_{nullptr};
 
-  mutable std::mutex inject_mutex_;
-  std::deque<TaskNode*> inject_;
+  mutable common::Mutex inject_mutex_;
+  std::deque<TaskNode*> inject_ APAR_GUARDED_BY(inject_mutex_);
 
   // Sleep/idle coordination. Workers sleep only when pending_ == 0 — i.e.
   // both the injection queue and every deque are empty — and every enqueue

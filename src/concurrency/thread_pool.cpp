@@ -198,7 +198,7 @@ void ThreadPool::enqueue_node(TaskNode* node) {
     overflows_.fetch_add(1, std::memory_order_relaxed);
     if (overflow_counter_) overflow_counter_->add(1);
   }
-  std::lock_guard lock(inject_mutex_);
+  common::MutexLock lock(inject_mutex_);
   inject_.push_back(node);
 }
 
@@ -230,21 +230,21 @@ void ThreadPool::bulk_post(std::span<Task> tasks) {
       }
     }
     if (!spill.empty()) {
-      std::lock_guard lock(inject_mutex_);
+      common::MutexLock lock(inject_mutex_);
       inject_.insert(inject_.end(), spill.begin(), spill.end());
     }
   } else {
     std::vector<TaskNode*> nodes;
     nodes.reserve(tasks.size());
     for (auto& task : tasks) nodes.push_back(make_node(std::move(task)));
-    std::lock_guard lock(inject_mutex_);
+    common::MutexLock lock(inject_mutex_);
     inject_.insert(inject_.end(), nodes.begin(), nodes.end());
   }
   wake_all();
 }
 
 ThreadPool::TaskNode* ThreadPool::take_injected(std::size_t index) {
-  std::lock_guard lock(inject_mutex_);
+  common::MutexLock lock(inject_mutex_);
   if (inject_.empty()) return nullptr;
   TaskNode* first = inject_.front();
   inject_.pop_front();
@@ -261,7 +261,7 @@ ThreadPool::TaskNode* ThreadPool::take_injected(std::size_t index) {
 }
 
 ThreadPool::TaskNode* ThreadPool::take_injected_external() {
-  std::lock_guard lock(inject_mutex_);
+  common::MutexLock lock(inject_mutex_);
   if (inject_.empty()) return nullptr;
   TaskNode* first = inject_.front();
   inject_.pop_front();

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "apar/common/thread_annotations.hpp"
 #include "apar/obs/trace_context.hpp"
 
 namespace apar::obs {
@@ -134,13 +135,14 @@ class Tracer {
   static const std::shared_ptr<Tracer>& global();
 
  private:
-  void note_dropped_locked(std::uint64_t n);
+  void note_dropped_locked(std::uint64_t n) APAR_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::deque<TraceEvent> events_;
-  std::size_t capacity_;
-  std::uint64_t dropped_ = 0;
-  std::shared_ptr<class Counter> dropped_counter_;  ///< lazy registry mirror
+  mutable common::Mutex mutex_;
+  std::deque<TraceEvent> events_ APAR_GUARDED_BY(mutex_);
+  std::size_t capacity_ APAR_GUARDED_BY(mutex_);
+  std::uint64_t dropped_ APAR_GUARDED_BY(mutex_) = 0;
+  /// Lazy registry mirror (created under mutex_ on first drop).
+  std::shared_ptr<class Counter> dropped_counter_ APAR_GUARDED_BY(mutex_);
 };
 
 }  // namespace apar::obs

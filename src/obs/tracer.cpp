@@ -38,7 +38,7 @@ void Tracer::note_dropped_locked(std::uint64_t n) {
 }
 
 void Tracer::record(TraceEvent event) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   if (events_.size() >= capacity_) {
     const std::uint64_t evict = events_.size() - capacity_ + 1;
     events_.erase(events_.begin(),
@@ -49,14 +49,14 @@ void Tracer::record(TraceEvent event) {
 }
 
 std::vector<TraceEvent> Tracer::events() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   return {events_.begin(), events_.end()};
 }
 
 std::vector<TraceEvent> Tracer::take_events() {
   std::deque<TraceEvent> taken;
   {
-    std::lock_guard lock(mutex_);
+    common::MutexLock lock(mutex_);
     taken.swap(events_);
   }
   return {std::make_move_iterator(taken.begin()),
@@ -64,22 +64,22 @@ std::vector<TraceEvent> Tracer::take_events() {
 }
 
 std::size_t Tracer::size() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   return events_.size();
 }
 
 void Tracer::clear() {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   events_.clear();
 }
 
 std::size_t Tracer::capacity() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   return capacity_;
 }
 
 void Tracer::set_capacity(std::size_t capacity) {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   capacity_ = capacity == 0 ? 1 : capacity;
   if (events_.size() > capacity_) {
     const std::uint64_t evict = events_.size() - capacity_;
@@ -90,19 +90,19 @@ void Tracer::set_capacity(std::size_t capacity) {
 }
 
 std::uint64_t Tracer::dropped_events() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   return dropped_;
 }
 
 std::size_t Tracer::thread_count() const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::set<std::thread::id> threads;
   for (const auto& e : events_) threads.insert(e.thread);
   return threads.size();
 }
 
 std::size_t Tracer::calls(std::string_view signature) const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::size_t n = 0;
   for (const auto& e : events_) {
     if (e.phase == TraceEvent::Phase::kEnter && e.signature == signature)
@@ -112,7 +112,7 @@ std::size_t Tracer::calls(std::string_view signature) const {
 }
 
 std::size_t Tracer::targets(std::string_view signature) const {
-  std::lock_guard lock(mutex_);
+  common::MutexLock lock(mutex_);
   std::set<const void*> targets;
   for (const auto& e : events_) {
     if (e.signature == signature && e.target != nullptr)

@@ -71,3 +71,20 @@ APAR_METHOD_IDEMPOTENT(&apar::sieve::PrimeFilter::filter);
 APAR_METHOD_NAME(&apar::sieve::PrimeFilter::process, "process");
 APAR_METHOD_NAME(&apar::sieve::PrimeFilter::collect, "collect");
 APAR_METHOD_NAME(&apar::sieve::PrimeFilter::take_results, "take_results");
+
+// Declared effect sets (per instance): "primes" is the construction-fixed
+// base-prime table, "scratch" the shared survivor buffer, "results" the
+// retained-pack store. ops_ is a diagnostic, outside the contract — same
+// position the idempotency declaration above takes.
+APAR_METHOD_READS(&apar::sieve::PrimeFilter::filter, "primes");
+APAR_METHOD_WRITES(&apar::sieve::PrimeFilter::filter, "scratch");
+APAR_METHOD_READS(&apar::sieve::PrimeFilter::process, "primes");
+APAR_METHOD_WRITES(&apar::sieve::PrimeFilter::process, "scratch");
+APAR_METHOD_WRITES(&apar::sieve::PrimeFilter::process, "results");
+APAR_METHOD_WRITES(&apar::sieve::PrimeFilter::collect, "results");
+APAR_METHOD_WRITES(&apar::sieve::PrimeFilter::take_results, "results");
+// Every filter/process call clears "scratch" before reading it, so a
+// memoized hit that skips the write is replay-equivalent — which is why
+// caching filter is sound. It is still shared mutable state for the race
+// analysis: unguarded concurrent filters racing on scratch stay an error.
+APAR_STATE_IDEMPOTENT(apar::sieve::PrimeFilter, "scratch");

@@ -85,21 +85,24 @@ class ConcurrencyAspect : public aop::Aspect, public AsyncControl {
   template <auto M>
   void register_async() {
     this->template around_method<M>(
-        aop::order::kConcurrencyAsync, aop::Scope::any(), [this](auto& inv) {
-          auto continuation = inv.continuation();
-          spawned_.fetch_add(1, std::memory_order_relaxed);
-          if (pooled()) {
-            // Lock-free dispatch: the atomic shared_ptr load pins the pool
-            // for the duration of the post, so use_pool()/unplug can swap
-            // it concurrently without a mutex on this hot path.
-            if (auto pool = pool_.load(std::memory_order_acquire)) {
-              inv.context().tasks().run_on(*pool, std::move(continuation));
-              return;
-            }
-          }
-          // The paper's `new Thread() { run() { proceed(); } }.start()`.
-          inv.context().tasks().spawn(std::move(continuation));
-        });
+            aop::order::kConcurrencyAsync, aop::Scope::any(),
+            [this](auto& inv) {
+              auto continuation = inv.continuation();
+              spawned_.fetch_add(1, std::memory_order_relaxed);
+              if (pooled()) {
+                // Lock-free dispatch: the atomic shared_ptr load pins the
+                // pool for the duration of the post, so use_pool()/unplug
+                // can swap it concurrently without a mutex on this hot
+                // path.
+                if (auto pool = pool_.load(std::memory_order_acquire)) {
+                  inv.context().tasks().run_on(*pool, std::move(continuation));
+                  return;
+                }
+              }
+              // The paper's `new Thread() { run() { proceed(); } }.start()`.
+              inv.context().tasks().spawn(std::move(continuation));
+            })
+        .mark_spawns_concurrency();
   }
 
   template <auto M>

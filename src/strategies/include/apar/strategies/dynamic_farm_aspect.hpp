@@ -124,7 +124,11 @@ class DynamicFarmAspect : public aop::Aspect {
             pending_ -= n;
             if (pending_ == 0) idle_cv_.notify_all();
           }
-        });
+        })
+        // Each worker loop drives its OWN worker object, so the spawned
+        // executions are object-confined: per-instance state cannot race
+        // across them and the effect analyzer skips these signatures.
+        .mark_spawns_concurrency(/*confined_to_target=*/true);
   }
 
   void start_workers(aop::Context& ctx) {

@@ -93,26 +93,33 @@ class FarmAspect : public aop::Aspect {
 
   void register_split() {
     this->template around_method<&T::process>(
-        aop::order::kPartitionSplit, aop::Scope::core_only(),
-        [this](auto& inv) {
-          auto& [data] = inv.args();
-          auto packs = split_into_packs<E>(data, options_.pack_size);
-          if (options_.batch_submit) {
-            // Pooled async dispatches below collect into one bulk_post,
-            // flushed when the scope closes; non-pooled dispatch is
-            // unaffected by the scope.
-            concurrency::TaskGroup::BatchScope batch(inv.context().tasks());
-            for (auto& pack : packs) {
-              // Stay on the process() chain: the route advice below picks
-              // the worker, then concurrency/distribution advice apply.
-              inv.proceed_with(pack);
-            }
-          } else {
-            for (auto& pack : packs) {
-              inv.proceed_with(pack);
-            }
-          }
-        });
+            aop::order::kPartitionSplit, aop::Scope::core_only(),
+            [this](auto& inv) {
+              auto& [data] = inv.args();
+              auto packs = split_into_packs<E>(data, options_.pack_size);
+              if (options_.batch_submit) {
+                // Pooled async dispatches below collect into one
+                // bulk_post, flushed when the scope closes; non-pooled
+                // dispatch is unaffected by the scope.
+                concurrency::TaskGroup::BatchScope batch(
+                    inv.context().tasks());
+                for (auto& pack : packs) {
+                  // Stay on the process() chain: the route advice below
+                  // picks the worker, then concurrency/distribution advice
+                  // apply.
+                  inv.proceed_with(pack);
+                }
+              } else {
+                for (auto& pack : packs) {
+                  inv.proceed_with(pack);
+                }
+              }
+            })
+        // Fan-out: the packs proceed down chains the composition is
+        // expected to make asynchronous, and the route advice may hand
+        // overlapping packs to the SAME worker — so farmed signatures are
+        // unconfined race candidates for the effect analyzer.
+        .mark_spawns_concurrency();
   }
 
   void register_route() {

@@ -1,0 +1,411 @@
+// Declared-effects race analysis (src/analysis/effects.cpp): shared
+// written cells under concurrent weave plans, monitor coverage,
+// object-confined spawns, remote divergence, cache/effect conflicts and
+// statically-derived lock-order cycles — each rule pinned in isolation
+// with hand-marked advice, the same idiom test_cache_safety.cpp uses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "../aop/fixtures.hpp"
+#include "apar/analysis/effects.hpp"
+#include "apar/analysis/report.hpp"
+#include "apar/aop/effects.hpp"
+
+namespace an = apar::analysis;
+namespace aop = apar::aop;
+using apar::test::Point;
+
+namespace apar::test_fx {
+
+/// Effects fixture: two methods sharing the "count" cell, one reader, and
+/// one writer of a cell declared idempotent-safe.
+class Tally {
+ public:
+  void bump() { ++n_; }
+  void drain() { n_ = 0; }
+  [[nodiscard]] int total() const { return n_; }
+  void scribble() { buf_ = n_; }
+
+ private:
+  int n_ = 0;
+  int buf_ = 0;
+};
+
+}  // namespace apar::test_fx
+
+APAR_CLASS_NAME(apar::test_fx::Tally, "Tally");
+APAR_METHOD_NAME(&apar::test_fx::Tally::bump, "bump");
+APAR_METHOD_NAME(&apar::test_fx::Tally::drain, "drain");
+APAR_METHOD_NAME(&apar::test_fx::Tally::total, "total");
+APAR_METHOD_NAME(&apar::test_fx::Tally::scribble, "scribble");
+
+APAR_METHOD_WRITES(&apar::test_fx::Tally::bump, "count");
+APAR_METHOD_WRITES(&apar::test_fx::Tally::drain, "count");
+APAR_METHOD_READS(&apar::test_fx::Tally::total, "count");
+APAR_METHOD_READS(&apar::test_fx::Tally::scribble, "count");
+APAR_METHOD_WRITES(&apar::test_fx::Tally::scribble, "buffer");
+APAR_STATE_IDEMPOTENT(apar::test_fx::Tally, "buffer");
+
+using apar::test_fx::Tally;
+
+namespace {
+
+std::size_t count_kind(const an::Report& report, an::FindingKind kind) {
+  return static_cast<std::size_t>(
+      std::count_if(report.findings().begin(), report.findings().end(),
+                    [&](const an::Finding& f) { return f.kind == kind; }));
+}
+
+an::Severity kind_severity(const an::Report& report, an::FindingKind kind) {
+  const auto it = std::find_if(
+      report.findings().begin(), report.findings().end(),
+      [&](const an::Finding& f) { return f.kind == kind; });
+  EXPECT_NE(it, report.findings().end());
+  return it == report.findings().end() ? an::Severity::kInfo : it->severity;
+}
+
+/// Passthrough advice on `pattern` with no metadata; marks are chained by
+/// each test onto aspect->advice().back().
+template <class T = Tally>
+std::shared_ptr<aop::Aspect> passthrough_on(std::string name,
+                                            const char* pattern, int order) {
+  auto aspect = std::make_shared<aop::Aspect>(std::move(name));
+  aspect->around_call<T, void>(aop::Pattern(pattern), order, aop::Scope::any(),
+                               [](auto& inv) { return inv.proceed(); });
+  return aspect;
+}
+
+std::shared_ptr<aop::Aspect> spawner_on(std::string name, const char* pattern,
+                                        bool confined = false) {
+  auto aspect = passthrough_on(std::move(name), pattern,
+                               aop::order::kConcurrencyAsync);
+  aspect->advice().back()->mark_spawns_concurrency(confined);
+  return aspect;
+}
+
+std::shared_ptr<aop::Aspect> monitor_on(std::string name, const char* pattern) {
+  auto aspect =
+      passthrough_on(std::move(name), pattern, aop::order::kConcurrencySync);
+  aspect->advice().back()->mark_acquires_monitor();
+  return aspect;
+}
+
+std::shared_ptr<aop::Aspect> distributor_on(std::string name,
+                                            const char* pattern,
+                                            bool wire_mandatory) {
+  auto aspect =
+      passthrough_on(std::move(name), pattern, aop::order::kDistribution);
+  aspect->advice().back()->mark_distributes({}, wire_mandatory);
+  return aspect;
+}
+
+}  // namespace
+
+// --- effect registry ------------------------------------------------------
+
+TEST(EffectRegistry, DeclaredSetsAreVisibleAndDeduplicated) {
+  const aop::EffectRegistry& reg = aop::EffectRegistry::global();
+  const aop::Signature bump{"Tally", "bump", aop::JoinPointKind::kMethodCall};
+  ASSERT_TRUE(reg.declared(bump));
+  const auto effects = reg.effects(bump);
+  ASSERT_EQ(effects.size(), 1u);
+  EXPECT_EQ(effects[0].state, "count");
+  EXPECT_EQ(effects[0].kind, aop::EffectKind::kWrite);
+
+  // Registration is idempotent: a second TU running the same macro (or a
+  // repeated explicit add) must not grow the set.
+  const std::size_t before = reg.size();
+  aop::EffectRegistry::global().add("Tally", "bump", "count",
+                                    aop::EffectKind::kWrite);
+  EXPECT_EQ(reg.size(), before);
+
+  EXPECT_TRUE(reg.state_idempotent("Tally", "buffer"));
+  EXPECT_FALSE(reg.state_idempotent("Tally", "count"));
+}
+
+// --- unknown effects ------------------------------------------------------
+
+TEST(EffectAnalysis, UnannotatedConcurrentSignatureIsInfoNeverError) {
+  // Point declares no effects anywhere; spawning it concurrently must
+  // produce only informational findings — unannotated code never gates.
+  aop::Context ctx;
+  auto spawn = std::make_shared<aop::Aspect>("Conc");
+  spawn->around_call<Point, void, int>(
+      aop::Pattern("Point.moveX"), aop::order::kConcurrencyAsync,
+      aop::Scope::any(), [](auto& inv) { return inv.proceed(); });
+  spawn->advice().back()->mark_spawns_concurrency();
+  ctx.attach(spawn);
+
+  const an::Report report = an::analyze_effects(ctx);
+  ASSERT_EQ(count_kind(report, an::FindingKind::kUnknownEffects), 1u)
+      << report.table();
+  EXPECT_EQ(report.size(), 1u);
+  EXPECT_EQ(report.count_at_least(an::Severity::kWarning), 0u);
+  EXPECT_EQ(report.findings().front().subject, "Point.moveX");
+  ctx.quiesce();
+}
+
+// --- (a) unsynchronized shared writes -------------------------------------
+
+TEST(EffectAnalysis, UnconfinedFanOutOfWriterRacesWithItself) {
+  aop::Context ctx;
+  ctx.attach(spawner_on("Conc", "Tally.bump"));
+  const an::Report report = an::analyze_effects(ctx);
+  ASSERT_EQ(count_kind(report, an::FindingKind::kUnsynchronizedSharedWrite),
+            1u)
+      << report.table();
+  EXPECT_EQ(kind_severity(report, an::FindingKind::kUnsynchronizedSharedWrite),
+            an::Severity::kError);
+  EXPECT_EQ(report.findings().front().subject, "Tally.count");
+  ctx.quiesce();
+}
+
+TEST(EffectAnalysis, GlobSpawnUnionsEffectsAcrossMatchedSignatures) {
+  // One glob advice makes every Tally method concurrent; bump, drain,
+  // total and scribble all touch "count", so the uncovered pairs with at
+  // least one writer must all be reported for the one cell.
+  aop::Context ctx;
+  ctx.attach(spawner_on("Conc", "Tally.*"));
+  const an::Report report = an::analyze_effects(ctx);
+  // Pairs over {bump(w), drain(w), scribble(r), total(r)}: every pair with
+  // a writer, including the two writer self-pairs, minus the read-only
+  // (scribble,total) pair: 7. "buffer" adds scribble's own self-pair: 8.
+  EXPECT_EQ(count_kind(report, an::FindingKind::kUnsynchronizedSharedWrite),
+            8u)
+      << report.table();
+  EXPECT_EQ(count_kind(report, an::FindingKind::kUnknownEffects), 0u);
+  ctx.quiesce();
+}
+
+TEST(EffectAnalysis, SingleAspectMonitorCoveringAllTouchersIsClean) {
+  aop::Context ctx;
+  ctx.attach(spawner_on("Conc", "Tally.*"));
+  ctx.attach(monitor_on("Guard", "Tally.*"));
+  const an::Report report = an::analyze_effects(ctx);
+  EXPECT_EQ(count_kind(report, an::FindingKind::kUnsynchronizedSharedWrite),
+            0u)
+      << report.table();
+  ctx.quiesce();
+}
+
+TEST(EffectAnalysis, SeparateAspectMonitorsDoNotCoverThePair) {
+  // Each writer is guarded — by a DIFFERENT aspect, i.e. a different
+  // SyncRegistry. The two critical sections do not exclude each other, so
+  // the cross pair must still be reported (self-pairs are covered).
+  aop::Context ctx;
+  ctx.attach(spawner_on("Conc", "Tally.bump"));
+  ctx.attach(spawner_on("Conc2", "Tally.drain"));
+  ctx.attach(monitor_on("SyncA", "Tally.bump"));
+  ctx.attach(monitor_on("SyncB", "Tally.drain"));
+  const an::Report report = an::analyze_effects(ctx);
+  ASSERT_EQ(count_kind(report, an::FindingKind::kUnsynchronizedSharedWrite),
+            1u)
+      << report.table();
+  EXPECT_EQ(report.findings().front().subject, "Tally.count");
+  ctx.quiesce();
+}
+
+TEST(EffectAnalysis, ObjectConfinedSpawnCannotRace) {
+  // The DynamicFarm shape: each spawned flow drives its own target object,
+  // so per-instance state never interleaves and nothing is reported.
+  aop::Context ctx;
+  ctx.attach(spawner_on("Farm", "Tally.*", /*confined=*/true));
+  const an::Report report = an::analyze_effects(ctx);
+  EXPECT_EQ(count_kind(report, an::FindingKind::kUnsynchronizedSharedWrite),
+            0u)
+      << report.table();
+  ctx.quiesce();
+}
+
+// --- (b) remote divergent writes ------------------------------------------
+
+TEST(EffectAnalysis, PartialDistributionOfWrittenCellDiverges) {
+  aop::Context ctx;
+  ctx.attach(distributor_on("Dist", "Tally.bump", /*wire_mandatory=*/true));
+  // drain is in play (advised) but NOT shipped by Dist: the remote
+  // replica's "count" and the local one evolve independently.
+  ctx.attach(passthrough_on("Other", "Tally.drain", aop::order::kDefault));
+  const an::Report report = an::analyze_effects(ctx);
+  ASSERT_GE(count_kind(report, an::FindingKind::kRemoteDivergentWrite), 1u)
+      << report.table();
+  EXPECT_EQ(kind_severity(report, an::FindingKind::kRemoteDivergentWrite),
+            an::Severity::kError);
+  ctx.quiesce();
+}
+
+TEST(EffectAnalysis, SimulatedMiddlewareDivergenceStaysWarning) {
+  aop::Context ctx;
+  ctx.attach(distributor_on("Dist", "Tally.bump", /*wire_mandatory=*/false));
+  ctx.attach(passthrough_on("Other", "Tally.drain", aop::order::kDefault));
+  const an::Report report = an::analyze_effects(ctx);
+  ASSERT_GE(count_kind(report, an::FindingKind::kRemoteDivergentWrite), 1u)
+      << report.table();
+  EXPECT_EQ(kind_severity(report, an::FindingKind::kRemoteDivergentWrite),
+            an::Severity::kWarning);
+  ctx.quiesce();
+}
+
+TEST(EffectAnalysis, WholesaleDistributionOfTheCellIsClean) {
+  // One glob advice ships every toucher of "count" through the same
+  // aspect: the cell crosses the wire wholesale, no divergence.
+  aop::Context ctx;
+  ctx.attach(distributor_on("Dist", "Tally.*", /*wire_mandatory=*/true));
+  const an::Report report = an::analyze_effects(ctx);
+  EXPECT_EQ(count_kind(report, an::FindingKind::kRemoteDivergentWrite), 0u)
+      << report.table();
+  ctx.quiesce();
+}
+
+TEST(EffectAnalysis, UnadvisedTouchersAreOutOfPlay) {
+  // The registry knows drain writes "count", but this composition never
+  // advises drain — a weave plan is judged on its own footprint, so
+  // distributing bump alone is clean.
+  aop::Context ctx;
+  ctx.attach(distributor_on("Dist", "Tally.bump", /*wire_mandatory=*/true));
+  const an::Report report = an::analyze_effects(ctx);
+  EXPECT_EQ(count_kind(report, an::FindingKind::kRemoteDivergentWrite), 0u)
+      << report.table();
+  ctx.quiesce();
+}
+
+// --- (c) cache/effect conflicts -------------------------------------------
+
+TEST(EffectAnalysis, CachingDeclaredWriterConflictsLocally) {
+  aop::Context ctx;
+  auto memo = passthrough_on("Memo", "Tally.bump", aop::order::kOptimisation);
+  memo->advice().back()->mark_caches({}, /*idempotent=*/false);
+  ctx.attach(memo);
+  const an::Report report = an::analyze_effects(ctx);
+  ASSERT_EQ(count_kind(report, an::FindingKind::kCacheEffectConflict), 1u)
+      << report.table();
+  EXPECT_EQ(kind_severity(report, an::FindingKind::kCacheEffectConflict),
+            an::Severity::kWarning);
+  EXPECT_EQ(report.findings().front().subject, "Memo/Tally.bump");
+  ctx.quiesce();
+}
+
+TEST(EffectAnalysis, WireMandatoryDistributionEscalatesCacheConflict) {
+  aop::Context ctx;
+  auto memo = passthrough_on("Memo", "Tally.bump", aop::order::kOptimisation);
+  memo->advice().back()->mark_caches({}, /*idempotent=*/false);
+  ctx.attach(memo);
+  ctx.attach(distributor_on("Dist", "Tally.bump", /*wire_mandatory=*/true));
+  const an::Report report = an::analyze_effects(ctx);
+  EXPECT_EQ(kind_severity(report, an::FindingKind::kCacheEffectConflict),
+            an::Severity::kError);
+  ctx.quiesce();
+}
+
+TEST(EffectAnalysis, IdempotentSafeStateSilencesTheConflict) {
+  // scribble writes "buffer", which Tally declared APAR_STATE_IDEMPOTENT
+  // (fully overwritten before any read): replaying a memoized result skips
+  // a write nobody can observe. Its "count" READ is no conflict either.
+  aop::Context ctx;
+  auto memo =
+      passthrough_on("Memo", "Tally.scribble", aop::order::kOptimisation);
+  memo->advice().back()->mark_caches({}, /*idempotent=*/true);
+  ctx.attach(memo);
+  const an::Report report = an::analyze_effects(ctx);
+  EXPECT_EQ(count_kind(report, an::FindingKind::kCacheEffectConflict), 0u)
+      << report.table();
+  ctx.quiesce();
+}
+
+// --- (d) static lock-order cycles -----------------------------------------
+
+TEST(EffectAnalysis, CrossInitiationOfGuardedMethodsIsAnAbbaCycle) {
+  aop::Context ctx;
+  ctx.attach(monitor_on("SyncA", "Tally.bump"));
+  ctx.attach(monitor_on("SyncB", "Tally.drain"));
+  // Bridges run INSIDE the monitors (higher order) and declare the cross
+  // calls their bodies make while the outer monitor is held.
+  auto bridge = std::make_shared<aop::Aspect>("Bridge");
+  bridge
+      ->around_call<Tally, void>(aop::Pattern("Tally.bump"),
+                                 aop::order::kOptimisation, aop::Scope::any(),
+                                 [](auto& inv) { return inv.proceed(); })
+      .mark_initiates({"Tally.drain"});
+  bridge
+      ->around_call<Tally, void>(aop::Pattern("Tally.drain"),
+                                 aop::order::kOptimisation, aop::Scope::any(),
+                                 [](auto& inv) { return inv.proceed(); })
+      .mark_initiates({"Tally.bump"});
+  ctx.attach(bridge);
+
+  const an::Report report = an::analyze_effects(ctx);
+  ASSERT_EQ(count_kind(report, an::FindingKind::kStaticLockOrderCycle), 1u)
+      << report.table();
+  const auto it = std::find_if(
+      report.findings().begin(), report.findings().end(), [](const auto& f) {
+        return f.kind == an::FindingKind::kStaticLockOrderCycle;
+      });
+  EXPECT_NE(it->subject.find("SyncA"), std::string::npos);
+  EXPECT_NE(it->subject.find("SyncB"), std::string::npos);
+  EXPECT_EQ(it->severity, an::Severity::kError);
+  ctx.quiesce();
+}
+
+TEST(EffectAnalysis, OneWayInitiationIsNoCycle) {
+  aop::Context ctx;
+  ctx.attach(monitor_on("SyncA", "Tally.bump"));
+  ctx.attach(monitor_on("SyncB", "Tally.drain"));
+  auto bridge = std::make_shared<aop::Aspect>("Bridge");
+  bridge
+      ->around_call<Tally, void>(aop::Pattern("Tally.bump"),
+                                 aop::order::kOptimisation, aop::Scope::any(),
+                                 [](auto& inv) { return inv.proceed(); })
+      .mark_initiates({"Tally.drain"});
+  ctx.attach(bridge);
+  const an::Report report = an::analyze_effects(ctx);
+  EXPECT_EQ(count_kind(report, an::FindingKind::kStaticLockOrderCycle), 0u)
+      << report.table();
+  ctx.quiesce();
+}
+
+TEST(EffectAnalysis, InitiatorOutsideTheMonitorAddsNoEdge) {
+  // The bridge nests OUTSIDE the monitor (lower order): its cross call
+  // happens before the monitor is acquired, so no edge and no cycle even
+  // with both declarations present.
+  aop::Context ctx;
+  ctx.attach(monitor_on("SyncA", "Tally.bump"));
+  ctx.attach(monitor_on("SyncB", "Tally.drain"));
+  auto bridge = std::make_shared<aop::Aspect>("Bridge");
+  bridge
+      ->around_call<Tally, void>(aop::Pattern("Tally.bump"),
+                                 aop::order::kPartitionSplit, aop::Scope::any(),
+                                 [](auto& inv) { return inv.proceed(); })
+      .mark_initiates({"Tally.drain"});
+  bridge
+      ->around_call<Tally, void>(aop::Pattern("Tally.drain"),
+                                 aop::order::kPartitionSplit, aop::Scope::any(),
+                                 [](auto& inv) { return inv.proceed(); })
+      .mark_initiates({"Tally.bump"});
+  ctx.attach(bridge);
+  const an::Report report = an::analyze_effects(ctx);
+  EXPECT_EQ(count_kind(report, an::FindingKind::kStaticLockOrderCycle), 0u)
+      << report.table();
+  ctx.quiesce();
+}
+
+// --- plug/unplug residue --------------------------------------------------
+
+TEST(EffectAnalysis, UnplugLeavesNoResidue) {
+  const std::size_t registry_before = aop::EffectRegistry::global().size();
+  aop::Context ctx;
+  auto conc = spawner_on("Conc", "Tally.bump");
+  ctx.attach(conc);
+  const an::Report while_plugged = an::analyze_effects(ctx);
+  EXPECT_GE(while_plugged.size(), 1u);
+
+  ctx.detach("Conc");
+  const an::Report after = an::analyze_effects(ctx);
+  EXPECT_TRUE(after.empty()) << after.table();
+  // The declared effect sets are immutable facts about the class — the
+  // weave plan coming and going must not grow or shrink them.
+  EXPECT_EQ(aop::EffectRegistry::global().size(), registry_before);
+  ctx.quiesce();
+}

@@ -79,3 +79,84 @@ TEST(Report, EmptyReportIsCleanJson) {
   EXPECT_EQ(report.count_at_least(an::Severity::kInfo), 0u);
   EXPECT_NE(report.json().find("\"findings\": []"), std::string::npos);
 }
+
+TEST(Report, JsonCarriesSchemaVersion) {
+  const an::Report report;
+  EXPECT_NE(report.json().find("\"schema_version\": " +
+                               std::to_string(an::kReportSchemaVersion)),
+            std::string::npos);
+  EXPECT_GE(an::kReportSchemaVersion, 2);
+}
+
+TEST(Report, RenderedOrderIsSeverityThenSubjectRegardlessOfInsertion) {
+  // Analyzer passes run in arbitrary order and merge() concatenates;
+  // consumers diff the JSON, so rendering must be deterministic: severity
+  // descending, then subject, then kind name. findings() itself preserves
+  // insertion order (merge/append semantics are part of the API).
+  an::Report report;
+  report.add({an::FindingKind::kDeadPointcut, an::Severity::kInfo, "zeta", "d"});
+  report.add({an::FindingKind::kLockOrderCycle, an::Severity::kError, "beta",
+              "d"});
+  report.add({an::FindingKind::kOrderCollision, an::Severity::kWarning,
+              "alpha", "d"});
+  report.add({an::FindingKind::kDoubleSynchronisation, an::Severity::kError,
+              "alpha", "d"});
+
+  EXPECT_EQ(report.findings()[0].subject, "zeta");  // insertion order kept
+
+  const auto sorted = report.sorted();
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_EQ(sorted[0].subject, "alpha");  // error before warning/info
+  EXPECT_EQ(sorted[0].severity, an::Severity::kError);
+  EXPECT_EQ(sorted[1].subject, "beta");
+  EXPECT_EQ(sorted[2].subject, "alpha");  // the warning
+  EXPECT_EQ(sorted[3].subject, "zeta");   // info last
+
+  // Same findings inserted in a different order must render byte-identical.
+  an::Report shuffled;
+  shuffled.add({an::FindingKind::kDoubleSynchronisation, an::Severity::kError,
+                "alpha", "d"});
+  shuffled.add({an::FindingKind::kOrderCollision, an::Severity::kWarning,
+                "alpha", "d"});
+  shuffled.add({an::FindingKind::kDeadPointcut, an::Severity::kInfo, "zeta",
+                "d"});
+  shuffled.add({an::FindingKind::kLockOrderCycle, an::Severity::kError, "beta",
+                "d"});
+  EXPECT_EQ(report.json(), shuffled.json());
+  EXPECT_EQ(report.table(), shuffled.table());
+}
+
+TEST(Report, GoldenJsonDocument) {
+  // Machine-checked schema: tools/check_analysis.py validates this exact
+  // shape, and CI consumers index .findings[] / .counts. Any change here
+  // must bump kReportSchemaVersion.
+  an::Report report;
+  report.add({an::FindingKind::kUnsynchronizedSharedWrite,
+              an::Severity::kError, "Ledger.balance", "race"});
+  report.add({an::FindingKind::kUnknownEffects, an::Severity::kInfo,
+              "Ledger.put", "undeclared"});
+  const std::string expected =
+      "{\"schema_version\": 2,\n"
+      "  \"findings\": [\n"
+      "    {\"severity\": \"error\", \"kind\": \"unsynchronized-shared-write\","
+      " \"subject\": \"Ledger.balance\", \"detail\": \"race\"},\n"
+      "    {\"severity\": \"info\", \"kind\": \"unknown-effects\","
+      " \"subject\": \"Ledger.put\", \"detail\": \"undeclared\"}\n"
+      "  ],\n"
+      "  \"counts\": {\"info\": 1, \"warning\": 0, \"error\": 1}\n"
+      "}\n";
+  EXPECT_EQ(report.json(), expected);
+}
+
+TEST(Severity, EffectKindNamesAreKebabCase) {
+  EXPECT_EQ(an::finding_kind_name(an::FindingKind::kUnsynchronizedSharedWrite),
+            "unsynchronized-shared-write");
+  EXPECT_EQ(an::finding_kind_name(an::FindingKind::kRemoteDivergentWrite),
+            "remote-divergent-write");
+  EXPECT_EQ(an::finding_kind_name(an::FindingKind::kCacheEffectConflict),
+            "cache-effect-conflict");
+  EXPECT_EQ(an::finding_kind_name(an::FindingKind::kStaticLockOrderCycle),
+            "static-lock-order-cycle");
+  EXPECT_EQ(an::finding_kind_name(an::FindingKind::kUnknownEffects),
+            "unknown-effects");
+}

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "../aop/fixtures.hpp"
+#include "apar/analysis/effects.hpp"
 #include "apar/analysis/lock_order_aspect.hpp"
 #include "apar/aop/aop.hpp"
 #include "apar/concurrency/sync_observer.hpp"
@@ -32,6 +33,14 @@ bool has_cycle(const an::Report& report) {
   for (const an::Finding& f : report.findings())
     if (f.kind == an::FindingKind::kLockOrderCycle) return true;
   return false;
+}
+
+/// The static effects pass's counterpart finding, if any: a
+/// static-lock-order-cycle whose subject lists the aspects on the loop.
+const an::Finding* static_cycle(const an::Report& report) {
+  for (const an::Finding& f : report.findings())
+    if (f.kind == an::FindingKind::kStaticLockOrderCycle) return &f;
+  return nullptr;
 }
 
 }  // namespace
@@ -62,23 +71,43 @@ TEST(StressLockOrder, AbbaBetweenTwoSyncAspectsIsReported) {
   //   core process -> [SyncProcess] -> bridge -> compute -> [SyncCompute]
   //   core compute -> [SyncCompute] -> bridge -> process -> [SyncProcess]
   auto bridge_p = std::make_shared<aop::Aspect>("BridgeProcess");
-  bridge_p->around_method<&Worker::process>(
-      aop::order::kOptimisation, aop::Scope::core_only(), [](auto& inv) {
-        (void)inv.context().template call<&Worker::compute>(inv.target(), 1);
-        return inv.proceed();
-      });
+  bridge_p
+      ->around_method<&Worker::process>(
+          aop::order::kOptimisation, aop::Scope::core_only(),
+          [](auto& inv) {
+            (void)inv.context().template call<&Worker::compute>(inv.target(),
+                                                                1);
+            return inv.proceed();
+          })
+      .mark_initiates({"Worker.compute"});
   auto bridge_c = std::make_shared<aop::Aspect>("BridgeCompute");
-  bridge_c->around_method<&Worker::compute>(
-      aop::order::kOptimisation, aop::Scope::core_only(), [](auto& inv) {
-        std::vector<int> nested{1, 2};
-        inv.context().template call<&Worker::process>(inv.target(), nested);
-        return inv.proceed();
-      });
+  bridge_c
+      ->around_method<&Worker::compute>(
+          aop::order::kOptimisation, aop::Scope::core_only(),
+          [](auto& inv) {
+            std::vector<int> nested{1, 2};
+            inv.context().template call<&Worker::process>(inv.target(),
+                                                          nested);
+            return inv.proceed();
+          })
+      .mark_initiates({"Worker.process"});
   ctx.attach(bridge_p);
   ctx.attach(bridge_c);
 
   auto lock_order = std::make_shared<an::LockOrderAspect>();
   ctx.attach(lock_order);
+
+  // The static effects pass must convict this plan before a single thread
+  // runs: the mark_initiates declarations give it the same may-acquire
+  // edges the dynamic observer will later record.
+  const an::Report plan_report = an::analyze_effects(ctx);
+  const an::Finding* predicted = static_cycle(plan_report);
+  ASSERT_NE(predicted, nullptr) << "static pass missed the ABBA plan";
+  EXPECT_EQ(predicted->severity, an::Severity::kError);
+  EXPECT_NE(predicted->subject.find("SyncProcess"), std::string::npos)
+      << predicted->subject;
+  EXPECT_NE(predicted->subject.find("SyncCompute"), std::string::npos)
+      << predicted->subject;
 
   auto worker = ctx.create<Worker>(1);
 
@@ -107,7 +136,9 @@ TEST(StressLockOrder, AbbaBetweenTwoSyncAspectsIsReported) {
     }
   }
 
-  // Both nesting orders were observed, so the graph has the ABBA cycle.
+  // Both nesting orders were observed, so the graph has the ABBA cycle —
+  // the dynamic observer confirms exactly what the static pass predicted
+  // above from the weave plan alone.
   EXPECT_GE(lock_order->edges(), 2u) << "seed " << seed;
   const an::Report report = lock_order->report();
   EXPECT_TRUE(has_cycle(report)) << "seed " << seed << "\n" << report.table();
@@ -140,15 +171,23 @@ TEST(StressLockOrder, ConsistentBridgeOrderStaysClean) {
   ctx.attach(sync_compute);
 
   auto bridge_p = std::make_shared<aop::Aspect>("BridgeProcess");
-  bridge_p->around_method<&Worker::process>(
-      aop::order::kOptimisation, aop::Scope::core_only(), [](auto& inv) {
-        (void)inv.context().template call<&Worker::compute>(inv.target(), 1);
-        return inv.proceed();
-      });
+  bridge_p
+      ->around_method<&Worker::process>(
+          aop::order::kOptimisation, aop::Scope::core_only(),
+          [](auto& inv) {
+            (void)inv.context().template call<&Worker::compute>(inv.target(),
+                                                                1);
+            return inv.proceed();
+          })
+      .mark_initiates({"Worker.compute"});
   ctx.attach(bridge_p);
 
   auto lock_order = std::make_shared<an::LockOrderAspect>();
   ctx.attach(lock_order);
+
+  // One-directional bridging gives the static pass a single may-acquire
+  // edge — no loop, so it must agree with the dynamic observer below.
+  EXPECT_EQ(static_cycle(an::analyze_effects(ctx)), nullptr);
 
   auto worker = ctx.create<Worker>(2);
   for (int round = 0; round < 4; ++round) {

@@ -14,10 +14,18 @@
 //
 // Usage:
 //   apar-analyze [--threshold=info|warning|error] [--json FILE] [--list]
-//                [composition ...]
+//                [--effects] [composition ...]
 //
 // With no compositions named, every shipped (clean) composition is
 // analyzed: the full sieve version matrix plus heat:heartbeat.
+//
+// --effects additionally runs the declared-effects race analysis
+// (src/analysis/effects.hpp) over every selected composition: shared
+// written state reachable from concurrent join points without a common
+// monitor, divergence between local and remote replicas, cache/effect
+// conflicts, and statically-derived lock-order cycles. The
+// `demo-broken-race` composition is this pass's seeded-defect fixture and
+// always includes it.
 #include <cstdio>
 #include <functional>
 #include <map>
@@ -26,6 +34,7 @@
 #include <tuple>
 #include <vector>
 
+#include "apar/analysis/effects.hpp"
 #include "apar/analysis/lock_order_aspect.hpp"
 #include "apar/analysis/report.hpp"
 #include "apar/analysis/weave_plan.hpp"
@@ -70,6 +79,7 @@ class Ledger {
   explicit Ledger(long long opening = 0) : balance_(opening) {}
 
   void deposit(long long amount) { balance_ += amount; }
+  void withdraw(long long amount) { balance_ -= amount; }
   void put(Opaque token) { (void)token; }
   [[nodiscard]] long long balance() const { return balance_; }
 
@@ -81,9 +91,28 @@ class Ledger {
 
 APAR_CLASS_NAME(demo::Ledger, "Ledger");
 APAR_METHOD_NAME(&demo::Ledger::deposit, "deposit");
+APAR_METHOD_NAME(&demo::Ledger::withdraw, "withdraw");
 APAR_METHOD_NAME(&demo::Ledger::put, "put");
+APAR_METHOD_NAME(&demo::Ledger::balance, "balance");
+
+// Declared effects for the seeded race fixture: both mutators touch the
+// one "balance" cell (put stays undeclared on purpose — it is the
+// unknown-effects specimen when advised into a concurrent weave).
+APAR_METHOD_WRITES(&demo::Ledger::deposit, "balance");
+APAR_METHOD_WRITES(&demo::Ledger::withdraw, "balance");
+APAR_METHOD_READS(&demo::Ledger::balance, "balance");
 
 namespace {
+
+/// Set by --effects: every selected composition's report additionally
+/// merges the declared-effects race analysis.
+bool g_effects = false;
+
+analysis::Report analyze_plan(const aop::Context& ctx) {
+  analysis::Report report = analysis::analyze_weave_plan(ctx);
+  if (g_effects) report.merge(analysis::analyze_effects(ctx));
+  return report;
+}
 
 analysis::Report analyze_sieve(sieve::Version version) {
   sieve::SieveConfig config;
@@ -94,7 +123,7 @@ analysis::Report analyze_sieve(sieve::Version version) {
   config.node_executors = 2;
   config.loopback_costs = true;
   sieve::SieveHarness harness(version, config);
-  return analysis::analyze_weave_plan(harness.context());
+  return analyze_plan(harness.context());
 }
 
 analysis::Report analyze_heartbeat() {
@@ -114,7 +143,7 @@ analysis::Report analyze_heartbeat() {
                            static_cast<long long>(i) * share, total, ns);
   };
   ctx.attach(std::make_shared<Heart>("Heartbeat", std::move(opts)));
-  auto report = analysis::analyze_weave_plan(ctx);
+  auto report = analyze_plan(ctx);
   ctx.quiesce();
   return report;
 }
@@ -159,7 +188,7 @@ analysis::Report analyze_sieve_tcp() {
       .distribute_method<&sieve::PrimeFilter::take_results>();
   ctx.attach(dist);
 
-  auto report = analysis::analyze_weave_plan(ctx);
+  auto report = analyze_plan(ctx);
   ctx.quiesce();
   return report;
 }
@@ -187,7 +216,7 @@ analysis::Report analyze_sieve_tcp_cached() {
   dist->distribute_method<&sieve::PrimeFilter::filter>();
   ctx.attach(dist);
 
-  auto report = analysis::analyze_weave_plan(ctx);
+  auto report = analyze_plan(ctx);
   ctx.quiesce();
   return report;
 }
@@ -235,7 +264,7 @@ analysis::Report analyze_sieve_tcp_obs() {
       .distribute_method<&sieve::PrimeFilter::take_results>();
   ctx.attach(dist);
 
-  auto report = analysis::analyze_weave_plan(ctx);
+  auto report = analyze_plan(ctx);
   ctx.quiesce();
   return report;
 }
@@ -261,7 +290,7 @@ analysis::Report analyze_demo_broken_cache() {
       .cache_method<&demo::Ledger::put>();
   ctx.attach(memo);
 
-  auto report = analysis::analyze_weave_plan(ctx);
+  auto report = analyze_plan(ctx);
   ctx.quiesce();
   return report;
 }
@@ -281,7 +310,7 @@ analysis::Report analyze_demo_broken_tcp() {
   dist->distribute_method<&demo::Ledger::put>();
   ctx.attach(dist);
 
-  auto report = analysis::analyze_weave_plan(ctx);
+  auto report = analyze_plan(ctx);
   ctx.quiesce();
   return report;
 }
@@ -329,7 +358,7 @@ analysis::Report analyze_demo_broken() {
   memo->cache_method<&demo::Ledger::deposit>();
   ctx.attach(memo);
 
-  auto report = analysis::analyze_weave_plan(ctx);
+  auto report = analyze_plan(ctx);
 
   // (6) Dynamic half: plug the lock-order aspect and acquire two monitors
   // in conflicting orders — the ABBA shape, scripted sequentially so the
@@ -355,6 +384,65 @@ analysis::Report analyze_demo_broken() {
   return report;
 }
 
+/// The effects acceptance composition: every declared-effects defect class
+/// at once. SyncA fires deposit asynchronously, SyncB withdraw — both
+/// mutators write the one "balance" cell, but each aspect guards only its
+/// own method, so no single monitor covers the racing pair
+/// (unsynchronized-shared-write). A TCP distribution aspect ships deposit
+/// but not withdraw, so remote and local replicas of "balance" diverge
+/// (remote-divergent-write, error over the real wire). A cache aspect
+/// memoizes the balance-writing deposit (cache-effect-conflict, escalated
+/// by the wire-mandatory distributor). And two bridge advices running
+/// inside the monitors each initiate the other aspect's guarded method —
+/// the ABBA shape demo-broken scripts dynamically, derived here from
+/// advice metadata alone (static-lock-order-cycle). Always analyzed with
+/// the effects pass: this composition IS its fixture.
+analysis::Report analyze_demo_broken_race() {
+  net::TcpMiddleware middleware(undialed_tcp());
+  net::TcpFabric fabric(middleware);
+
+  aop::Context ctx;
+  auto sync_a = std::make_shared<strategies::ConcurrencyAspect<demo::Ledger>>(
+      "SyncA");
+  sync_a->async_method<&demo::Ledger::deposit>();
+  ctx.attach(sync_a);
+  auto sync_b = std::make_shared<strategies::ConcurrencyAspect<demo::Ledger>>(
+      "SyncB");
+  sync_b->async_method<&demo::Ledger::withdraw>();
+  ctx.attach(sync_b);
+
+  auto dist =
+      std::make_shared<strategies::DistributionAspect<demo::Ledger, long long>>(
+          "Distribution", fabric, middleware);
+  dist->distribute_method<&demo::Ledger::deposit>();
+  ctx.attach(dist);
+
+  auto memo = std::make_shared<cache::CacheAspect<demo::Ledger>>("Memo");
+  memo->cache_method<&demo::Ledger::deposit>();
+  ctx.attach(memo);
+
+  // The bridges run inside the monitors (higher order = inner) and declare
+  // that they call into the other guarded method while the first monitor
+  // is still held.
+  auto bridge = std::make_shared<aop::Aspect>("Bridge");
+  bridge
+      ->around_call<demo::Ledger, void, long long>(
+          aop::Pattern("Ledger.deposit"), aop::order::kOptimisation + 10,
+          aop::Scope::any(), [](auto& inv) { return inv.proceed(); })
+      .mark_initiates({"Ledger.withdraw"});
+  bridge
+      ->around_call<demo::Ledger, void, long long>(
+          aop::Pattern("Ledger.withdraw"), aop::order::kOptimisation + 10,
+          aop::Scope::any(), [](auto& inv) { return inv.proceed(); })
+      .mark_initiates({"Ledger.deposit"});
+  ctx.attach(bridge);
+
+  analysis::Report report = analysis::analyze_weave_plan(ctx);
+  report.merge(analysis::analyze_effects(ctx));
+  ctx.quiesce();
+  return report;
+}
+
 using Builder = std::function<analysis::Report()>;
 
 std::vector<std::pair<std::string, Builder>> all_compositions() {
@@ -376,7 +464,7 @@ std::vector<std::pair<std::string, Builder>> all_compositions() {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--threshold=info|warning|error] [--json FILE] "
-               "[--list] [composition ...]\n",
+               "[--list] [--effects] [composition ...]\n",
                argv0);
   return 2;
 }
@@ -394,12 +482,15 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
   }
 
+  g_effects = cli.get_bool("effects", false);
+
   auto clean = all_compositions();
   if (cli.get_bool("list", false)) {
     for (const auto& [name, build] : clean) std::printf("%s\n", name.c_str());
     std::printf("demo-broken\n");
     std::printf("demo-broken-tcp\n");
     std::printf("demo-broken-cache\n");
+    std::printf("demo-broken-race\n");
     return 0;
   }
 
@@ -411,6 +502,11 @@ int main(int argc, char** argv) {
     for (const std::string& want : cli.positional()) {
       if (want == "demo-broken") {
         selected.emplace_back(want, [] { return analyze_demo_broken(); });
+        continue;
+      }
+      if (want == "demo-broken-race") {
+        selected.emplace_back(want,
+                              [] { return analyze_demo_broken_race(); });
         continue;
       }
       if (want == "demo-broken-tcp") {
@@ -441,7 +537,9 @@ int main(int argc, char** argv) {
 
   std::size_t gating = 0;
   std::size_t total = 0;
-  std::string json = "{\n  \"threshold\": \"" +
+  std::string json = "{\n  \"schema_version\": " +
+                     std::to_string(analysis::kReportSchemaVersion) +
+                     ",\n  \"threshold\": \"" +
                      std::string(analysis::severity_name(*threshold)) +
                      "\",\n  \"compositions\": [";
   bool first = true;

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Schema validator for apar-analyze JSON output.
+
+Checks the machine-readable contract CI and downstream tooling rely on:
+
+  * top level: schema_version, threshold, compositions[], total,
+    at_or_above_threshold — with the totals recomputed from the findings,
+    not trusted;
+  * each report: schema_version matching the envelope, a findings[] of
+    {severity, kind, subject, detail} with known severities and kinds,
+    counts consistent with the findings, and the deterministic rendering
+    order (severity descending, then subject) the Report::sorted()
+    contract promises;
+  * optionally (--require-kind, repeatable): that a given finding kind
+    appears somewhere in the document — how CI pins the seeded demo
+    compositions to the defect classes they must exhibit.
+
+Exit status: 0 when the document validates, 1 with a message otherwise.
+
+Usage:
+  check_analysis.py analysis.json
+  check_analysis.py broken-race.json \
+      --require-kind unsynchronized-shared-write \
+      --require-kind static-lock-order-cycle
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 2
+
+SEVERITIES = ["info", "warning", "error"]
+
+KNOWN_KINDS = {
+    "dead-pointcut",
+    "order-collision",
+    "double-sync",
+    "distribution-hazard",
+    "lock-order-cycle",
+    "wait-with-monitor",
+    "empty-signature-table",
+    "cache-non-idempotent",
+    "cache-unserializable",
+    "unsynchronized-shared-write",
+    "remote-divergent-write",
+    "cache-effect-conflict",
+    "static-lock-order-cycle",
+    "unknown-effects",
+}
+
+
+def fail(message):
+    print(f"check_analysis: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_report(report, where):
+    if report.get("schema_version") != SCHEMA_VERSION:
+        fail(f"{where}: report schema_version "
+             f"{report.get('schema_version')!r} != {SCHEMA_VERSION}")
+    findings = report.get("findings")
+    if not isinstance(findings, list):
+        fail(f"{where}: findings is not a list")
+    counts = {s: 0 for s in SEVERITIES}
+    previous = None
+    for i, finding in enumerate(findings):
+        for key in ("severity", "kind", "subject", "detail"):
+            if not isinstance(finding.get(key), str):
+                fail(f"{where}: findings[{i}].{key} missing or not a string")
+        severity = finding["severity"]
+        if severity not in SEVERITIES:
+            fail(f"{where}: findings[{i}] has unknown severity {severity!r}")
+        if finding["kind"] not in KNOWN_KINDS:
+            fail(f"{where}: findings[{i}] has unknown kind "
+                 f"{finding['kind']!r}")
+        counts[severity] += 1
+        # Deterministic rendering order: severity descending, then subject,
+        # then kind name, then detail (Report::sorted()).
+        key = (-SEVERITIES.index(severity), finding["subject"],
+               finding["kind"], finding["detail"])
+        if previous is not None and key < previous:
+            fail(f"{where}: findings[{i}] out of deterministic order")
+        previous = key
+    declared = report.get("counts")
+    if declared != counts:
+        fail(f"{where}: counts {declared} disagree with findings {counts}")
+    return findings
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("file", help="apar-analyze --json output")
+    parser.add_argument("--require-kind", action="append", default=[],
+                        metavar="KIND",
+                        help="finding kind that must appear somewhere "
+                             "(repeatable)")
+    args = parser.parse_args()
+
+    with open(args.file, encoding="utf-8") as handle:
+        doc = json.load(handle)
+
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        fail(f"top-level schema_version {doc.get('schema_version')!r} "
+             f"!= {SCHEMA_VERSION}")
+    threshold = doc.get("threshold")
+    if threshold not in SEVERITIES:
+        fail(f"unknown threshold {threshold!r}")
+    compositions = doc.get("compositions")
+    if not isinstance(compositions, list):
+        fail("compositions is not a list")
+
+    total = 0
+    gating = 0
+    seen_kinds = set()
+    for comp in compositions:
+        name = comp.get("name")
+        if not isinstance(name, str) or not name:
+            fail("composition without a name")
+        findings = check_report(comp.get("report", {}), name)
+        total += len(findings)
+        floor = SEVERITIES.index(threshold)
+        gating += sum(1 for f in findings
+                      if SEVERITIES.index(f["severity"]) >= floor)
+        seen_kinds |= {f["kind"] for f in findings}
+
+    if doc.get("total") != total:
+        fail(f"total {doc.get('total')!r} disagrees with findings ({total})")
+    if doc.get("at_or_above_threshold") != gating:
+        fail(f"at_or_above_threshold {doc.get('at_or_above_threshold')!r} "
+             f"disagrees with findings ({gating})")
+
+    missing = set(args.require_kind) - seen_kinds
+    if missing:
+        fail(f"required finding kinds not reported: {sorted(missing)}")
+
+    print(f"check_analysis: {args.file} OK — {len(compositions)} "
+          f"composition(s), {total} finding(s), {gating} at/above "
+          f"'{threshold}'")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Run the stress suite (`ctest -L stress`) plus the cache suite (`-L
 # cache`) and the real-TCP transport suite (`-L net`) under
-# ThreadSanitizer and AddressSanitizer. Any
+# ThreadSanitizer and AddressSanitizer, and the analysis suite (`-L
+# analysis` — the weave-plan verifier, the effects race passes and the
+# apar-analyze gates) under AddressSanitizer. Any
 # sanitizer report fails the run: halt_on_error turns the first finding
 # into a nonzero test exit.
 #
@@ -30,8 +32,16 @@ for preset in "${presets[@]}"; do
   cmake --preset "$preset"
   echo "=== [$preset] build ==="
   cmake --build --preset "$preset" -j "$(nproc)"
-  echo "=== [$preset] ctest -L 'stress|cache|net' ==="
-  ctest --test-dir "build-$preset" -L 'stress|cache|net' --output-on-failure -j 2
+  # The analyzers allocate aggressively (registries, reports, JSON) but
+  # are single-threaded: asan is the interesting sanitizer, and skipping
+  # them under tsan keeps that (much slower) leg focused on real
+  # concurrency.
+  labels='stress|cache|net'
+  if [ "$preset" = "asan" ]; then
+    labels='stress|cache|net|analysis'
+  fi
+  echo "=== [$preset] ctest -L '$labels' ==="
+  ctest --test-dir "build-$preset" -L "$labels" --output-on-failure -j 2
 done
 
-echo "stress + cache + net suites clean under: ${presets[*]}"
+echo "stress + cache + net (+ analysis under asan) suites clean under: ${presets[*]}"
