@@ -36,6 +36,20 @@ void ConnectionPool::give_back(const Endpoint& endpoint, Socket socket) {
   bucket.push_back(std::move(socket));
 }
 
+std::size_t ConnectionPool::evict(const Endpoint& endpoint) {
+  std::vector<Socket> victims;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = idle_.find(endpoint);
+    if (it == idle_.end()) return 0;
+    victims = std::move(it->second);
+    idle_.erase(it);
+    stats_.evictions += victims.size();
+  }
+  // victims close outside the lock
+  return victims.size();
+}
+
 void ConnectionPool::clear() {
   std::lock_guard lock(mutex_);
   idle_.clear();

@@ -27,6 +27,7 @@ class ConnectionPool {
     std::uint64_t dials = 0;    ///< fresh connections established
     std::uint64_t reuses = 0;   ///< healthy idle connections handed out
     std::uint64_t discards = 0; ///< stale idle connections thrown away
+    std::uint64_t evictions = 0; ///< idle connections dropped by evict()
   };
 
   explicit ConnectionPool(std::size_t max_idle_per_endpoint = 8)
@@ -45,6 +46,14 @@ class ConnectionPool {
   /// Return a connection that completed its exchange cleanly. Beyond the
   /// per-endpoint idle cap the connection is closed instead.
   void give_back(const Endpoint& endpoint, Socket socket);
+
+  /// Drop every idle connection to `endpoint` and return how many were
+  /// dropped. Poll-validation cannot catch a server that was drained or
+  /// restarted but whose old sockets are still half-open (nothing readable
+  /// yet), so when a REUSED connection fails mid-exchange its idle
+  /// siblings — dialed in the same server era — are presumed stale too and
+  /// evicted wholesale; the next acquire() dials fresh.
+  std::size_t evict(const Endpoint& endpoint);
 
   /// Drop every idle connection.
   void clear();

@@ -91,9 +91,13 @@ class Listener {
   Listener& operator=(Listener&&) noexcept = default;
 
   [[nodiscard]] std::uint16_t port() const { return port_; }
+  /// Raw listening descriptor, for event loops that poll it directly
+  /// (src/net/reactor). The Listener keeps ownership.
+  [[nodiscard]] int fd() const { return fd_.fd(); }
 
-  /// Accept one connection, waiting at most `timeout`. Returns an invalid
-  /// Socket on timeout (so an accept loop can poll its stop flag).
+  /// Accept one connection, waiting at most `timeout` (0 = just poll).
+  /// Returns an invalid Socket on timeout (so an accept loop can poll its
+  /// stop flag, and a reactor can accept nonblockingly).
   Socket accept(std::chrono::milliseconds timeout);
 
   void close() { fd_.close(); }

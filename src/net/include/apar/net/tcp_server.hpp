@@ -12,6 +12,7 @@
 #include "apar/cluster/rpc.hpp"
 #include "apar/concurrency/thread_pool.hpp"
 #include "apar/net/frame.hpp"
+#include "apar/net/reactor.hpp"
 #include "apar/net/socket.hpp"
 
 namespace apar::net {
@@ -22,19 +23,41 @@ namespace apar::net {
 /// request does exactly the same thing whether it arrived on a simulated
 /// mailbox or a socket.
 ///
-/// Threading: one acceptor thread plus a concurrency::ThreadPool of
-/// `workers` connection handlers. A connection occupies a worker until
-/// the client disconnects (thread-per-connection), so at most `workers`
-/// clients are served concurrently; additional connections queue in the
-/// pool. Fine for the paper's scale (a handful of client threads), wrong
-/// for C10K — documented in docs/networking.md.
+/// Two serving modes share one request path (process_request), so the
+/// wire protocol — framing, trace trailers, kTelemetry, chaos knobs — is
+/// byte-identical in both:
+///
+///   kThreadPerConnection (the paper's scale, the baseline): one acceptor
+///   thread plus a ThreadPool of `workers` connection handlers. A
+///   connection occupies a worker until the client disconnects, so at
+///   most `workers` clients are served concurrently; additional
+///   connections queue in the pool.
+///
+///   kReactor (the C10K answer): a single event-loop thread multiplexes
+///   every connection (src/net/reactor — epoll, or poll via
+///   Options::reactor.force_poll) and dispatches decoded requests into
+///   the same ThreadPool, so `workers` bounds CPU concurrency while the
+///   connection count is bounded only by Options::reactor.max_connections.
+///   Adds write backpressure, idle timeouts, slow-reader eviction,
+///   connection limits and graceful drain. docs/networking.md has the
+///   architecture; tools/loadgen measures the difference.
 class TcpServer {
  public:
+  enum class Mode {
+    kThreadPerConnection,
+    kReactor,
+  };
+
   struct Options {
     std::uint16_t port = 0;      ///< 0 = pick an ephemeral port
-    std::size_t workers = 4;     ///< concurrent connections served
+    std::size_t workers = 4;     ///< handler pool size (see Mode)
+    Mode mode = Mode::kThreadPerConnection;
+    /// Reactor-mode limits and timeouts; ignored in thread mode.
+    Reactor::Options reactor;
     /// Per-frame I/O deadline once a frame has started arriving. Idle
     /// time between frames is unlimited (a quiet client is not an error).
+    /// Thread mode only; the reactor's state machines never block, so
+    /// its equivalents are reactor.idle_timeout/write_stall_timeout.
     std::chrono::milliseconds io_deadline{5000};
     /// Dispatcher error-message prefix; default "tcp:<port>".
     std::string label;
@@ -49,7 +72,10 @@ class TcpServer {
     std::chrono::milliseconds chaos_stall_ms{0};
   };
 
-  /// Byte/frame accounting, captured as a plain copyable snapshot.
+  /// Byte/frame accounting, captured as a plain copyable snapshot. In
+  /// reactor mode the wire-side counters come from the event loop and
+  /// the reactor-only fields (rejected, backpressure_pauses, idle_closed,
+  /// slow_closed) become live; in thread mode those stay 0.
   struct Stats {
     std::uint64_t accepted = 0;
     std::uint64_t frames_in = 0;
@@ -60,6 +86,10 @@ class TcpServer {
     std::uint64_t dispatch_errors = 0;  ///< requests answered kReplyError
     std::uint64_t chaos_dropped = 0;
     std::uint64_t chaos_stalled = 0;
+    std::uint64_t rejected = 0;             ///< over max_connections
+    std::uint64_t backpressure_pauses = 0;  ///< read-pause transitions
+    std::uint64_t idle_closed = 0;
+    std::uint64_t slow_closed = 0;          ///< stalled-write evictions
   };
 
   explicit TcpServer(const cluster::rpc::Registry& registry)
@@ -76,18 +106,29 @@ class TcpServer {
   [[nodiscard]] cluster::Dispatcher& dispatcher() { return dispatcher_; }
   [[nodiscard]] cluster::NameServer& name_server() { return name_server_; }
   [[nodiscard]] Stats stats() const;
+  /// Live connection count; only meaningful in reactor mode (0 in thread
+  /// mode, which does not track it).
+  [[nodiscard]] std::size_t open_connections() const;
 
-  /// Stop accepting, close the listener and join all handler threads.
-  /// Idempotent; the destructor calls it.
+  /// Stop accepting and shut down. Thread mode closes the listener and
+  /// joins the handlers; reactor mode drains gracefully first (in-flight
+  /// requests finish and queued replies flush, up to
+  /// Options::reactor.drain_timeout). Idempotent; the destructor calls it.
   void stop();
 
  private:
   void accept_loop();
   void serve_connection(Socket socket);
+  /// The mode-independent request path: chaos drop/stall decisions,
+  /// serve-span tracing, dispatch, telemetry — everything between a
+  /// decoded request frame and its encoded reply. Called from a
+  /// connection handler (thread mode) or a pool worker (reactor mode).
+  ReplyAction process_request(const FrameHeader& header,
+                              std::vector<std::byte> payload);
   /// Handle one request frame; returns false when the connection must
   /// close (chaos drop).
   bool handle_frame(Socket& socket, const FrameHeader& header,
-                    const std::vector<std::byte>& payload);
+                    std::vector<std::byte> payload);
   void send_frame(Socket& socket, FrameHeader header,
                   const std::vector<std::byte>& payload);
   /// kTelemetry reply body: node identity + server counters + the global
@@ -118,10 +159,13 @@ class TcpServer {
   };
   AtomicStats stats_;
 
-  // Last members: workers_ and acceptor_ run code touching everything
-  // above, so they must be destroyed (joined) first.
+  // Last members: workers_, acceptor_ and reactor_ run code touching
+  // everything above, so they must be destroyed (joined) first. stop()
+  // tears them down in the safe order (reactor joined before the pool
+  // drains, listener closed last).
   std::unique_ptr<concurrency::ThreadPool> workers_;
   std::thread acceptor_;
+  std::unique_ptr<Reactor> reactor_;
 };
 
 }  // namespace apar::net

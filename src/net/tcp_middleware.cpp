@@ -121,37 +121,50 @@ TcpMiddleware::Exchange TcpMiddleware::exchange(
       next_request_id_.fetch_add(1, std::memory_order_relaxed);
   const auto header_bytes = encode_header(header);
 
-  const Deadline deadline = deadline_after(options_.io_deadline);
-  send_all(socket, header_bytes.data(), header_bytes.size(), deadline);
-  if (!payload.empty())
-    send_all(socket, payload.data(), payload.size(), deadline);
-  net_.frames_sent.fetch_add(1, std::memory_order_relaxed);
-  net_.wire_bytes_sent.fetch_add(header_bytes.size() + payload.size(),
-                                 std::memory_order_relaxed);
-  if (probe) probe->bytes_sent->add(header_bytes.size() + payload.size());
+  FrameHeader reply_header;
+  std::vector<std::byte> reply_payload;
+  try {
+    const Deadline deadline = deadline_after(options_.io_deadline);
+    send_all(socket, header_bytes.data(), header_bytes.size(), deadline);
+    if (!payload.empty())
+      send_all(socket, payload.data(), payload.size(), deadline);
+    net_.frames_sent.fetch_add(1, std::memory_order_relaxed);
+    net_.wire_bytes_sent.fetch_add(header_bytes.size() + payload.size(),
+                                   std::memory_order_relaxed);
+    if (probe) probe->bytes_sent->add(header_bytes.size() + payload.size());
 
-  std::array<std::byte, FrameHeader::kSize> reply_bytes;
-  recv_exact(socket, reply_bytes.data(), reply_bytes.size(), deadline);
-  const FrameHeader reply_header =
-      decode_header(reply_bytes.data(), reply_bytes.size());
-  if (reply_header.request_id != header.request_id)
-    throw NetError(NetError::Kind::kProtocol,
-                   "reply correlates to request " +
-                       std::to_string(reply_header.request_id) +
-                       ", expected " + std::to_string(header.request_id));
-  std::vector<std::byte> reply_payload(reply_header.payload_len);
-  if (reply_header.payload_len > 0)
-    recv_exact(socket, reply_payload.data(), reply_payload.size(), deadline);
-  net_.frames_received.fetch_add(1, std::memory_order_relaxed);
-  net_.wire_bytes_received.fetch_add(
-      reply_bytes.size() + reply_payload.size(), std::memory_order_relaxed);
-  if (probe) {
-    probe->bytes_received->add(reply_bytes.size() + reply_payload.size());
-    probe->rtt_us->record(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - started)
-            .count() /
-        1000.0);
+    std::array<std::byte, FrameHeader::kSize> reply_bytes;
+    recv_exact(socket, reply_bytes.data(), reply_bytes.size(), deadline);
+    reply_header = decode_header(reply_bytes.data(), reply_bytes.size());
+    if (reply_header.request_id != header.request_id)
+      throw NetError(NetError::Kind::kProtocol,
+                     "reply correlates to request " +
+                         std::to_string(reply_header.request_id) +
+                         ", expected " + std::to_string(header.request_id));
+    reply_payload.resize(reply_header.payload_len);
+    if (reply_header.payload_len > 0)
+      recv_exact(socket, reply_payload.data(), reply_payload.size(),
+                 deadline);
+    net_.frames_received.fetch_add(1, std::memory_order_relaxed);
+    net_.wire_bytes_received.fetch_add(
+        reply_bytes.size() + reply_payload.size(), std::memory_order_relaxed);
+    if (probe) {
+      probe->bytes_received->add(reply_bytes.size() + reply_payload.size());
+      probe->rtt_us->record(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - started)
+              .count() /
+          1000.0);
+    }
+  } catch (const NetError&) {
+    // The failing socket itself is dropped by unwinding. When it was a
+    // REUSED connection, its idle siblings were dialed to the same server
+    // era and are presumed equally stale (drained/restarted server whose
+    // half-open sockets still pass the health poll) — evict them so the
+    // next acquire dials the new era instead of burning one timeout per
+    // stale socket.
+    if (checkout.reused) pool_.evict(ep);
+    throw;
   }
 
   // A complete exchange happened, so the connection is clean — reusable

@@ -37,13 +37,31 @@ TcpServer::TcpServer(const cluster::rpc::Registry& registry, Options options)
                                 : options_.label) {
   if (options_.workers == 0) options_.workers = 1;
   workers_ = std::make_unique<concurrency::ThreadPool>(options_.workers);
-  acceptor_ = std::thread([this] { accept_loop(); });
+  if (options_.mode == Mode::kReactor) {
+    reactor_ = std::make_unique<Reactor>(
+        listener_, *workers_,
+        [this](const FrameHeader& header, std::vector<std::byte> payload) {
+          return process_request(header, std::move(payload));
+        },
+        options_.reactor, dispatcher_.label());
+  } else {
+    acceptor_ = std::thread([this] { accept_loop(); });
+  }
 }
 
 TcpServer::~TcpServer() { stop(); }
 
 void TcpServer::stop() {
   if (stopped_.exchange(true)) return;
+  if (reactor_) {
+    // Graceful drain first (joins the loop thread), THEN drain the pool:
+    // stragglers the reactor gave up waiting for finish into the shared
+    // completion queue, which outlives the reactor, and are discarded.
+    reactor_->stop();
+    workers_.reset();
+    listener_.close();
+    return;
+  }
   // The acceptor polls in 100ms chunks and re-checks stopped_, so it can
   // be joined without touching the listener; closing the fd only after
   // the join keeps it single-threaded (closing it out from under the
@@ -64,7 +82,26 @@ TcpServer::Stats TcpServer::stats() const {
   s.dispatch_errors = stats_.dispatch_errors.load(std::memory_order_relaxed);
   s.chaos_dropped = stats_.chaos_dropped.load(std::memory_order_relaxed);
   s.chaos_stalled = stats_.chaos_stalled.load(std::memory_order_relaxed);
+  if (reactor_) {
+    // The event loop owns the wire in reactor mode; its counters are the
+    // server's. The thread-mode atomics above stay 0 for these fields.
+    const Reactor::Stats r = reactor_->stats();
+    s.accepted += r.accepted;
+    s.frames_in += r.frames_in;
+    s.frames_out += r.frames_out;
+    s.bytes_in += r.bytes_in;
+    s.bytes_out += r.bytes_out;
+    s.protocol_errors += r.protocol_errors;
+    s.rejected = r.rejected;
+    s.backpressure_pauses = r.backpressure_pauses;
+    s.idle_closed = r.idle_closed;
+    s.slow_closed = r.slow_closed;
+  }
   return s;
+}
+
+std::size_t TcpServer::open_connections() const {
+  return reactor_ ? reactor_->open_connections() : 0;
 }
 
 void TcpServer::accept_loop() {
@@ -104,7 +141,7 @@ void TcpServer::serve_connection(Socket socket) {
       stats_.frames_in.fetch_add(1, std::memory_order_relaxed);
       stats_.bytes_in.fetch_add(FrameHeader::kSize + payload.size(),
                                 std::memory_order_relaxed);
-      if (!handle_frame(socket, header, payload)) return;
+      if (!handle_frame(socket, header, std::move(payload))) return;
     } catch (const NetError& e) {
       // kClosed on the header boundary is a normal disconnect; anything
       // else means the stream cannot be trusted — drop the connection
@@ -119,18 +156,28 @@ void TcpServer::serve_connection(Socket socket) {
 }
 
 bool TcpServer::handle_frame(Socket& socket, const FrameHeader& header,
-                             const std::vector<std::byte>& payload) {
+                             std::vector<std::byte> payload) {
+  ReplyAction action = process_request(header, std::move(payload));
+  if (action.drop) return false;  // chaos: close without replying
+  send_frame(socket, action.header, action.payload);
+  return true;
+}
+
+ReplyAction TcpServer::process_request(const FrameHeader& header,
+                                       std::vector<std::byte> payload) {
+  ReplyAction action;
   const std::uint64_t seq =
       request_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (seq <= options_.chaos_drop_frames) {
     stats_.chaos_dropped.fetch_add(1, std::memory_order_relaxed);
-    return false;  // "lose" the request: close without replying
+    action.drop = true;  // "lose" the request: close without replying
+    return action;
   }
 
-  FrameHeader reply_header;
+  FrameHeader& reply_header = action.header;
   reply_header.format = header.format;
   reply_header.request_id = header.request_id;
-  std::vector<std::byte> reply;
+  std::vector<std::byte>& reply = action.payload;
 
   // Serve span: child of the caller's wire span when the frame carries a
   // trace trailer, a fresh root otherwise. Installed around the dispatch
@@ -232,8 +279,7 @@ bool TcpServer::handle_frame(Socket& socket, const FrameHeader& header,
     std::this_thread::sleep_for(options_.chaos_stall_ms);
   }
 
-  send_frame(socket, reply_header, reply);
-  return true;
+  return action;
 }
 
 std::string TcpServer::telemetry_json(std::uint8_t tflags) const {

@@ -47,6 +47,7 @@
 #include "apar/common/config.hpp"
 #include "apar/common/json.hpp"
 #include "apar/concurrency/sync_registry.hpp"
+#include "apar/net/reactor.hpp"
 #include "apar/net/tcp_middleware.hpp"
 #include "apar/obs/metrics.hpp"
 #include "apar/obs/profiling_aspect.hpp"
@@ -180,6 +181,56 @@ analysis::Report analyze_sieve_tcp() {
   conc->async_method<&sieve::PrimeFilter::process>()
       .async_method<&sieve::PrimeFilter::filter>()
       .guarded_method<&sieve::PrimeFilter::collect>();
+  ctx.attach(conc);
+  auto dist = std::make_shared<Dist>("Distribution", fabric, middleware);
+  dist->distribute_method<&sieve::PrimeFilter::filter>()
+      .distribute_method<&sieve::PrimeFilter::process>(/*allow_one_way=*/true)
+      .distribute_method<&sieve::PrimeFilter::collect>(/*allow_one_way=*/true)
+      .distribute_method<&sieve::PrimeFilter::take_results>();
+  ctx.attach(dist);
+
+  auto report = analyze_plan(ctx);
+  ctx.quiesce();
+  return report;
+}
+
+/// The TCP sieve weave as served by the event-driven reactor
+/// (TcpServer::Mode::kReactor): ReactorIngressAspect declares that every
+/// served method may be entered from a pool worker the reactor dispatched
+/// to — unconfined concurrency injected by the TRANSPORT, not by any
+/// client-side weave. The effects pass then demands a monitor covering
+/// every pair of served methods that race on declared state, which is why
+/// Conc guards take_results here (collect and take_results both write
+/// "results"; the plain FarmTCP weave only ever calls take_results from
+/// the single gather thread, but a reactor server cannot assume that).
+/// Must analyze clean: the template for exposing a class behind the
+/// reactor safely.
+analysis::Report analyze_sieve_tcp_reactor() {
+  using Farm = strategies::FarmAspect<sieve::PrimeFilter, long long,
+                                      long long, long long, double>;
+  using Conc = strategies::ConcurrencyAspect<sieve::PrimeFilter>;
+  using Dist = strategies::DistributionAspect<sieve::PrimeFilter, long long,
+                                              long long, double>;
+  net::TcpMiddleware middleware(undialed_tcp());
+  net::TcpFabric fabric(middleware);
+
+  aop::Context ctx;
+  Farm::Options fopts;
+  fopts.duplicates = 2;
+  fopts.pack_size = 2'000;
+  ctx.attach(std::make_shared<Farm>("Partition", fopts));
+  auto ingress =
+      std::make_shared<net::ReactorIngressAspect<sieve::PrimeFilter>>();
+  ingress->serve_method<&sieve::PrimeFilter::filter>()
+      .serve_method<&sieve::PrimeFilter::process>()
+      .serve_method<&sieve::PrimeFilter::collect>()
+      .serve_method<&sieve::PrimeFilter::take_results>();
+  ctx.attach(ingress);
+  auto conc = std::make_shared<Conc>("Concurrency");
+  conc->async_method<&sieve::PrimeFilter::process>()
+      .async_method<&sieve::PrimeFilter::filter>()
+      .guarded_method<&sieve::PrimeFilter::collect>()
+      .guarded_method<&sieve::PrimeFilter::take_results>();
   ctx.attach(conc);
   auto dist = std::make_shared<Dist>("Distribution", fabric, middleware);
   dist->distribute_method<&sieve::PrimeFilter::filter>()
@@ -458,6 +509,8 @@ std::vector<std::pair<std::string, Builder>> all_compositions() {
   out.emplace_back("sieve:FarmTCP+Cache",
                    [] { return analyze_sieve_tcp_cached(); });
   out.emplace_back("sieve:FarmTCP+Obs", [] { return analyze_sieve_tcp_obs(); });
+  out.emplace_back("sieve:FarmTCP+Reactor",
+                   [] { return analyze_sieve_tcp_reactor(); });
   return out;
 }
 

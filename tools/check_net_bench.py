@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validate BENCH_net.json (produced by tools/run_bench.py --net).
+
+Structural checks always run: every scenario must carry the full latency
+summary with ordered percentiles and a sane request accounting. With
+--require-ratio R the acceptance gate is enforced too: the reactor
+scenario must serve at least R times thread-per-connection's sustainable
+connection count (its worker limit) at equal-or-better p99 under the same
+offered load, with zero reactor-side errors.
+
+    tools/check_net_bench.py BENCH_net.json               # schema only
+    tools/check_net_bench.py BENCH_net.json --require-ratio 4
+
+Exit status: 0 valid (or an explicit loopback-skip marker), 1 invalid.
+"""
+
+import argparse
+import json
+import sys
+
+PERCENTILE_KEYS = ("p50", "p95", "p99", "p999", "max")
+REQUIRED_KEYS = ("mode", "clients", "requests", "ok", "errors",
+                 "throughput_rps", "latency_us")
+
+
+def fail(message):
+    print(f"check_net_bench: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check_scenario(name, row):
+    for key in REQUIRED_KEYS:
+        if key not in row:
+            fail(f"scenario {name}: missing key '{key}'")
+    lat = row["latency_us"]
+    for key in PERCENTILE_KEYS + ("mean",):
+        if key not in lat:
+            fail(f"scenario {name}: latency_us missing '{key}'")
+        if not isinstance(lat[key], (int, float)) or lat[key] < 0:
+            fail(f"scenario {name}: latency_us.{key} = {lat[key]!r}")
+    for lo, hi in zip(PERCENTILE_KEYS, PERCENTILE_KEYS[1:]):
+        # Log-linear buckets quantize, so equality is fine; inversion is not.
+        if lat[lo] > lat[hi] * 1.001:
+            fail(f"scenario {name}: {lo} ({lat[lo]}) > {hi} ({lat[hi]})")
+    if row["requests"] != row["ok"] + row["errors"]:
+        fail(f"scenario {name}: requests {row['requests']} != "
+             f"ok {row['ok']} + errors {row['errors']}")
+    if row["requests"] <= 0:
+        fail(f"scenario {name}: no requests recorded")
+    if row["ok"] > 0 and row["throughput_rps"] <= 0:
+        fail(f"scenario {name}: ok > 0 but throughput_rps <= 0")
+
+
+def check_ratio(doc, require_ratio):
+    comparison = doc.get("comparison")
+    if not comparison:
+        fail("--require-ratio needs the 'comparison' block "
+             "(full-mode run_bench.py --net, not --quick)")
+    ratio = comparison["connection_ratio"]
+    if ratio < require_ratio:
+        fail(f"connection ratio {ratio:.1f} < required {require_ratio}")
+    thread_p99 = comparison["thread_p99_us_at_reactor_load"]
+    reactor_p99 = comparison["reactor_p99_us"]
+    if reactor_p99 > thread_p99:
+        fail(f"reactor p99 {reactor_p99}us worse than thread-per-connection "
+             f"{thread_p99}us at the same offered load")
+    if comparison["reactor_errors"] != 0:
+        fail(f"reactor dropped {comparison['reactor_errors']} requests "
+             f"while serving {comparison['reactor_connections']} connections")
+    print(f"check_net_bench: reactor held {comparison['reactor_connections']} "
+          f"connections ({ratio:.1f}x thread mode's "
+          f"{comparison['thread_sustainable_connections']}) at p99 "
+          f"{reactor_p99}us vs {thread_p99}us")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="BENCH_net.json to validate")
+    parser.add_argument("--require-ratio", type=float, default=0.0,
+                        help="minimum reactor/thread connection ratio at "
+                             "equal-or-better p99 (0 = schema checks only)")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read {args.path}: {e}")
+
+    if "skipped" in doc:
+        print(f"check_net_bench: skipped ({doc['skipped']})")
+        return
+    scenarios = doc.get("scenarios")
+    if not scenarios:
+        fail("no scenarios in document")
+    for name, row in scenarios.items():
+        check_scenario(name, row)
+    if args.require_ratio > 0:
+        check_ratio(doc, args.require_ratio)
+    print(f"check_net_bench: {args.path} OK ({len(scenarios)} scenarios)")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

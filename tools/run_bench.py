@@ -13,23 +13,45 @@ behave predictably. The output records enough machine context (cores,
 load, date from the benchmark's own header) to keep numbers honest when
 they are quoted in EXPERIMENTS.md.
 
+With --net the flow is different: instead of a google-benchmark binary it
+drives examples/sieve_server + tools/loadgen through the thread-mode vs
+reactor-mode latency scenarios and writes BENCH_net.json:
+
+    tools/run_bench.py --net --build build --out BENCH_net.json
+
+Scenarios (full mode; --quick runs one small closed-loop round for CI):
+  thread_wW_cW    closed loop at thread mode's natural capacity
+                  (clients == workers): the baseline service latency.
+  thread_wW_cN    open loop, N = 4x workers connections: thread-per-
+                  connection past its worker limit (starved clients,
+                  coordinated-omission-corrected percentiles).
+  reactor_wW_cN   the same open-loop load against Mode::kReactor.
+The "comparison" block distills the acceptance question — how many
+connections the reactor sustains versus thread mode, at what p99 — and
+tools/check_net_bench.py gates on it.
+
 Exit status is nonzero when the benchmark binary fails or produces no
 usable entries, so CI can gate on it.
 """
 
 import argparse
 import json
+import os
+import signal
 import statistics
 import subprocess
 import sys
+import tempfile
+import time
 
 
 def parse_args(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--binary", default="build/bench/scheduler_scaling",
                         help="google-benchmark binary to run")
-    parser.add_argument("--out", default="BENCH_scheduler.json",
-                        help="output JSON path")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: BENCH_scheduler.json, "
+                             "or BENCH_net.json with --net)")
     parser.add_argument("--repetitions", type=int, default=5,
                         help="repetitions per benchmark (median is reported)")
     parser.add_argument("--min-time", type=float, default=0.2,
@@ -38,6 +60,19 @@ def parse_args(argv):
                         help="--benchmark_filter regex (empty: all)")
     parser.add_argument("--quick", action="store_true",
                         help="1 repetition, 0.05s min time: CI smoke mode")
+    parser.add_argument("--net", action="store_true",
+                        help="run the sieve_server/loadgen latency scenarios "
+                             "instead of a google-benchmark binary")
+    parser.add_argument("--build", default="build",
+                        help="[--net] build directory with the binaries")
+    parser.add_argument("--workers", type=int, default=8,
+                        help="[--net] server workers W")
+    parser.add_argument("--connections", type=int, default=32,
+                        help="[--net] reactor-scenario connection count N")
+    parser.add_argument("--rate", type=float, default=3000.0,
+                        help="[--net] open-loop aggregate requests/second")
+    parser.add_argument("--measure-seconds", type=float, default=4.0,
+                        help="[--net] open-loop measurement window")
     return parser.parse_args(argv)
 
 
@@ -135,8 +170,154 @@ def summarize(results):
               f"-> speedup {cq / ws:5.2f}x")
 
 
+# --- --net: sieve_server + loadgen latency scenarios -----------------------
+
+class NetServer:
+    """examples/sieve_server as a context manager: starts the process,
+    waits for the port file, SIGTERMs on exit."""
+
+    def __init__(self, build, mode, workers):
+        self.binary = os.path.join(build, "examples", "sieve_server")
+        self.mode = mode
+        self.workers = workers
+        self.proc = None
+        self.port = None
+
+    def __enter__(self):
+        port_file = tempfile.NamedTemporaryFile(
+            prefix="apar_port_", delete=False)
+        port_file.close()
+        os.unlink(port_file.name)
+        cmd = [self.binary, "--mode", self.mode,
+               "--workers", str(self.workers),
+               "--port-file", port_file.name, "--run-seconds", "300"]
+        print("+ " + " ".join(cmd), file=sys.stderr)
+        self.proc = subprocess.Popen(cmd, stdout=subprocess.DEVNULL)
+        deadline = time.time() + 10.0
+        while time.time() < deadline:
+            rc = self.proc.poll()
+            if rc is not None:
+                # rc 2 = loopback unavailable in this sandbox
+                raise LoopbackUnavailable() if rc == 2 else SystemExit(
+                    f"sieve_server exited early ({rc})")
+            if os.path.exists(port_file.name):
+                with open(port_file.name) as fh:
+                    text = fh.read().strip()
+                if text:
+                    self.port = int(text)
+                    os.unlink(port_file.name)
+                    return self
+            time.sleep(0.05)
+        raise SystemExit("sieve_server did not report a port within 10s")
+
+    def __exit__(self, *exc):
+        if self.proc and self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+        return False
+
+
+class LoopbackUnavailable(Exception):
+    pass
+
+
+def run_loadgen(build, port, label, extra):
+    dump = tempfile.NamedTemporaryFile(prefix="apar_lg_", suffix=".json",
+                                       delete=False)
+    dump.close()
+    cmd = [os.path.join(build, "tools", "loadgen"),
+           "--port", str(port), "--label", label, "--dump", dump.name] + extra
+    print("+ " + " ".join(cmd), file=sys.stderr)
+    proc = subprocess.run(cmd)
+    if proc.returncode not in (0, 1):  # 1 = zero successes, still a datapoint
+        raise SystemExit(f"loadgen failed ({proc.returncode})")
+    with open(dump.name) as fh:
+        result = json.load(fh)
+    os.unlink(dump.name)
+    return result
+
+
+def run_net(args):
+    workers = args.workers
+    connections = args.connections
+    scenarios = {}
+    try:
+        if args.quick:
+            # CI smoke: one small closed-loop round against the reactor,
+            # just enough to validate the whole pipeline end to end.
+            name = f"reactor_w2_c4_quick"
+            with NetServer(args.build, "reactor", 2) as server:
+                scenarios[name] = run_loadgen(
+                    args.build, server.port, name,
+                    ["--mode", "closed", "--clients", "4",
+                     "--requests", "200", "--warmup", "50"])
+        else:
+            open_args = ["--mode", "open",
+                         "--clients", str(connections),
+                         "--rate", str(args.rate),
+                         "--measure-seconds", str(args.measure_seconds),
+                         "--warmup-seconds", "1", "--timeout-ms", "1000"]
+            name = f"thread_w{workers}_c{workers}"
+            with NetServer(args.build, "thread", workers) as server:
+                scenarios[name] = run_loadgen(
+                    args.build, server.port, name,
+                    ["--mode", "closed", "--clients", str(workers),
+                     "--requests", "2000", "--warmup", "200"])
+            name = f"thread_w{workers}_c{connections}"
+            with NetServer(args.build, "thread", workers) as server:
+                scenarios[name] = run_loadgen(args.build, server.port, name,
+                                              open_args)
+            name = f"reactor_w{workers}_c{connections}"
+            with NetServer(args.build, "reactor", workers) as server:
+                scenarios[name] = run_loadgen(args.build, server.port, name,
+                                              open_args)
+    except LoopbackUnavailable:
+        print("loopback TCP unavailable; writing a skip marker",
+              file=sys.stderr)
+        with open(args.out, "w") as fh:
+            json.dump({"skipped": "loopback TCP unavailable"}, fh, indent=2)
+            fh.write("\n")
+        return
+
+    doc = {"workers": workers, "scenarios": scenarios}
+    if not args.quick:
+        # Thread-per-connection can serve at most `workers` connections at
+        # once; the reactor scenario offers `connections` of them. The pair
+        # of open-loop runs at identical offered load is the apples-to-
+        # apples comparison the acceptance gate checks.
+        thread = scenarios[f"thread_w{workers}_c{connections}"]
+        reactor = scenarios[f"reactor_w{workers}_c{connections}"]
+        doc["comparison"] = {
+            "thread_sustainable_connections": workers,
+            "reactor_connections": connections,
+            "connection_ratio": connections / workers,
+            "offered_rate_rps": args.rate,
+            "thread_p99_us_at_reactor_load": thread["latency_us"]["p99"],
+            "reactor_p99_us": reactor["latency_us"]["p99"],
+            "thread_errors": thread["errors"],
+            "reactor_errors": reactor["errors"],
+        }
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out} ({len(scenarios)} scenarios)")
+    for name, row in scenarios.items():
+        lat = row["latency_us"]
+        print(f"  {name}: {row['ok']}/{row['requests']} ok, "
+              f"{row['throughput_rps']:.0f} rps, "
+              f"p50 {lat['p50']:.0f}us p99 {lat['p99']:.0f}us")
+
+
 def main(argv):
     args = parse_args(argv)
+    if args.out is None:
+        args.out = "BENCH_net.json" if args.net else "BENCH_scheduler.json"
+    if args.net:
+        run_net(args)
+        return
     doc, repetitions = run_benchmark(args)
     results = distill(doc, repetitions)
     with open(args.out, "w") as fh:

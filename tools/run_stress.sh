@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Run the stress suite (`ctest -L stress`) plus the cache suite (`-L
-# cache`) and the real-TCP transport suite (`-L net`) under
-# ThreadSanitizer and AddressSanitizer, and the analysis suite (`-L
-# analysis` — the weave-plan verifier, the effects race passes and the
-# apar-analyze gates) under AddressSanitizer. Any
+# cache`) and the real-TCP transport suite (`-L net` — which includes
+# the event-driven reactor tests: pipelining, backpressure, slow-reader
+# eviction and mode-parity, all prime tsan material since the reactor
+# loop hands frames to pool workers and flushes their completions back)
+# under ThreadSanitizer and AddressSanitizer, and the analysis suite
+# (`-L analysis` — the weave-plan verifier, the effects race passes and
+# the apar-analyze gates) under AddressSanitizer. Any
 # sanitizer report fails the run: halt_on_error turns the first finding
 # into a nonzero test exit.
 #
