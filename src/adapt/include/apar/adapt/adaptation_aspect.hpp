@@ -1,0 +1,72 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apar/adapt/controller.hpp"
+#include "apar/aop/aspect.hpp"
+
+namespace apar::adapt {
+
+/// The autonomic-management concern as a pluggable aspect for class T —
+/// sibling of Profiling (observability), Trace (debugging) and Chaos
+/// (testing): plug it into a woven Context and a low-frequency control
+/// loop starts self-tuning the parallelism behind the advised join points
+/// from live MetricsRegistry signals; unplug it and the loop thread stops,
+/// the knobs freeze at their last values, and not a single instruction
+/// remains on the call path (on_detach is the zero-residue guarantee the
+/// fig16 overhead run checks).
+///
+/// The advice this aspect registers is a pass-through: adaptation acts
+/// BETWEEN calls (resizing the pool, retuning grain), never inside one.
+/// What the advice carries is analysis metadata:
+///
+///  * mark_adapts(knobs)      — names the degrees of parallelism the
+///                              controller actuates behind this signature;
+///  * mark_spawns_concurrency(confined) — the controller thread runs
+///                              concurrently with the woven application
+///                              (confined: it never executes the join
+///                              point itself, only reads the metrics
+///                              plane, so it cannot race on declared
+///                              per-instance state);
+///  * mark_online_resizable() — the controller's own concurrency
+///                              trivially tolerates resize.
+///
+/// The effects analyzer's adaptation-safety pass joins these marks: every
+/// OTHER concurrency-spawning advice on an adapted signature must declare
+/// mark_online_resizable(), else resizing mid-flight could orphan or
+/// double-run that aspect's work and the composition is rejected with
+/// kAdaptationUnsafeResize (see the demo-broken-adapt fixture).
+template <class T>
+class AdaptationAspect : public aop::Aspect {
+ public:
+  explicit AdaptationAspect(AdaptationController::Config config = {},
+                            std::string name = "Adaptation")
+      : Aspect(std::move(name)), controller_(std::move(config)) {}
+
+  /// Declare that the controller adapts the parallelism behind method M,
+  /// naming the knobs it actuates there (e.g. {"workers", "grain"}).
+  /// Registers outermost pass-through advice carrying the marks above.
+  template <auto M>
+  AdaptationAspect& adapt_method(std::vector<std::string> knobs) {
+    this->template around_method<M>(
+            /*order=*/30, aop::Scope::any(),
+            [](auto& inv) { return inv.proceed(); })
+        .mark_adapts(std::move(knobs))
+        .mark_spawns_concurrency(/*confined_to_target=*/true)
+        .mark_online_resizable();
+    return *this;
+  }
+
+  /// The controller, for wiring knobs before plugging.
+  [[nodiscard]] AdaptationController& controller() { return controller_; }
+
+  void on_attach(aop::Context&) override { controller_.start(); }
+  void on_detach(aop::Context&) override { controller_.stop(); }
+
+ private:
+  AdaptationController controller_;
+};
+
+}  // namespace apar::adapt

@@ -79,6 +79,12 @@ enum class FindingKind {
   /// effects at all: the race analysis cannot vouch for it either way.
   /// Always informational, never escalated.
   kUnknownEffects,
+  /// An adaptation advice (mark_adapts) actuates runtime parallelism knobs
+  /// behind a signature whose concurrency-spawning advice did not declare
+  /// mark_online_resizable(): resizing that aspect's fan-out mid-flight
+  /// can orphan accepted work or run it twice. Always an error — the
+  /// controller WILL actuate at runtime.
+  kAdaptationUnsafeResize,
 };
 
 [[nodiscard]] std::string_view finding_kind_name(FindingKind kind);

@@ -40,6 +40,8 @@ std::string_view finding_kind_name(FindingKind kind) {
     case FindingKind::kCacheEffectConflict: return "cache-effect-conflict";
     case FindingKind::kStaticLockOrderCycle: return "static-lock-order-cycle";
     case FindingKind::kUnknownEffects: return "unknown-effects";
+    case FindingKind::kAdaptationUnsafeResize:
+      return "adaptation-unsafe-resize";
   }
   return "?";
 }

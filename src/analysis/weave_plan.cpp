@@ -212,6 +212,51 @@ Report analyze_weave_plan(const aop::Context& context) {
     }
   }
 
+  // --- adaptation safety --------------------------------------------------
+  // A mark_adapts advice means an autonomic controller WILL retune the
+  // parallelism behind its matched signatures while the application runs
+  // (pool resize, grain, feeder depth). That is only sound when every
+  // concurrency-spawning advice on the same signature declared
+  // mark_online_resizable() — i.e. its fan-out tolerates a degree change
+  // between tasks without losing or re-running accepted work. A spawner
+  // without the mark (a farm whose workers hold per-thread state sized at
+  // plug time, say) can orphan or double-run work the moment the
+  // controller actuates, so the combination is an error outright: unlike a
+  // latent hazard, the controller is guaranteed to pull the trigger.
+  for (const aop::Signature& sig : signatures) {
+    std::vector<const Rec*> adapters;
+    std::vector<const Rec*> unsafe_spawners;
+    for (const Rec& r : records) {
+      if (!r.advice->matches(sig)) continue;
+      if (r.advice->adapts()) {
+        adapters.push_back(&r);
+      } else if (r.advice->spawns_concurrency() &&
+                 !r.advice->online_resizable()) {
+        unsafe_spawners.push_back(&r);
+      }
+    }
+    if (adapters.empty()) continue;
+    for (const Rec* a : adapters) {
+      for (const Rec* s : unsafe_spawners) {
+        const std::string key = "adapt-unsafe|" + sig.str() + "|" +
+                                a->aspect->name() + "|" + s->aspect->name();
+        if (!reported.insert(key).second) continue;
+        std::string knobs;
+        for (const std::string& k : a->advice->adapt_knobs()) {
+          if (!knobs.empty()) knobs += ", ";
+          knobs += k;
+        }
+        report.add(
+            {FindingKind::kAdaptationUnsafeResize, Severity::kError, sig.str(),
+             a->aspect->name() + " adapts {" + knobs + "} behind this join "
+                 "point, but " + s->aspect->name() +
+                 "'s concurrency-spawning advice does not declare "
+                 "mark_online_resizable(): an online resize can orphan or "
+                 "double-run its in-flight work"});
+      }
+    }
+  }
+
   return report;
 }
 

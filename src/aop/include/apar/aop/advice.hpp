@@ -175,6 +175,33 @@ class AdviceBase {
     return spawn_confined_;
   }
 
+  /// Declare that this advice ADAPTS the parallelism behind the join
+  /// points it matches at runtime (worker count, grain, feeder depth),
+  /// naming each knob it actuates. The weaver never reads it; the effects
+  /// analyzer's adaptation-safety pass does: every concurrency-spawning
+  /// advice on a signature an adapter also matches must declare
+  /// mark_online_resizable(), otherwise resizing mid-flight can orphan or
+  /// double-run work and the analyzer reports kAdaptationUnsafeResize.
+  AdviceBase& mark_adapts(std::vector<std::string> knobs) {
+    adapts_ = true;
+    adapt_knobs_ = std::move(knobs);
+    return *this;
+  }
+  [[nodiscard]] bool adapts() const { return adapts_; }
+  [[nodiscard]] const std::vector<std::string>& adapt_knobs() const {
+    return adapt_knobs_;
+  }
+
+  /// Declare that the concurrency this advice spawns tolerates an online
+  /// resize of its degree: workers can be added or retired between tasks
+  /// without losing or re-running accepted work (the work-stealing pool's
+  /// cooperative-retirement contract, the farm's per-pack fan-out).
+  AdviceBase& mark_online_resizable() {
+    online_resizable_ = true;
+    return *this;
+  }
+  [[nodiscard]] bool online_resizable() const { return online_resizable_; }
+
   /// Declare that this advice's body initiates calls matching the given
   /// signature patterns while the original join point is still on the
   /// stack (bridge / forwarding advice). A monitor taken outside this
@@ -204,6 +231,9 @@ class AdviceBase {
   std::vector<WireArg> cache_args_;
   bool spawns_concurrency_ = false;
   bool spawn_confined_ = false;
+  bool adapts_ = false;
+  std::vector<std::string> adapt_knobs_;
+  bool online_resizable_ = false;
   std::vector<Pattern> initiates_;
 };
 

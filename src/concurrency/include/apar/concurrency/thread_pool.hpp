@@ -81,8 +81,8 @@ struct SubmitRunner {
 
 }  // namespace detail
 
-/// Fixed-size work-stealing thread pool (CP.4: think in terms of tasks, not
-/// threads).
+/// Work-stealing thread pool with ONLINE RESIZE (CP.4: think in terms of
+/// tasks, not threads).
 ///
 /// The pool is the substrate for the ThreadPoolAspect optimisation (paper
 /// §4.4): instead of spawning a thread per asynchronous method call, the
@@ -93,11 +93,23 @@ struct SubmitRunner {
 /// spread the work. docs/scheduler.md describes the algorithm and its
 /// memory-ordering argument.
 ///
+/// resize(n) changes the worker count at runtime — the actuator the
+/// AdaptationAspect (docs/adaptation.md) drives. Worker slots (deque +
+/// retire flag) are allocated once, up to `max_threads`, and never move,
+/// so thieves may scan every slot without synchronising against resize.
+/// Growing joins any previously retired thread for the slot and spins up a
+/// fresh worker; shrinking is COOPERATIVE: the surplus worker observes its
+/// retire flag at a task boundary, drains its own deque back through the
+/// injection queue (accepted tasks still run exactly once — the
+/// pending-count accounting never sees the move), and exits.
+///
 /// Destruction drains queued tasks and joins all workers (CP.23/CP.25:
 /// threads are scoped; never detached).
 class ThreadPool {
  public:
-  explicit ThreadPool(std::size_t threads);
+  /// Start `threads` workers, with slot capacity for growing up to
+  /// `max_threads` later (0 picks max(2*threads, 8)).
+  explicit ThreadPool(std::size_t threads, std::size_t max_threads = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -140,7 +152,30 @@ class ThreadPool {
   /// help instead of deadlocking the pool from inside a worker.
   bool try_execute_one();
 
-  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+  /// Change the worker count online. Clamped to [1, max_size()]; returns
+  /// the new target. Growing joins any retired thread still parked on the
+  /// slot, then starts a fresh worker; shrinking flags surplus workers,
+  /// which retire cooperatively at their next task boundary (their queued
+  /// work is drained back through the injection queue, so every accepted
+  /// task still runs exactly once). Thread-safe against posts, steals and
+  /// concurrent resize; must NOT be called from a task running on this
+  /// pool (a grow may need to join the calling worker's own slot).
+  std::size_t resize(std::size_t n);
+
+  /// Current worker-count target (workers a shrink has flagged may still
+  /// be finishing their final task).
+  [[nodiscard]] std::size_t size() const {
+    return target_size_.load(std::memory_order_acquire);
+  }
+
+  /// Slot capacity: the largest value resize() accepts.
+  [[nodiscard]] std::size_t max_size() const { return slots_.size(); }
+
+  /// Completed resize() calls that changed the target (diagnostic; also
+  /// exported as threadpool.resizes).
+  [[nodiscard]] std::uint64_t resizes() const {
+    return resizes_.load(std::memory_order_relaxed);
+  }
 
   /// Tasks currently queued (diagnostic; racy by nature). Counts the
   /// injection queue AND all worker deques.
@@ -190,11 +225,22 @@ class ThreadPool {
   TaskNode* steal_task(std::size_t self_index);
   void run_node(TaskNode* node);
   void worker_loop(std::size_t index);
+  /// Cooperative retirement: drain the slot's own deque back into the
+  /// injection queue (owner pops — safe), leaving pending accounting
+  /// untouched, then let the worker thread exit.
+  void retire_worker(std::size_t index);
   void wake_one();
   void wake_all();
 
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
   std::vector<std::thread> workers_;
+
+  /// Worker-count target; slots [0, target) are live, the rest retired or
+  /// never started. Written under resize_mutex_ only.
+  std::atomic<std::size_t> target_size_{0};
+  std::atomic<std::uint64_t> resizes_{0};
+  /// Serialises resize() against itself and the destructor's final join.
+  std::mutex resize_mutex_;
 
   /// Shared overflow free-stack for TaskNodes. Nodes are freed on worker
   /// threads but allocated on producer threads, so the thread-local caches

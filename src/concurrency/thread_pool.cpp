@@ -54,6 +54,9 @@ struct ThreadPool::TaskNode {
 
 struct ThreadPool::WorkerSlot {
   StealDeque<TaskNode> deque{kDequeCapacity};
+  /// Set by resize() to shrink: the owning worker observes it at a task
+  /// boundary, drains its deque into the injection queue and exits.
+  std::atomic<bool> retire{false};
 };
 
 struct ThreadPool::NodeCache {
@@ -127,8 +130,10 @@ void ThreadPool::destroy_node(TaskNode* node) noexcept {
   }
 }
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, std::size_t max_threads) {
   if (threads == 0) threads = 1;
+  if (max_threads == 0) max_threads = std::max<std::size_t>(threads * 2, 8);
+  max_threads = std::max(max_threads, threads);
   if (obs::metrics_enabled()) {
     auto& registry = obs::MetricsRegistry::global();
     queue_depth_ = registry.gauge("threadpool.queue_depth");
@@ -142,12 +147,17 @@ ThreadPool::ThreadPool(std::size_t threads) {
     overflow_counter_ = registry.counter("threadpool.overflow");
     workers_gauge_->add(static_cast<std::int64_t>(threads));
   }
-  slots_.reserve(threads);
-  for (std::size_t i = 0; i < threads; ++i)
+  // Every slot the pool can ever use is allocated NOW, so resize() never
+  // reallocates slots_ — thieves iterate it without synchronising against
+  // growth. Slots beyond the initial target sit idle (an empty deque is a
+  // two-load scan for a thief) until a grow starts a worker on them.
+  slots_.reserve(max_threads);
+  for (std::size_t i = 0; i < max_threads; ++i)
     slots_.push_back(std::make_unique<WorkerSlot>());
-  workers_.reserve(threads);
+  workers_.resize(max_threads);
+  target_size_.store(threads, std::memory_order_release);
   for (std::size_t i = 0; i < threads; ++i)
-    workers_.emplace_back([this, i] { worker_loop(i); });
+    workers_[i] = std::thread([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -159,7 +169,14 @@ ThreadPool::~ThreadPool() {
     std::lock_guard lock(sleep_mutex_);
   }
   sleep_cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  {
+    // Serialise against an in-flight resize(): it checks stopping_ under
+    // this mutex before spawning, so after we acquire it no new worker can
+    // appear behind our joins.
+    std::lock_guard resize_lock(resize_mutex_);
+    for (auto& w : workers_)
+      if (w.joinable()) w.join();
+  }
   TaskNode* list = free_nodes_.exchange(nullptr, std::memory_order_acquire);
   while (list) {
     TaskNode* node = list;
@@ -167,7 +184,50 @@ ThreadPool::~ThreadPool() {
     delete node;
   }
   if (workers_gauge_)
-    workers_gauge_->add(-static_cast<std::int64_t>(workers_.size()));
+    workers_gauge_->add(
+        -static_cast<std::int64_t>(target_size_.load(std::memory_order_acquire)));
+}
+
+std::size_t ThreadPool::resize(std::size_t n) {
+  if (n == 0) n = 1;
+  n = std::min(n, slots_.size());
+  if (tls_worker.pool == this)
+    throw std::logic_error(
+        "ThreadPool::resize must not be called from a task on this pool "
+        "(a grow may need to join the calling worker's own slot)");
+  std::lock_guard resize_lock(resize_mutex_);
+  if (stopping_.load(std::memory_order_seq_cst))
+    return target_size_.load(std::memory_order_acquire);
+  const std::size_t old = target_size_.load(std::memory_order_acquire);
+  if (n == old) return old;
+  if (n > old) {
+    for (std::size_t i = old; i < n; ++i) {
+      // A worker retired by an earlier shrink may still be unwinding on
+      // this slot; join it before reusing the slot. Its deque was drained
+      // on retirement, so the fresh worker starts on an empty deque.
+      if (workers_[i].joinable()) workers_[i].join();
+      slots_[i]->retire.store(false, std::memory_order_release);
+      workers_[i] = std::thread([this, i] { worker_loop(i); });
+    }
+    target_size_.store(n, std::memory_order_seq_cst);
+  } else {
+    target_size_.store(n, std::memory_order_seq_cst);
+    for (std::size_t i = n; i < old; ++i)
+      slots_[i]->retire.store(true, std::memory_order_seq_cst);
+    // Same lock-then-notify fence as the destructor: a flagged worker past
+    // its sleep-predicate check either holds the mutex (we wait) or is
+    // already blocked (the notify reaches it). Either way it observes the
+    // retire flag and exits instead of sleeping through the shrink.
+    {
+      std::lock_guard lock(sleep_mutex_);
+    }
+    sleep_cv_.notify_all();
+  }
+  resizes_.fetch_add(1, std::memory_order_relaxed);
+  if (workers_gauge_)
+    workers_gauge_->add(static_cast<std::int64_t>(n) -
+                        static_cast<std::int64_t>(old));
+  return n;
 }
 
 void ThreadPool::post_node(TaskNode* node) {
@@ -403,9 +463,32 @@ void ThreadPool::wake_all() {
   sleep_cv_.notify_all();
 }
 
+void ThreadPool::retire_worker(std::size_t index) {
+  // Drain our OWN deque (owner pops are safe against concurrent thieves)
+  // back into the injection queue. The pending accounting is untouched:
+  // the tasks were accepted and stay accepted, they only change queues,
+  // so exactly-once execution holds across the shrink.
+  auto& deque = slots_[index]->deque;
+  std::vector<TaskNode*> drained;
+  while (TaskNode* node = deque.pop()) drained.push_back(node);
+  if (!drained.empty()) {
+    {
+      common::MutexLock lock(inject_mutex_);
+      inject_.insert(inject_.end(), drained.begin(), drained.end());
+    }
+    wake_all();
+  }
+}
+
 void ThreadPool::worker_loop(std::size_t index) {
   tls_worker = CurrentWorker{this, index};
+  WorkerSlot& slot = *slots_[index];
   while (true) {
+    // Task boundary: honour a shrink before claiming more work.
+    if (slot.retire.load(std::memory_order_seq_cst)) {
+      retire_worker(index);
+      break;
+    }
     if (TaskNode* node = find_work(index)) {
       run_node(node);
       continue;
@@ -428,6 +511,7 @@ void ThreadPool::worker_loop(std::size_t index) {
     sleepers_.fetch_add(1, std::memory_order_seq_cst);
     sleep_cv_.wait(lock, [&] {
       return stopping_.load(std::memory_order_seq_cst) ||
+             slot.retire.load(std::memory_order_seq_cst) ||
              pending_count_.load(std::memory_order_seq_cst) > 0;
     });
     sleepers_.fetch_sub(1, std::memory_order_relaxed);

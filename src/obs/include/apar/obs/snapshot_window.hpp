@@ -1,0 +1,69 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apar/obs/metrics.hpp"
+
+namespace apar::obs {
+
+/// Windowed view of one histogram between two registry snapshots: only the
+/// samples recorded inside the window, reconstructed from the cumulative
+/// bucket diff. This is what a feedback controller needs — the registry's
+/// own percentiles are since-process-start and go inert as history
+/// accumulates, while a controller must react to the last few hundred
+/// milliseconds.
+struct HistogramWindow {
+  std::uint64_t count = 0;  ///< samples recorded inside the window
+  double sum = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Pairs consecutive MetricsRegistry snapshots and answers delta questions:
+/// counter rates, windowed histogram percentiles, current gauge levels.
+/// advance() captures the new "now" and shifts the previous capture into
+/// the "then" slot; every query below compares the two. Single-threaded by
+/// design (one controller owns one window); the snapshots themselves are
+/// taken under the registry lock.
+class SnapshotWindow {
+ public:
+  /// Capture the registry now. The first call only primes the window
+  /// (there is no "then" yet); queries return zero until the second call.
+  void advance(const MetricsRegistry& registry);
+
+  /// Seconds between the two captures (0 until two captures exist).
+  [[nodiscard]] double seconds() const;
+  [[nodiscard]] bool ready() const { return have_prev_; }
+
+  /// Counter increase across the window (0 when absent or not ready).
+  [[nodiscard]] std::uint64_t counter_delta(std::string_view name) const;
+  /// Counter increase per second across the window.
+  [[nodiscard]] double counter_rate(std::string_view name) const;
+  /// Gauge level at the latest capture (nullopt when never registered).
+  [[nodiscard]] std::optional<std::int64_t> gauge_value(
+      std::string_view name) const;
+  /// Histogram samples recorded inside the window, with percentiles
+  /// interpolated from the cumulative-bucket diff.
+  [[nodiscard]] HistogramWindow histogram_window(std::string_view name) const;
+
+ private:
+  const MetricSnapshot* find(const std::vector<MetricSnapshot>& in,
+                             std::string_view name,
+                             MetricSnapshot::Kind kind) const;
+
+  std::vector<MetricSnapshot> prev_;
+  std::vector<MetricSnapshot> cur_;
+  std::chrono::steady_clock::time_point prev_at_{};
+  std::chrono::steady_clock::time_point cur_at_{};
+  bool have_prev_ = false;
+  bool have_cur_ = false;
+};
+
+}  // namespace apar::obs

@@ -1,0 +1,116 @@
+#include "apar/obs/snapshot_window.hpp"
+
+#include <algorithm>
+
+namespace apar::obs {
+
+namespace {
+
+/// Percentile over a window's (non-cumulative) per-bucket counts, linear
+/// within the winning bucket — the same interpolation Histogram::percentile
+/// uses, but over the bucket DIFF instead of the lifetime counts. min/max
+/// are unavailable for a window (they are lifetime extrema), so the first
+/// bucket interpolates from 0 and the +Inf bucket reports its lower bound.
+double window_percentile(const std::vector<double>& bounds,
+                         const std::vector<std::uint64_t>& diff, double pct) {
+  std::uint64_t total = 0;
+  for (const auto c : diff) total += c;
+  if (total == 0) return 0.0;
+  pct = std::clamp(pct, 0.0, 100.0);
+  const double rank = pct / 100.0 * static_cast<double>(total);
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < diff.size(); ++i) {
+    const std::uint64_t in_bucket = diff[i];
+    if (static_cast<double>(below + in_bucket) < rank || in_bucket == 0) {
+      below += in_bucket;
+      continue;
+    }
+    if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+    const double hi = bounds[i];
+    const double lo = i == 0 ? 0.0 : bounds[i - 1];
+    const double frac =
+        (rank - static_cast<double>(below)) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+}  // namespace
+
+void SnapshotWindow::advance(const MetricsRegistry& registry) {
+  prev_ = std::move(cur_);
+  prev_at_ = cur_at_;
+  have_prev_ = have_cur_;
+  cur_ = registry.snapshot();
+  cur_at_ = std::chrono::steady_clock::now();
+  have_cur_ = true;
+}
+
+double SnapshotWindow::seconds() const {
+  if (!have_prev_) return 0.0;
+  return std::chrono::duration<double>(cur_at_ - prev_at_).count();
+}
+
+const MetricSnapshot* SnapshotWindow::find(
+    const std::vector<MetricSnapshot>& in, std::string_view name,
+    MetricSnapshot::Kind kind) const {
+  for (const auto& s : in)
+    if (s.kind == kind && s.name == name) return &s;
+  return nullptr;
+}
+
+std::uint64_t SnapshotWindow::counter_delta(std::string_view name) const {
+  if (!have_prev_) return 0;
+  const auto* cur = find(cur_, name, MetricSnapshot::Kind::kCounter);
+  if (!cur) return 0;
+  const auto* prev = find(prev_, name, MetricSnapshot::Kind::kCounter);
+  const std::int64_t before = prev ? prev->value : 0;
+  return cur->value > before ? static_cast<std::uint64_t>(cur->value - before)
+                             : 0;
+}
+
+double SnapshotWindow::counter_rate(std::string_view name) const {
+  const double secs = seconds();
+  if (secs <= 0.0) return 0.0;
+  return static_cast<double>(counter_delta(name)) / secs;
+}
+
+std::optional<std::int64_t> SnapshotWindow::gauge_value(
+    std::string_view name) const {
+  const auto* cur = find(cur_, name, MetricSnapshot::Kind::kGauge);
+  if (!cur) return std::nullopt;
+  return cur->value;
+}
+
+HistogramWindow SnapshotWindow::histogram_window(std::string_view name) const {
+  HistogramWindow out;
+  if (!have_prev_) return out;
+  const auto* cur = find(cur_, name, MetricSnapshot::Kind::kHistogram);
+  if (!cur) return out;
+  const auto* prev = find(prev_, name, MetricSnapshot::Kind::kHistogram);
+  // Cumulative buckets -> per-bucket counts for this window. A histogram
+  // first registered inside the window diffs against zero.
+  std::vector<std::uint64_t> diff(cur->buckets.size(), 0);
+  std::uint64_t prev_cum = 0;
+  std::uint64_t cur_cum = 0;
+  for (std::size_t i = 0; i < cur->buckets.size(); ++i) {
+    const std::uint64_t cur_at = cur->buckets[i];
+    const std::uint64_t prev_at =
+        prev && i < prev->buckets.size() ? prev->buckets[i] : 0;
+    const std::uint64_t cur_in = cur_at - cur_cum;
+    const std::uint64_t prev_in = prev_at - prev_cum;
+    diff[i] = cur_in > prev_in ? cur_in - prev_in : 0;
+    cur_cum = cur_at;
+    prev_cum = prev_at;
+    out.count += diff[i];
+  }
+  const double prev_sum = prev ? prev->sum : 0.0;
+  out.sum = cur->sum > prev_sum ? cur->sum - prev_sum : 0.0;
+  out.mean = out.count == 0 ? 0.0 : out.sum / static_cast<double>(out.count);
+  out.p50 = window_percentile(cur->bounds, diff, 50.0);
+  out.p95 = window_percentile(cur->bounds, diff, 95.0);
+  out.p99 = window_percentile(cur->bounds, diff, 99.0);
+  return out;
+}
+
+}  // namespace apar::obs

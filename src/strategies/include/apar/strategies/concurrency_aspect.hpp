@@ -81,6 +81,14 @@ class ConcurrencyAspect : public aop::Aspect, public AsyncControl {
     return spawned_.load(std::memory_order_relaxed);
   }
 
+  /// The pooled executor currently routing async calls (null when in
+  /// thread-per-call mode). Exposed so an AdaptationAspect can wire its
+  /// workers knob to pool->resize() — the pool's cooperative-retirement
+  /// contract keeps accepted dispatches exactly-once across resizes.
+  [[nodiscard]] std::shared_ptr<concurrency::ThreadPool> pool() const {
+    return pool_.load(std::memory_order_acquire);
+  }
+
  private:
   template <auto M>
   void register_async() {
@@ -102,7 +110,12 @@ class ConcurrencyAspect : public aop::Aspect, public AsyncControl {
               // The paper's `new Thread() { run() { proceed(); } }.start()`.
               inv.context().tasks().spawn(std::move(continuation));
             })
-        .mark_spawns_concurrency();
+        .mark_spawns_concurrency()
+        // Both dispatch modes tolerate an online resize of their degree:
+        // a pooled task survives ThreadPool::resize exactly-once (deques
+        // drain through the injection queue on retirement), and a
+        // thread-per-call dispatch owns its thread outright.
+        .mark_online_resizable();
   }
 
   template <auto M>

@@ -50,6 +50,8 @@ class FarmAspect : public aop::Aspect {
 
   FarmAspect(std::string name, Options options)
       : Aspect(std::move(name)), options_(std::move(options)), rng_(options_.seed) {
+    pack_size_.store(options_.pack_size ? options_.pack_size : 1,
+                     std::memory_order_relaxed);
     register_duplication();
     register_split();
     register_route();
@@ -60,6 +62,17 @@ class FarmAspect : public aop::Aspect {
 
   [[nodiscard]] const std::vector<aop::Ref<T>>& workers() const {
     return workers_;
+  }
+
+  /// Runtime-tunable pack (grain) size — the AdaptationAspect's farm
+  /// knob. Read once per split, so a change applies to the NEXT partition
+  /// cleanly: packs already fanned out are unaffected, which is exactly
+  /// why the split advice may declare mark_online_resizable().
+  void set_pack_size(std::size_t n) {
+    pack_size_.store(n ? n : 1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t pack_size() const {
+    return pack_size_.load(std::memory_order_relaxed);
   }
 
   /// Concatenated take_results() of all workers.
@@ -96,7 +109,8 @@ class FarmAspect : public aop::Aspect {
             aop::order::kPartitionSplit, aop::Scope::core_only(),
             [this](auto& inv) {
               auto& [data] = inv.args();
-              auto packs = split_into_packs<E>(data, options_.pack_size);
+              auto packs =
+                  split_into_packs<E>(data, pack_size_.load(std::memory_order_relaxed));
               if (options_.batch_submit) {
                 // Pooled async dispatches below collect into one
                 // bulk_post, flushed when the scope closes; non-pooled
@@ -118,8 +132,12 @@ class FarmAspect : public aop::Aspect {
         // Fan-out: the packs proceed down chains the composition is
         // expected to make asynchronous, and the route advice may hand
         // overlapping packs to the SAME worker — so farmed signatures are
-        // unconfined race candidates for the effect analyzer.
-        .mark_spawns_concurrency();
+        // unconfined race candidates for the effect analyzer. The fan-out
+        // is online-resizable: each pack is an independent unit the
+        // substrate may run on any worker at any pool size, and the grain
+        // knob is read per split — so an adapter may retune both mid-run.
+        .mark_spawns_concurrency()
+        .mark_online_resizable();
   }
 
   void register_route() {
@@ -144,6 +162,7 @@ class FarmAspect : public aop::Aspect {
   }
 
   Options options_;
+  std::atomic<std::size_t> pack_size_{1};
   std::vector<aop::Ref<T>> workers_;
   std::atomic<std::size_t> next_{0};
   std::mutex rng_mutex_;

@@ -1,0 +1,103 @@
+// SnapshotWindow: windowed registry deltas — counter rates, current gauge
+// levels, and histogram percentiles reconstructed from cumulative bucket
+// diffs. The controller's whole view of the world goes through this class,
+// so the isolation property (samples from BEFORE the window never leak
+// into its percentiles) is what keeps adaptation reactive after hours of
+// accumulated history.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "apar/obs/metrics.hpp"
+#include "apar/obs/snapshot_window.hpp"
+
+namespace obs = apar::obs;
+
+namespace {
+
+TEST(SnapshotWindow, NotReadyUntilTwoCaptures) {
+  obs::MetricsRegistry registry;
+  auto c = registry.counter("w.count");
+  c->add(5);
+  obs::SnapshotWindow window;
+  EXPECT_FALSE(window.ready());
+  EXPECT_EQ(window.counter_delta("w.count"), 0u);
+  EXPECT_EQ(window.seconds(), 0.0);
+  window.advance(registry);
+  EXPECT_FALSE(window.ready());  // primed, but no delta yet
+  window.advance(registry);
+  EXPECT_TRUE(window.ready());
+  EXPECT_EQ(window.counter_delta("w.count"), 0u);  // nothing in-window
+}
+
+TEST(SnapshotWindow, CounterDeltaSeesOnlyTheWindow) {
+  obs::MetricsRegistry registry;
+  auto c = registry.counter("w.count");
+  c->add(1000);  // pre-window history
+  obs::SnapshotWindow window;
+  window.advance(registry);
+  c->add(42);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  window.advance(registry);
+  EXPECT_EQ(window.counter_delta("w.count"), 42u);
+  EXPECT_GT(window.seconds(), 0.0);
+  EXPECT_GT(window.counter_rate("w.count"), 0.0);
+  // Next window starts empty again.
+  window.advance(registry);
+  EXPECT_EQ(window.counter_delta("w.count"), 0u);
+  // Absent names are zero, not an error.
+  EXPECT_EQ(window.counter_delta("w.never"), 0u);
+  EXPECT_EQ(window.counter_rate("w.never"), 0.0);
+}
+
+TEST(SnapshotWindow, GaugeReportsLatestLevel) {
+  obs::MetricsRegistry registry;
+  auto g = registry.gauge("w.level");
+  obs::SnapshotWindow window;
+  window.advance(registry);
+  g->set(7);
+  window.advance(registry);
+  ASSERT_TRUE(window.gauge_value("w.level").has_value());
+  EXPECT_EQ(*window.gauge_value("w.level"), 7);
+  EXPECT_FALSE(window.gauge_value("w.absent").has_value());
+}
+
+TEST(SnapshotWindow, HistogramPercentilesComeFromTheWindowOnly) {
+  obs::MetricsRegistry registry;
+  auto h = registry.histogram("w.lat_us");
+  // Heavy pre-window history in a LOW bucket: if the window leaked
+  // cumulative state, p95 below would be dragged toward these.
+  for (int i = 0; i < 10'000; ++i) h->record(5.0);
+
+  obs::SnapshotWindow window;
+  window.advance(registry);
+  for (int i = 0; i < 100; ++i) h->record(900.0);
+  window.advance(registry);
+
+  const obs::HistogramWindow w = window.histogram_window("w.lat_us");
+  EXPECT_EQ(w.count, 100u);
+  EXPECT_NEAR(w.sum, 100 * 900.0, 1.0);
+  EXPECT_NEAR(w.mean, 900.0, 1.0);
+  // All in-window samples sit in one bucket well above the pre-window
+  // noise; interpolated percentiles must land in that bucket, not at 5us.
+  EXPECT_GT(w.p50, 100.0);
+  EXPECT_GT(w.p95, 100.0);
+  EXPECT_GE(w.p99, w.p50);
+}
+
+TEST(SnapshotWindow, EmptyHistogramWindowIsZero) {
+  obs::MetricsRegistry registry;
+  auto h = registry.histogram("w.lat_us");
+  h->record(50.0);  // history only
+  obs::SnapshotWindow window;
+  window.advance(registry);
+  window.advance(registry);
+  const obs::HistogramWindow w = window.histogram_window("w.lat_us");
+  EXPECT_EQ(w.count, 0u);
+  EXPECT_EQ(w.mean, 0.0);
+  EXPECT_EQ(w.p95, 0.0);
+  // Absent histograms behave the same.
+  EXPECT_EQ(window.histogram_window("w.absent").count, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+// Unit rules for ThreadPool's online resize: clamping, grow/shrink
+// semantics, cooperative retirement draining queued work back through the
+// injection queue (exactly-once), slot reuse after a shrink, and the
+// from-a-worker guard. The randomized in-flight interleavings live in
+// test_resize_stress.cpp (`ctest -L scheduler`).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "apar/concurrency/parallel_for.hpp"
+#include "apar/concurrency/task.hpp"
+#include "apar/concurrency/thread_pool.hpp"
+
+namespace {
+
+using apar::concurrency::parallel_for;
+using apar::concurrency::Task;
+using apar::concurrency::ThreadPool;
+
+TEST(PoolResize, DefaultCapacityLeavesRoomToGrow) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_GE(pool.max_size(), 8u);  // max(2*threads, 8)
+  ThreadPool wide(6);
+  EXPECT_EQ(wide.max_size(), 12u);
+}
+
+TEST(PoolResize, ResizeClampsToBounds) {
+  ThreadPool pool(2, 4);
+  EXPECT_EQ(pool.max_size(), 4u);
+  EXPECT_EQ(pool.resize(0), 1u);    // floor: one worker always remains
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.resize(100), 4u);  // ceiling: slot capacity
+  EXPECT_EQ(pool.size(), 4u);
+}
+
+TEST(PoolResize, NoopResizeDoesNotCountAsAResize) {
+  ThreadPool pool(3, 6);
+  EXPECT_EQ(pool.resizes(), 0u);
+  EXPECT_EQ(pool.resize(3), 3u);
+  EXPECT_EQ(pool.resizes(), 0u);
+  EXPECT_EQ(pool.resize(5), 5u);
+  EXPECT_EQ(pool.resize(2), 2u);
+  EXPECT_EQ(pool.resizes(), 2u);
+}
+
+TEST(PoolResize, GrownWorkersActuallyRunTasks) {
+  ThreadPool pool(1, 8);
+  ASSERT_EQ(pool.resize(4), 4u);
+  // Park 3 tasks on a latch; with one worker this could never reach 3
+  // concurrent holders, with 4 it must.
+  std::atomic<int> holders{0};
+  std::atomic<bool> release{false};
+  for (int i = 0; i < 3; ++i) {
+    pool.post([&] {
+      holders.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (holders.load() < 3 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::yield();
+  EXPECT_EQ(holders.load(), 3);
+  release.store(true);
+  pool.drain();
+}
+
+TEST(PoolResize, ShrinkDrainsRetiredDequesExactlyOnce) {
+  ThreadPool pool(4, 4);
+  std::atomic<std::uint64_t> ran{0};
+  constexpr std::uint64_t kTasks = 2000;
+  // Gate the workers so deques fill up, then shrink while the backlog is
+  // queued: the retiring workers must push their deques back through the
+  // injection queue without dropping or duplicating anything.
+  std::atomic<bool> gate{true};
+  for (int i = 0; i < 4; ++i)
+    pool.post([&] {
+      while (gate.load()) std::this_thread::yield();
+    });
+  for (std::uint64_t i = 0; i < kTasks; ++i)
+    pool.post([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(pool.resize(1), 1u);
+  gate.store(false);
+  pool.drain();
+  EXPECT_EQ(ran.load(), kTasks);
+  EXPECT_EQ(pool.pending(), 0u);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(PoolResize, GrowReusesRetiredSlots) {
+  ThreadPool pool(4, 4);
+  std::atomic<std::uint64_t> ran{0};
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    ASSERT_EQ(pool.resize(1), 1u);
+    ASSERT_EQ(pool.resize(4), 4u);  // rejoins the retired threads' slots
+    for (int i = 0; i < 200; ++i)
+      pool.post([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    pool.drain();
+  }
+  EXPECT_EQ(ran.load(), 5u * 200u);
+}
+
+TEST(PoolResize, ResizeFromAPoolTaskThrows) {
+  ThreadPool pool(2, 4);
+  auto threw = pool.submit([&pool] {
+    try {
+      pool.resize(3);
+      return false;
+    } catch (const std::logic_error&) {
+      return true;
+    }
+  });
+  EXPECT_TRUE(threw.get());
+  EXPECT_EQ(pool.size(), 2u);  // the rejected call changed nothing
+}
+
+TEST(PoolResize, ParallelForSpansAResize) {
+  ThreadPool pool(2, 6);
+  std::atomic<std::uint64_t> hits{0};
+  std::thread resizer([&pool] {
+    for (std::size_t n : {4u, 1u, 6u, 2u}) {
+      pool.resize(n);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (int round = 0; round < 20; ++round) {
+    parallel_for(pool, 0, 500, 16,
+                 [&](std::size_t) {
+                   hits.fetch_add(1, std::memory_order_relaxed);
+                 });
+  }
+  resizer.join();
+  pool.drain();
+  EXPECT_EQ(hits.load(), 20u * 500u);
+}
+
+TEST(PoolResize, BulkPostSurvivesConcurrentShrink) {
+  ThreadPool pool(4, 4);
+  std::atomic<std::uint64_t> ran{0};
+  constexpr std::size_t kBatches = 50;
+  constexpr std::size_t kBatch = 64;
+  std::thread producer([&] {
+    for (std::size_t b = 0; b < kBatches; ++b) {
+      std::vector<Task> tasks;
+      tasks.reserve(kBatch);
+      for (std::size_t i = 0; i < kBatch; ++i)
+        tasks.emplace_back(
+            [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+      pool.bulk_post(tasks);
+    }
+  });
+  for (int i = 0; i < 10; ++i) {
+    pool.resize(1);
+    pool.resize(4);
+  }
+  producer.join();
+  pool.drain();
+  EXPECT_EQ(ran.load(), kBatches * kBatch);
+}
+
+}  // namespace

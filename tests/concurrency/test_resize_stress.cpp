@@ -1,0 +1,156 @@
+// Seeded stress for ONLINE POOL RESIZE (`ctest -L scheduler`): randomized
+// producer mixes (post / bulk_post / submit / parallel_for, external and
+// worker-recursive) racing a resizer thread that walks the worker count
+// up and down the whole [1, max] range. Exactly-once is asserted by
+// counting; designed to run under APAR_SANITIZE=thread|address via
+// tools/run_stress.sh, where a retirement that drops a deque entry or
+// double-runs a drained task fails loudly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "apar/common/rng.hpp"
+#include "apar/concurrency/parallel_for.hpp"
+#include "apar/concurrency/task.hpp"
+#include "apar/concurrency/thread_pool.hpp"
+#include "../stress/stress_common.hpp"
+
+namespace {
+
+using apar::common::Rng;
+using apar::concurrency::parallel_for;
+using apar::concurrency::Task;
+using apar::concurrency::ThreadPool;
+
+TEST(StressResize, ResizeStormKeepsEveryTaskExactlyOnce) {
+  const std::uint64_t seed = apar::test::announce_stress_seed(0x2E512EULL);
+  ThreadPool pool(2, 6);
+  constexpr int kProducers = 3;
+  constexpr int kOpsPerProducer = 300;
+  std::atomic<std::uint64_t> ran{0};
+  std::atomic<std::uint64_t> posted{0};
+  std::atomic<bool> stop_resizing{false};
+
+  std::thread resizer([&] {
+    Rng rng(seed ^ 0xA5A5A5A5ULL);
+    while (!stop_resizing.load(std::memory_order_acquire)) {
+      pool.resize(rng.uniform(1, 6));
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(rng.uniform(50, 500)));
+    }
+  });
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(seed + static_cast<std::uint64_t>(p) * 7919);
+      for (int op = 0; op < kOpsPerProducer; ++op) {
+        switch (rng.uniform(0, 3)) {
+          case 0:  // single external post
+            posted.fetch_add(1, std::memory_order_relaxed);
+            pool.post(
+                [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+            break;
+          case 1: {  // bulk post — seeds whole deques that a retirement
+                     // may have to drain back out
+            const std::size_t n = rng.uniform(1, 32);
+            std::vector<Task> tasks;
+            tasks.reserve(n);
+            for (std::size_t i = 0; i < n; ++i)
+              tasks.emplace_back(
+                  [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+            posted.fetch_add(n, std::memory_order_relaxed);
+            pool.bulk_post(tasks);
+            break;
+          }
+          case 2: {  // worker-recursive posts land in the worker's own
+                     // deque — the exact structure retirement must move
+            const std::size_t n = rng.uniform(0, 8);
+            posted.fetch_add(n + 1, std::memory_order_relaxed);
+            pool.post([&pool, &ran, n] {
+              ran.fetch_add(1, std::memory_order_relaxed);
+              for (std::size_t i = 0; i < n; ++i)
+                pool.post([&ran] {
+                  ran.fetch_add(1, std::memory_order_relaxed);
+                });
+            });
+            break;
+          }
+          default:  // submit: the future must deliver across a resize
+            posted.fetch_add(1, std::memory_order_relaxed);
+            if (pool.submit([&ran] {
+                      ran.fetch_add(1, std::memory_order_relaxed);
+                      return 23;
+                    })
+                    .get() != 23)
+              ADD_FAILURE() << "submit returned wrong value";
+            break;
+        }
+        if (op % 64 == 0) std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  stop_resizing.store(true, std::memory_order_release);
+  resizer.join();
+  pool.drain();
+  EXPECT_EQ(ran.load(), posted.load());
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(StressResize, ParallelForUnderContinuousResize) {
+  const std::uint64_t seed = apar::test::announce_stress_seed(0x9A12A11ULL);
+  ThreadPool pool(3, 6);
+  std::atomic<bool> stop_resizing{false};
+  std::thread resizer([&] {
+    Rng rng(seed ^ 0x5EED5EEDULL);
+    while (!stop_resizing.load(std::memory_order_acquire)) {
+      pool.resize(rng.uniform(1, 6));
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(rng.uniform(100, 1000)));
+    }
+  });
+  Rng rng(seed);
+  for (int round = 0; round < 15; ++round) {
+    const std::size_t n = rng.uniform(100, 2000);
+    const std::size_t grain = rng.uniform(1, 64);
+    std::atomic<std::uint64_t> hits{0};
+    parallel_for(pool, 0, n, grain, [&](std::size_t) {
+      hits.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(hits.load(), n) << "round " << round;
+  }
+  stop_resizing.store(true, std::memory_order_release);
+  resizer.join();
+  pool.drain();
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(StressResize, TeardownRacesAFinalShrink) {
+  const std::uint64_t seed = apar::test::announce_stress_seed(0x7E42DULL);
+  Rng rng(seed);
+  for (int round = 0; round < 25; ++round) {
+    std::atomic<std::uint64_t> ran{0};
+    std::uint64_t accepted = 0;
+    {
+      ThreadPool pool(4, 4);
+      const std::size_t fan = rng.uniform(16, 128);
+      for (std::size_t i = 0; i < fan; ++i) {
+        pool.post([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+        ++accepted;
+      }
+      pool.resize(rng.uniform(1, 4));
+      // Destructor must join retiring AND live workers and still run every
+      // accepted task.
+    }
+    ASSERT_EQ(ran.load(), accepted) << "round " << round;
+  }
+}
+
+}  // namespace

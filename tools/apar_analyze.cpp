@@ -34,6 +34,7 @@
 #include <tuple>
 #include <vector>
 
+#include "apar/adapt/adaptation_aspect.hpp"
 #include "apar/analysis/effects.hpp"
 #include "apar/analysis/lock_order_aspect.hpp"
 #include "apar/analysis/report.hpp"
@@ -57,6 +58,7 @@
 #include "apar/strategies/farm_aspect.hpp"
 #include "apar/strategies/heartbeat_aspect.hpp"
 
+namespace adapt = apar::adapt;
 namespace analysis = apar::analysis;
 namespace aop = apar::aop;
 namespace cache = apar::cache;
@@ -320,6 +322,71 @@ analysis::Report analyze_sieve_tcp_obs() {
   return report;
 }
 
+/// The self-tuning sieve weave: an AdaptationAspect plugged outermost
+/// around Farm + Concurrency, declaring which parallelism knobs its
+/// controller actuates behind process/filter (pool workers via online
+/// resize, pack grain via the farm's atomic pack_size). Must analyze
+/// clean: every concurrency-spawning advice on the adapted signatures —
+/// the farm's split and the concurrency aspect's async dispatch — declares
+/// mark_online_resizable(), so the controller can retune mid-run without
+/// orphaning or double-running accepted work.
+analysis::Report analyze_sieve_farm_adapt() {
+  using Farm = strategies::FarmAspect<sieve::PrimeFilter, long long,
+                                      long long, long long, double>;
+  using Conc = strategies::ConcurrencyAspect<sieve::PrimeFilter>;
+
+  aop::Context ctx;
+  Farm::Options fopts;
+  fopts.duplicates = 2;
+  fopts.pack_size = 2'000;
+  auto farm = std::make_shared<Farm>("Partition", fopts);
+  ctx.attach(farm);
+  auto conc = std::make_shared<Conc>("Concurrency");
+  conc->async_method<&sieve::PrimeFilter::process>()
+      .async_method<&sieve::PrimeFilter::filter>()
+      .guarded_method<&sieve::PrimeFilter::collect>();
+  ctx.attach(conc);
+  auto tuner =
+      std::make_shared<adapt::AdaptationAspect<sieve::PrimeFilter>>();
+  tuner->controller().set_grain_knob(adapt::Knob(
+      "grain", 250, 20'000,
+      static_cast<std::int64_t>(farm->pack_size()),
+      [farm](std::int64_t v) {
+        farm->set_pack_size(static_cast<std::size_t>(v));
+      }));
+  tuner->adapt_method<&sieve::PrimeFilter::process>({"workers", "grain"})
+      .adapt_method<&sieve::PrimeFilter::filter>({"workers", "grain"});
+  ctx.attach(tuner);
+
+  auto report = analyze_plan(ctx);
+  ctx.quiesce();
+  return report;
+}
+
+/// The adaptation misuse fixture: the AdaptationAspect declares it will
+/// retune {workers, grain} behind Ledger.deposit, but the farm it is
+/// plugged against sizes its worker fan-out once at plug time — its split
+/// advice spawns concurrency WITHOUT mark_online_resizable(). Unlike a
+/// latent hazard, the controller is guaranteed to actuate at runtime, so
+/// the analyzer must reject the composition outright
+/// (adaptation-unsafe-resize, error).
+analysis::Report analyze_demo_broken_adapt() {
+  aop::Context ctx;
+  auto farm = std::make_shared<aop::Aspect>("StaticFarm");
+  farm->around_call<demo::Ledger, void, long long>(
+          aop::Pattern("Ledger.deposit"), aop::order::kPartitionSplit,
+          aop::Scope::any(), [](auto& inv) { return inv.proceed(); })
+      .mark_spawns_concurrency();
+  ctx.attach(farm);
+  auto tuner = std::make_shared<adapt::AdaptationAspect<demo::Ledger>>();
+  tuner->adapt_method<&demo::Ledger::deposit>({"workers", "grain"});
+  ctx.attach(tuner);
+
+  auto report = analyze_plan(ctx);
+  ctx.quiesce();
+  return report;
+}
+
 /// Every cache-safety defect at once, over the real wire so each gates as
 /// an error: memoizing deposit (a mutator nobody declared idempotent —
 /// hits would silently skip remote state transitions) and put (non-
@@ -511,6 +578,8 @@ std::vector<std::pair<std::string, Builder>> all_compositions() {
   out.emplace_back("sieve:FarmTCP+Obs", [] { return analyze_sieve_tcp_obs(); });
   out.emplace_back("sieve:FarmTCP+Reactor",
                    [] { return analyze_sieve_tcp_reactor(); });
+  out.emplace_back("sieve:Farm+Adapt",
+                   [] { return analyze_sieve_farm_adapt(); });
   return out;
 }
 
@@ -544,6 +613,7 @@ int main(int argc, char** argv) {
     std::printf("demo-broken-tcp\n");
     std::printf("demo-broken-cache\n");
     std::printf("demo-broken-race\n");
+    std::printf("demo-broken-adapt\n");
     return 0;
   }
 
@@ -570,6 +640,11 @@ int main(int argc, char** argv) {
       if (want == "demo-broken-cache") {
         selected.emplace_back(want,
                               [] { return analyze_demo_broken_cache(); });
+        continue;
+      }
+      if (want == "demo-broken-adapt") {
+        selected.emplace_back(want,
+                              [] { return analyze_demo_broken_adapt(); });
         continue;
       }
       bool found = false;

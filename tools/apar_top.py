@@ -60,6 +60,40 @@ def fetch_telemetry(host, port, timeout, include_trace=False, flush=False):
         return json.loads(body.decode("utf-8"))
 
 
+# Mirrors adapt::decision_name (src/adapt/controller.cpp): the
+# adapt.last_decision gauge carries the enum value over the wire.
+DECISION_NAMES = {
+    0: "none", 1: "grow-workers", 2: "shrink-workers", 3: "revert-grow",
+    4: "revert-shrink", 5: "grain-coarsen", 6: "grain-refine",
+    7: "feeder-deepen", 8: "feeder-shallow", 9: "promote-fast",
+    10: "demote-fast",
+}
+
+
+def adapt_summary(doc):
+    """Distill the adapt.* plane from one telemetry document; None when
+    the endpoint runs no AdaptationController."""
+    vals = {}
+    for m in doc.get("metrics", {}).get("metrics", []):
+        name = m.get("name", "")
+        if name.startswith("adapt."):
+            vals[name] = m.get("value", m.get("count", 0))
+    if not vals:
+        return None
+    return {
+        "workers": int(vals.get("adapt.workers", 0)),
+        "grain": int(vals.get("adapt.grain", 0)),
+        "feeder_depth": int(vals.get("adapt.feeder_depth", 0)),
+        "routing": int(vals.get("adapt.routing", 0)),
+        "last_decision": DECISION_NAMES.get(
+            int(vals.get("adapt.last_decision", 0)),
+            str(vals.get("adapt.last_decision", 0))),
+        "ticks": int(vals.get("adapt.ticks", 0)),
+        "decisions": int(vals.get("adapt.decisions", 0)),
+        "reverts": int(vals.get("adapt.reverts", 0)),
+    }
+
+
 def metric_key(m):
     labels = ",".join("%s=%s" % kv for kv in sorted(m.get("labels",
                                                           {}).items()))
@@ -85,6 +119,16 @@ def render(docs, prev, interval):
                      (ep, doc.get("node", "?"), doc.get("pid", "?"),
                       doc.get("uptime_us", 0) / 1e6, srv.get("frames_in", 0),
                       srv.get("dispatch_errors", 0)))
+        adapt = adapt_summary(doc)
+        if adapt is not None:
+            cur = adapt["decisions"]
+            rate = (cur - prev.get((ep, "__adapt_decisions"), cur)) / interval
+            prev[(ep, "__adapt_decisions")] = cur
+            lines.append("  adaptation: workers=%d grain=%d last=%s "
+                         "decisions/s=%.2f reverts=%d ticks=%d" %
+                         (adapt["workers"], adapt["grain"],
+                          adapt["last_decision"], rate, adapt["reverts"],
+                          adapt["ticks"]))
         header = "  %-38s %-10s %12s %10s %10s %10s %10s %10s" % (
             "metric", "type", "value/cnt", "rate/s", "p50", "p95", "p99",
             "p999")
@@ -162,6 +206,9 @@ def main():
     except KeyboardInterrupt:
         pass
     if args.dump and last_doc is not None:
+        adapt = adapt_summary(last_doc)
+        if adapt is not None:
+            last_doc["adaptation"] = adapt
         with open(args.dump, "w", encoding="utf-8") as f:
             json.dump(last_doc, f)
         print("apar-top: telemetry dumped to %s" % args.dump)

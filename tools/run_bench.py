@@ -30,6 +30,18 @@ The "comparison" block distills the acceptance question — how many
 connections the reactor sustains versus thread mode, at what p99 — and
 tools/check_net_bench.py gates on it.
 
+With --adapt it drives bench/adapt_scaling — the phase-shifting autonomic
+workload — and writes BENCH_adapt.json:
+
+    tools/run_bench.py --adapt --build build --out BENCH_adapt.json
+
+The binary sweeps the static (workers, grain) corners plus the adaptive
+configuration over alternating sieve/service/mandel phases and emits the
+recovery table tools/check_adapt_bench.py gates on (--quick shrinks the
+phases for CI). Full mode appends an informational closed-loop loadgen
+round — the net.rtt_us source the routing plane consumes — skipped with a
+marker where the sandbox forbids loopback sockets.
+
 Exit status is nonzero when the benchmark binary fails or produces no
 usable entries, so CI can gate on it.
 """
@@ -63,8 +75,13 @@ def parse_args(argv):
     parser.add_argument("--net", action="store_true",
                         help="run the sieve_server/loadgen latency scenarios "
                              "instead of a google-benchmark binary")
+    parser.add_argument("--adapt", action="store_true",
+                        help="run bench/adapt_scaling (phase-shifting "
+                             "autonomic workload) instead of a "
+                             "google-benchmark binary")
     parser.add_argument("--build", default="build",
-                        help="[--net] build directory with the binaries")
+                        help="[--net/--adapt] build directory with the "
+                             "binaries")
     parser.add_argument("--workers", type=int, default=8,
                         help="[--net] server workers W")
     parser.add_argument("--connections", type=int, default=32,
@@ -311,12 +328,60 @@ def run_net(args):
               f"p50 {lat['p50']:.0f}us p99 {lat['p99']:.0f}us")
 
 
+# --- --adapt: phase-shifting autonomic workload ----------------------------
+
+def run_adapt(args):
+    binary = os.path.join(args.build, "bench", "adapt_scaling")
+    cmd = [binary, "--out", args.out]
+    if args.quick:
+        cmd += ["--phase-seconds", "2", "--reps", "1"]
+    print("+ " + " ".join(cmd), file=sys.stderr)
+    proc = subprocess.run(cmd)
+    if proc.returncode != 0:
+        raise SystemExit(f"adapt_scaling failed ({proc.returncode})")
+    with open(args.out) as fh:
+        doc = json.load(fh)
+
+    if not args.quick:
+        # Informational net leg: a closed-loop loadgen round against the
+        # reactor server records the net.rtt_us shape the controller's
+        # routing plane consumes. Not part of the recovery gate.
+        try:
+            with NetServer(args.build, "reactor", 2) as server:
+                doc["net"] = run_loadgen(
+                    args.build, server.port, "adapt_net",
+                    ["--mode", "closed", "--clients", "4",
+                     "--requests", "500", "--warmup", "50"])
+        except LoopbackUnavailable:
+            print("loopback TCP unavailable; net leg skipped",
+                  file=sys.stderr)
+            doc["net"] = {"skipped": "loopback TCP unavailable"}
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+
+    recovery = doc["recovery"]
+    print(f"wrote {args.out} ({len(doc['configs'])} configs)")
+    for name, r in sorted(recovery["min_recovery"].items()):
+        print(f"  {name}: worst-phase recovery {r:.3f}")
+    print(f"  adaptive {recovery['adaptive_min_recovery']:.3f} vs best "
+          f"static {recovery['best_static_min_recovery']:.3f}")
+
+
 def main(argv):
     args = parse_args(argv)
     if args.out is None:
-        args.out = "BENCH_net.json" if args.net else "BENCH_scheduler.json"
+        if args.net:
+            args.out = "BENCH_net.json"
+        elif args.adapt:
+            args.out = "BENCH_adapt.json"
+        else:
+            args.out = "BENCH_scheduler.json"
     if args.net:
         run_net(args)
+        return
+    if args.adapt:
+        run_adapt(args)
         return
     doc, repetitions = run_benchmark(args)
     results = distill(doc, repetitions)

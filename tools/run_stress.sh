@@ -4,6 +4,9 @@
 # the event-driven reactor tests: pipelining, backpressure, slow-reader
 # eviction and mode-parity, all prime tsan material since the reactor
 # loop hands frames to pool workers and flushes their completions back)
+# and the scheduler suite (`-L scheduler` — online pool resize racing
+# posts, steals and parallel_for; a retirement that loses or double-runs
+# a task trips tsan and the exactly-once asserts)
 # under ThreadSanitizer and AddressSanitizer, and the analysis suite
 # (`-L analysis` — the weave-plan verifier, the effects race passes and
 # the apar-analyze gates) under AddressSanitizer. Any
@@ -39,9 +42,9 @@ for preset in "${presets[@]}"; do
   # are single-threaded: asan is the interesting sanitizer, and skipping
   # them under tsan keeps that (much slower) leg focused on real
   # concurrency.
-  labels='stress|cache|net'
+  labels='stress|cache|net|scheduler'
   if [ "$preset" = "asan" ]; then
-    labels='stress|cache|net|analysis'
+    labels='stress|cache|net|scheduler|analysis'
   fi
   echo "=== [$preset] ctest -L '$labels' ==="
   ctest --test-dir "build-$preset" -L "$labels" --output-on-failure -j 2
